@@ -1,0 +1,18 @@
+"""Benchmark of the extension noise-level sweep (beyond the paper's Fig. 1)."""
+
+import numpy as np
+
+from repro.experiments import default_scale, ext_noise_sweep
+
+
+def test_noise_sweep(benchmark, record_result):
+    scale = default_scale()
+    levels = (0.2,) if scale.name == "smoke" else (0.1, 0.2, 0.3)
+    results = benchmark.pedantic(ext_noise_sweep.run, args=(scale,),
+                                 kwargs={"noise_levels": levels},
+                                 rounds=1, iterations=1)
+    record_result("ext_noise_sweep", ext_noise_sweep.render(results))
+    for row in results.values():
+        for metrics in row.values():
+            assert np.isfinite(metrics["HR@20"])
+            assert 0.0 <= metrics["under_denoising"] <= 1.0

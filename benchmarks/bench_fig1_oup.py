@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Fig. 1 (over-/under-denoising problems)."""
+
+from repro.experiments import default_scale, fig1_oup
+
+
+def test_fig1_oup_ratios(benchmark, record_result):
+    scale = default_scale()
+    results = benchmark.pedantic(fig1_oup.run, args=(scale,),
+                                 rounds=1, iterations=1)
+    record_result("fig1_oup", fig1_oup.render(results))
+    # Shape: every method's ratios are proper fractions, and intra-sequence
+    # methods exhibit OUPs (nonzero under- or over-denoising), which is the
+    # figure's motivating observation.
+    for name, row in results.items():
+        assert 0.0 <= row["under_denoising"] <= 1.0
+        assert 0.0 <= row["over_denoising"] <= 1.0
+    assert (results["HSD"]["under_denoising"] > 0
+            or results["HSD"]["over_denoising"] > 0)

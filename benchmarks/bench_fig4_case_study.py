@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Fig. 4 (case study) and Sec. IV-E drop ratios."""
+
+from repro.experiments import default_scale, fig4_case_study
+
+
+def test_fig4_case_study(benchmark, record_result):
+    scale = default_scale()
+    result = benchmark.pedantic(fig4_case_study.run, args=(scale,),
+                                rounds=1, iterations=1)
+    record_result("fig4_case_study", fig4_case_study.render(result))
+    trace = result["trace"]
+    # The trace exposes all three stages.
+    assert {"raw_score", "augmented_score", "denoised_score"} <= set(trace)
+    assert len(trace["inserted_items"]) == 2
+    # Dropped ratios are proper fractions (paper: 23%-39%).
+    for ratio in result["dropped_ratio"].values():
+        assert 0.0 <= ratio < 1.0

@@ -1,0 +1,21 @@
+"""Benchmark + reproduction of Fig. 5 (Gumbel temperature sensitivity)."""
+
+import numpy as np
+
+from repro.experiments import default_scale, fig5_tau
+from repro.experiments.paper_numbers import TAU_SWEEP
+
+
+def test_fig5_tau_sensitivity(benchmark, record_result):
+    scale = default_scale()
+    # Smoke scale trims the sweep; quick/full run the paper's grid.
+    taus = TAU_SWEEP if scale.name != "smoke" else (0.1, 1.0, 10.0)
+    results = benchmark.pedantic(fig5_tau.run, args=(scale,),
+                                 kwargs={"taus": taus},
+                                 rounds=1, iterations=1)
+    record_result("fig5_tau", fig5_tau.render(results))
+    scores = [row["HR@20"] for row in results.values()]
+    assert all(np.isfinite(scores))
+    if scale.name != "smoke":
+        # Shape: tau matters — the sweep is not flat.
+        assert max(scores) > min(scores)

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of the Sec. IV-B significance protocol."""
+
+from repro.experiments import default_scale, significance_runs
+
+
+def test_significance_ssdrec_vs_hsd(benchmark, record_result):
+    scale = default_scale()
+    seeds = (0, 1) if scale.name == "smoke" else (0, 1, 2)
+    result = benchmark.pedantic(significance_runs.run, args=(scale,),
+                                kwargs={"seeds": seeds},
+                                rounds=1, iterations=1)
+    record_result("significance", significance_runs.render(result))
+    assert all(0.0 <= p <= 1.0 for p in result["paired_pvalues"])
+    if scale.name != "smoke":
+        # Paper shape: SSDRec improves over HSD on average across seeds.
+        assert result["mean_improvement"] > 0

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the substrate: autograd ops, layers, graph build.
+
+These complement the per-table experiment benchmarks with stable,
+repeatable timings of the building blocks — useful for tracking
+performance regressions in the ``repro.nn`` framework itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate
+from repro.graph import build_multi_relation_graph
+from repro.nn import BiLSTM, Tensor, TransformerEncoder, gumbel_softmax
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+def test_micro_matmul_backward(benchmark):
+    a = Tensor(RNG.normal(size=(128, 64)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(64, 64)), requires_grad=True)
+
+    def step():
+        a.grad = b.grad = None
+        ((a @ b).tanh().sum()).backward()
+
+    benchmark(step)
+    assert a.grad is not None
+
+
+def test_micro_softmax_cross_entropy(benchmark):
+    logits = Tensor(RNG.normal(size=(256, 500)), requires_grad=True)
+    targets = RNG.integers(0, 500, size=256)
+
+    def step():
+        logits.grad = None
+        F.cross_entropy(logits, targets).backward()
+
+    benchmark(step)
+
+
+def test_micro_bilstm_forward_backward(benchmark):
+    lstm = BiLSTM(32, 32, rng=np.random.default_rng(0))
+    x = Tensor(RNG.normal(size=(64, 20, 32)))
+
+    def step():
+        lstm.zero_grad()
+        left, right = lstm(x)
+        (left.sum() + right.sum()).backward()
+
+    benchmark(step)
+
+
+def test_micro_transformer_forward_backward(benchmark):
+    encoder = TransformerEncoder(32, num_layers=2, num_heads=2, dropout=0.0,
+                                 rng=np.random.default_rng(0))
+    x = Tensor(RNG.normal(size=(64, 20, 32)))
+
+    def step():
+        encoder.zero_grad()
+        encoder(x).sum().backward()
+
+    benchmark(step)
+
+
+def test_micro_gumbel_softmax(benchmark):
+    logits = Tensor(RNG.normal(size=(256, 300)))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: gumbel_softmax(logits, tau=0.5, hard=True, rng=rng))
+
+
+def test_micro_graph_construction(benchmark):
+    dataset = generate("beauty", seed=0, scale=0.5)
+    graph = benchmark(lambda: build_multi_relation_graph(dataset))
+    assert graph.transitional.nnz > 0

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Table II (dataset statistics)."""
+
+from repro.experiments import default_scale, table2_datasets
+
+
+def test_table2_dataset_statistics(benchmark, record_result):
+    scale = default_scale()
+    rows = benchmark.pedantic(table2_datasets.run, args=(scale,),
+                              rounds=1, iterations=1)
+    record_result("table2_datasets", table2_datasets.render(rows))
+    # Shape assertions mirroring the paper: ML sequences are an order of
+    # magnitude longer than Amazon ones; Amazon/Yelp matrices are sparser.
+    ml = rows["ml-1m"]["measured"]
+    beauty = rows["beauty"]["measured"]
+    assert ml["avg_len"] > 3 * beauty["avg_len"]
+    assert beauty["sparsity"] > ml["sparsity"]

@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of Table III (backbones w/ vs w/o SSDRec).
+
+The paper's headline claim: wrapping any mainstream sequential
+recommender in SSDRec improves every metric, with the largest boosts for
+Transformer-based backbones.  We assert the *aggregate* version of that
+shape — the average relative improvement across backbones is positive —
+which is robust at benchmark scale.
+"""
+
+import numpy as np
+
+from repro.experiments import default_scale, table3_backbones
+
+
+def test_table3_backbones_with_vs_without(benchmark, record_result):
+    scale = default_scale()
+    results = benchmark.pedantic(table3_backbones.run, args=(scale,),
+                                 rounds=1, iterations=1)
+    record_result("table3_backbones", table3_backbones.render(results))
+    improvements = [
+        res["improvement"]
+        for per_backbone in results.values()
+        for res in per_backbone.values()
+    ]
+    if scale.name != "smoke":  # too few epochs for directional claims
+        assert np.mean(improvements) > 0, (
+            f"SSDRec should improve backbones on average, got {improvements}")

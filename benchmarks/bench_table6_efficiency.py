@@ -1,0 +1,24 @@
+"""Benchmark + reproduction of Table VI (training/inference efficiency).
+
+Paper shape: SSDRec's training epoch costs more than HSD's (the three
+stages add work) but the *inference* overhead is modest because the
+self-augmentation module is skipped outside training.
+"""
+
+from repro.experiments import default_scale, table6_efficiency
+
+
+def test_table6_efficiency(benchmark, record_result):
+    scale = default_scale()
+    results = benchmark.pedantic(table6_efficiency.run, args=(scale,),
+                                 rounds=1, iterations=1)
+    record_result("table6_efficiency", table6_efficiency.render(results))
+    for profile in scale.datasets:
+        ssdrec_train = results["training"]["SSDRec"][profile]
+        hsd_train = results["training"]["HSD"][profile]
+        assert ssdrec_train > hsd_train, (
+            f"SSDRec training should cost more than HSD on {profile}: "
+            f"{ssdrec_train:.2f}s vs {hsd_train:.2f}s")
+        # Inference must not blow up: within ~6x of HSD (paper: <2x).
+        assert (results["inference"]["SSDRec"][profile]
+                < 6 * max(results["inference"]["HSD"][profile], 1e-3))

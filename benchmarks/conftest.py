@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper at the scale
+selected by ``REPRO_SCALE`` (smoke / quick / full; default quick), times
+the full experiment through pytest-benchmark, and writes the rendered
+paper-vs-measured output to ``benchmarks/results/<name>.txt`` (also
+echoed to the terminal when pytest runs with ``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered output to its results file."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

@@ -1,0 +1,55 @@
+"""Explainability: trace one user through SSDRec's three stages (Fig. 4).
+
+Trains SSDRec on the ML-100K stand-in, then uses ``SSDRec.explain`` to
+show, for a single user:
+
+* the raw sequence and the target item's score under it,
+* the position the self-augmentation module found inconsistent and the
+  two items it inserted,
+* the items the hierarchical denoising module removed and the target's
+  score under the denoised sequence.
+
+Run:  python examples/case_study_explain.py
+"""
+
+import numpy as np
+
+from repro.core import SSDRec, SSDRecConfig
+from repro.data import generate, leave_one_out_split
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    dataset = generate("ml-100k", seed=0, scale=0.5)
+    max_len = 20
+    split = leave_one_out_split(dataset, max_len=max_len,
+                                augment_prefixes=True)
+    model = SSDRec(dataset, config=SSDRecConfig(dim=32, max_len=max_len),
+                   rng=np.random.default_rng(0))
+    print("training SSDRec ...")
+    Trainer(model, split,
+            TrainConfig(epochs=8, batch_size=128, patience=3)).fit()
+
+    # Trace the three users with the longest histories.
+    lengths = [(len(seq), user) for user, seq in
+               enumerate(dataset.sequences) if seq]
+    for _, user in sorted(lengths, reverse=True)[:3]:
+        sequence = dataset.sequences[user]
+        history, target = sequence[:-1], sequence[-1]
+        trace = model.explain(history, user=user, target=target)
+        print(f"\nuser {user} (history length {len(history)}, "
+              f"target item {target})")
+        print(f"  raw tail           : {trace['raw_sequence'][-8:]}")
+        print(f"  score(raw)         : {trace['raw_score']:+.3f}")
+        print(f"  inserted items     : {trace['inserted_items']} "
+              f"around position {trace['insert_position']}")
+        print(f"  score(augmented)   : {trace['augmented_score']:+.3f}")
+        print(f"  removed as noise   : {trace['removed_items']}")
+        print(f"  score(denoised)    : {trace['denoised_score']:+.3f}")
+    print("\nPaper's user 164: raw -0.96 -> augmented -0.95 -> denoised 0.89;"
+          "\nthe shape to look for is score(denoised) > score(raw) with the"
+          "\naugmented score close to the raw one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Dataset and relation-graph analysis across all five dataset profiles.
+
+Quantifies the properties the paper's motivation rests on:
+
+* the fraction of *short* sequences per dataset (OUPs hit these hardest),
+* the popularity skew justifying the 20/80 relation-construction rule,
+* the ground-truth noise rate of each synthetic stand-in, and
+* the connectivity of the multi-relation graph SSDRec learns from.
+
+Run:  python examples/dataset_analysis.py
+"""
+
+from repro.analysis import (compare_datasets, graph_report,
+                            length_histogram, noise_report)
+from repro.data import all_datasets
+from repro.graph import build_multi_relation_graph
+from repro.viz import bar_chart, sparkline
+
+
+def main() -> None:
+    datasets = all_datasets(seed=0, scale=0.5)
+
+    print("=== Shape summary (Table II axes + skew) ===")
+    rows = compare_datasets(datasets)
+    columns = ("users", "items", "avg_len", "sparsity",
+               "short_frac(<=10)", "pop_gini")
+    print(f"{'dataset':<10}" + "".join(f"{c:>18}" for c in columns))
+    for name, stats in rows:
+        print(f"{name:<10}" + "".join(f"{stats[c]:>18}" for c in columns))
+
+    print("\n=== Sequence-length distribution ===")
+    for name, dataset in datasets.items():
+        hist = length_histogram(dataset, bins=(5, 10, 20, 50))
+        print(f"{name:<10}{sparkline(list(hist.values()))}   {hist}")
+
+    print("\n=== Ground-truth noise (synthetic stand-ins) ===")
+    print(bar_chart({name: noise_report(ds)["noise_rate"]
+                     for name, ds in datasets.items()},
+                    title="injected noise rate per dataset"))
+
+    print("\n=== Multi-relation graph connectivity (beauty) ===")
+    graph = build_multi_relation_graph(datasets["beauty"])
+    report = graph_report(graph)
+    print("edges per relation:", report.relation_counts)
+    print("mean degrees      :", report.mean_degrees)
+    print(f"transitional components: {report.transitional_components} "
+          f"(largest covers {report.largest_component_fraction:.0%} of items)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Noise robustness: how denoisers behave as injected noise grows.
+
+Recreates the *motivation* experiment behind Fig. 1 at several noise
+levels: inject unobserved items into raw sequences, train HSD and SSDRec
+on the corrupted data, and report (a) recommendation quality on the clean
+targets and (b) the over-/under-denoising ratios against the injected
+ground truth.
+
+Run:  python examples/noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.core import SSDRec, SSDRecConfig
+from repro.data import (generate, inject_noise, leave_one_out_split,
+                        score_denoising)
+from repro.denoise import HSD
+from repro.eval import Evaluator
+from repro.train import TrainConfig, Trainer
+
+NOISE_LEVELS = (0.1, 0.2, 0.3)
+
+
+def main() -> None:
+    clean = generate("ml-100k", seed=0, scale=0.4, noise_rate=0.0)
+    max_len = 20
+    print(f"clean dataset: {clean.statistics()}\n")
+    header = (f"{'noise':>6}{'method':>9}{'HR@20':>9}"
+              f"{'under-denoise':>15}{'over-denoise':>14}")
+    print(header)
+    for ratio in NOISE_LEVELS:
+        noisy = inject_noise(clean, ratio=ratio, seed=1)
+        split = leave_one_out_split(noisy.dataset, max_len=max_len,
+                                    augment_prefixes=True)
+        evaluator = Evaluator(split.test, max_len=max_len)
+        config = TrainConfig(epochs=8, batch_size=128, patience=3)
+        for name in ("HSD", "SSDRec"):
+            if name == "HSD":
+                model = HSD(num_items=noisy.dataset.num_items, dim=16,
+                            max_len=max_len, rng=np.random.default_rng(0))
+            else:
+                model = SSDRec(noisy.dataset,
+                               config=SSDRecConfig(dim=16, max_len=max_len),
+                               rng=np.random.default_rng(0))
+            Trainer(model, split, config).fit()
+            hr20 = evaluator.evaluate(model)["HR@20"]
+            oup = score_denoising(
+                noisy, model.keep_decisions(noisy.dataset.sequences[1:]))
+            print(f"{ratio:>6.0%}{name:>9}{hr20:>9.4f}"
+                  f"{oup.under_denoising:>15.3f}{oup.over_denoising:>14.3f}")
+    print("\nLower OUP ratios = more reliable denoising (Fig. 1).")
+
+
+if __name__ == "__main__":
+    main()

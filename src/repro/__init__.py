@@ -1,0 +1,25 @@
+"""SSDRec reproduction: Self-Augmented Sequence Denoising for Sequential
+Recommendation (ICDE 2024).
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy autograd + neural-network framework (the PyTorch substitute).
+``repro.data``
+    Datasets, leave-one-out splits, batching, noise injection.
+``repro.graph``
+    Multi-relation graph construction (Stage 1 input, Sec. III-A).
+``repro.core``
+    SSDRec itself: global relation encoder, self-augmentation, hierarchical
+    denoising (Sec. III-C..III-F).
+``repro.models``
+    Sequential recommender backbones (GRU4Rec .. BERT4Rec).
+``repro.denoise``
+    Denoising baselines (FMLP-Rec, DSAN, HSD, STEAM, DCRec).
+``repro.train`` / ``repro.eval``
+    Training loop with early stopping; full-ranking metrics.
+``repro.experiments``
+    Runners regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,146 @@
+"""Dataset and relation-graph analysis utilities.
+
+Quantifies the properties the paper's motivation rests on: sequence-length
+distribution (short sequences drive OUPs), item popularity skew (the 20/80
+principle behind relation construction), and the connectivity of the
+multi-relation graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .data.dataset import InteractionDataset
+from .graph.multi_relation import MultiRelationGraph
+
+
+def length_histogram(dataset: InteractionDataset,
+                     bins: Sequence[int] = (5, 10, 20, 50, 100, 200)
+                     ) -> Dict[str, int]:
+    """Count sequences per length bucket (last bucket is open-ended)."""
+    lengths = [len(s) for s in dataset.sequences[1:] if s]
+    edges = [0, *bins]
+    histogram: Dict[str, int] = {}
+    for lo, hi in zip(edges, edges[1:]):
+        histogram[f"({lo},{hi}]"] = sum(lo < n <= hi for n in lengths)
+    histogram[f">{edges[-1]}"] = sum(n > edges[-1] for n in lengths)
+    return histogram
+
+
+def short_sequence_fraction(dataset: InteractionDataset,
+                            threshold: int = 10) -> float:
+    """Fraction of users with at most ``threshold`` interactions.
+
+    The paper argues OUPs hit short sequences hardest; this is the share
+    of users exposed.
+    """
+    lengths = [len(s) for s in dataset.sequences[1:] if s]
+    if not lengths:
+        return 0.0
+    return sum(n <= threshold for n in lengths) / len(lengths)
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of non-negative values (0 = equal, →1 = skewed)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("gini of an empty sequence is undefined")
+    if (arr < 0).any():
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = arr.size
+    index = np.arange(1, n + 1)
+    return float((2 * index - n - 1).dot(arr) / (n * total))
+
+
+def popularity_report(dataset: InteractionDataset,
+                      head_fraction: float = 0.2) -> Dict[str, float]:
+    """Popularity skew: Gini + share of interactions covered by the head."""
+    counts = dataset.item_popularity()[1:]
+    order = np.sort(counts)[::-1]
+    cut = max(1, int(round(head_fraction * len(order))))
+    head_share = order[:cut].sum() / max(order.sum(), 1)
+    return {
+        "gini": round(gini_coefficient(counts), 4),
+        "head_fraction": head_fraction,
+        "head_interaction_share": round(float(head_share), 4),
+        "distinct_items": int((counts > 0).sum()),
+    }
+
+
+def noise_report(dataset: InteractionDataset) -> Dict[str, float]:
+    """Ground-truth noise statistics for synthetic datasets.
+
+    Requires ``metadata['noise_flags']`` as produced by
+    :func:`repro.data.synthetic.generate`.
+    """
+    flags = dataset.metadata.get("noise_flags")
+    if flags is None:
+        raise KeyError("dataset has no ground-truth noise flags")
+    total = sum(len(f) for f in flags)
+    noisy = sum(sum(f) for f in flags)
+    per_user = [sum(f) / len(f) for f in flags[1:] if f]
+    return {
+        "noise_rate": round(noisy / max(total, 1), 4),
+        "users_with_noise": sum(any(f) for f in flags[1:]),
+        "max_user_noise_rate": round(max(per_user, default=0.0), 4),
+    }
+
+
+@dataclass
+class GraphReport:
+    """Connectivity summary of a multi-relation graph."""
+
+    relation_counts: Dict[str, int]
+    mean_degrees: Dict[str, float]
+    transitional_components: int
+    largest_component_fraction: float
+
+
+def graph_report(graph: MultiRelationGraph) -> GraphReport:
+    """Degree and connectivity statistics per relation type."""
+    counts = graph.relation_counts()
+    mean_degrees = {
+        "transitional": _mean_degree(graph.transitional, graph.num_items),
+        "incompatible": _mean_degree(graph.incompatible, graph.num_items),
+        "similar": _mean_degree(graph.similar_users, graph.num_users),
+        "dissimilar": _mean_degree(graph.dissimilar_users, graph.num_users),
+    }
+    # Weak connectivity of the transitional item graph via networkx.
+    nx_graph = nx.from_scipy_sparse_array(
+        graph.transitional[1:, 1:], create_using=nx.DiGraph)
+    undirected = nx_graph.to_undirected()
+    components = list(nx.connected_components(undirected))
+    nonempty = [c for c in components if len(c) > 1]
+    largest = max((len(c) for c in components), default=0)
+    return GraphReport(
+        relation_counts=counts,
+        mean_degrees=mean_degrees,
+        transitional_components=len(nonempty),
+        largest_component_fraction=largest / max(graph.num_items, 1),
+    )
+
+
+def _mean_degree(matrix, num_nodes: int) -> float:
+    if num_nodes == 0:
+        return 0.0
+    return round(matrix.nnz / num_nodes, 3)
+
+
+def compare_datasets(datasets: Dict[str, InteractionDataset]
+                     ) -> List[Tuple[str, Dict[str, float]]]:
+    """Side-by-side shape summary of several datasets (Table II style)."""
+    rows: List[Tuple[str, Dict[str, float]]] = []
+    for name, dataset in datasets.items():
+        stats = dataset.statistics()
+        stats["short_frac(<=10)"] = round(
+            short_sequence_fraction(dataset, 10), 3)
+        stats["pop_gini"] = popularity_report(dataset)["gini"]
+        rows.append((name, stats))
+    return rows

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Table II statistics of all synthetic datasets.
+``train``
+    Train one model (a backbone, a denoiser, or SSDRec) on one dataset
+    profile and report test metrics; optionally save a checkpoint.
+``experiment``
+    Run a named paper experiment (table2..table6, fig1, fig4, fig5).
+``explain``
+    Train SSDRec briefly and print per-user three-stage traces.
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli train --model SSDRec --dataset beauty --epochs 10
+    python -m repro.cli train --model SASRec --dataset ml-100k --save out.npz
+    python -m repro.cli experiment table5 --scale smoke
+    python -m repro.cli explain --dataset ml-100k --users 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from .core import SSDRec
+from .data import generate, leave_one_out_split
+from .denoise import DENOISERS
+from .eval import Evaluator
+from .experiments import SCALES
+from .experiments import (ext_noise_sweep, fig1_oup, fig4_case_study,
+                          fig5_tau, significance_runs, table2_datasets,
+                          table3_backbones, table4_denoisers,
+                          table5_ablation, table6_efficiency)
+from .experiments.common import prepare, ssdrec_config
+from .models import BACKBONES
+from .train import TrainConfig, Trainer, save_checkpoint
+
+EXPERIMENTS = {
+    "table2": table2_datasets,
+    "table3": table3_backbones,
+    "table4": table4_denoisers,
+    "table5": table5_ablation,
+    "table6": table6_efficiency,
+    "fig1": fig1_oup,
+    "fig4": fig4_case_study,
+    "fig5": fig5_tau,
+    "significance": significance_runs,
+    "noise-sweep": ext_noise_sweep,
+}
+
+MODELS = dict(BACKBONES)
+MODELS.update(DENOISERS)
+MODELS["SSDRec"] = SSDRec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SSDRec reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print dataset statistics (Table II)")
+
+    train = sub.add_parser("train", help="train one model on one dataset")
+    train.add_argument("--model", required=True, choices=sorted(MODELS))
+    train.add_argument("--dataset", default="beauty",
+                       choices=["ml-100k", "ml-1m", "beauty", "sports",
+                                "yelp"])
+    train.add_argument("--dim", type=int, default=32)
+    train.add_argument("--max-len", type=int, default=20)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=128)
+    train.add_argument("--lr", type=float, default=1e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--scale", type=float, default=0.5,
+                       help="synthetic dataset size multiplier")
+    train.add_argument("--save", default=None,
+                       help="write a checkpoint (.npz) after training")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", default="quick",
+                            choices=sorted(SCALES))
+    experiment.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser("explain", help="three-stage traces (Fig. 4)")
+    explain.add_argument("--dataset", default="ml-100k")
+    explain.add_argument("--users", type=int, default=3)
+    explain.add_argument("--epochs", type=int, default=8)
+    explain.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_datasets(_args) -> int:
+    from .data import PROFILES
+    print(f"{'profile':<10}{'users':>8}{'items':>8}{'actions':>10}"
+          f"{'avg_len':>9}{'sparsity':>10}")
+    for name in PROFILES:
+        stats = generate(name, seed=0).statistics()
+        print(f"{name:<10}{stats['users']:>8}{stats['items']:>8}"
+              f"{stats['actions']:>10}{stats['avg_len']:>9}"
+              f"{stats['sparsity']:>10}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = generate(args.dataset, seed=args.seed, scale=args.scale)
+    split = leave_one_out_split(dataset, max_len=args.max_len,
+                                augment_prefixes=True)
+    rng = np.random.default_rng(args.seed)
+    if args.model == "SSDRec":
+        from .experiments.config import SCALES as ALL_SCALES
+        scale = ALL_SCALES["quick"]
+        model = SSDRec(dataset,
+                       config=ssdrec_config(scale, args.max_len,
+                                            dim=args.dim),
+                       rng=rng)
+    else:
+        cls = MODELS[args.model]
+        kwargs = dict(num_items=dataset.num_items, dim=args.dim,
+                      max_len=args.max_len, rng=rng)
+        if args.model == "DCRec":
+            kwargs["dataset"] = dataset
+        model = cls(**kwargs)
+    print(f"training {args.model} on {dataset.name} "
+          f"({model.num_parameters():,} parameters)")
+    result = Trainer(model, split,
+                     TrainConfig(epochs=args.epochs,
+                                 batch_size=args.batch_size,
+                                 learning_rate=args.lr, seed=args.seed,
+                                 verbose=True)).fit()
+    metrics = Evaluator(split.test, max_len=args.max_len).evaluate(model)
+    print("test:", {k: round(v, 4) for k, v in metrics.items()})
+    if args.save:
+        path = save_checkpoint(model, args.save,
+                               metadata={"model": args.model,
+                                         "dataset": dataset.name,
+                                         "best_epoch": result.best_epoch})
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    module = EXPERIMENTS[args.name]
+    scale = SCALES[args.scale]
+    result = module.run(scale, seed=args.seed)
+    print(module.render(result))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    scale = SCALES["quick"]
+    prepared = prepare(args.dataset, scale, seed=args.seed)
+    model = SSDRec(prepared.dataset,
+                   config=ssdrec_config(scale, prepared.max_len),
+                   rng=np.random.default_rng(args.seed))
+    Trainer(model, prepared.split,
+            TrainConfig(epochs=args.epochs, batch_size=scale.batch_size,
+                        seed=args.seed)).fit()
+    lengths = [(len(s), u) for u, s in enumerate(prepared.dataset.sequences)
+               if s]
+    for _, user in sorted(lengths, reverse=True)[:args.users]:
+        seq = prepared.dataset.sequences[user]
+        trace = model.explain(seq[:-1], user=user, target=seq[-1])
+        print(f"\nuser {user}: raw={trace['raw_score']:+.3f} "
+              f"augmented={trace.get('augmented_score', float('nan')):+.3f} "
+              f"denoised={trace['denoised_score']:+.3f} "
+              f"removed={trace['removed_items']}")
+    return 0
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "train": cmd_train,
+    "experiment": cmd_experiment,
+    "explain": cmd_explain,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Stage 3: the hierarchical denoising module (Sec. III-E; Eqs. 13-14).
+
+Two levels of refinement:
+
+1. **Augmentation refinement** (Eq. 13): ``f_hdm`` — a fresh
+   :class:`~repro.core.augmentation.InconsistencyScorer` (same position
+   selector as Eqs. 9-10, separate parameters Θ_hdm) — re-scores the
+   *augmented* sequence ``H'_S`` for ``rounds`` iterations, soft-dropping
+   the most inconsistent position each round.  This removes false
+   augmentations introduced by stage 2, yielding ``H''_S``.
+2. **Raw-sequence denoising** (Eq. 14): any pluggable denoiser ``f_den``
+   (HSD's :class:`~repro.denoise.hsd.NoiseGate` by default) pinpoints all
+   remaining noise in the RAW sequence ``H_S``, guided by ``H''_S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Module, TemperatureSchedule, Tensor
+from .augmentation import InconsistencyScorer
+
+
+@dataclass
+class DenoisingResult:
+    """Output of :meth:`HierarchicalDenoising.forward`.
+
+    ``states``/``mask`` form the noiseless sub-sequence ``H^-_S`` (same
+    length as the raw input; dropped positions are zeroed and unmasked);
+    ``keep`` carries the differentiable gate; ``refined_states`` is
+    ``H''_S`` from Eq. 13.
+    """
+
+    states: Tensor
+    mask: np.ndarray
+    keep: Tensor
+    refined_states: Tensor
+    refined_mask: np.ndarray
+
+
+class HierarchicalDenoising(Module):
+    """Refine augmentations, then explicitly denoise the raw sequence."""
+
+    def __init__(self, dim: int, rounds: int = 1, initial_tau: float = 1.0,
+                 gate: str = "hsd",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        self.dim = dim
+        self.rounds = rounds
+        self.rng = rng or np.random.default_rng()
+        self.refiner = InconsistencyScorer(dim, rng=self.rng)   # Θ_hdm
+        # Eq. 14: any intra-sequence denoiser serves as f_den.
+        from .gates import GATES
+        try:
+            gate_cls = GATES[gate]
+        except KeyError:
+            raise KeyError(f"unknown gate {gate!r}; options: {sorted(GATES)}")
+        self.denoiser = gate_cls(dim, rng=self.rng)             # f_den
+        self.temperature = TemperatureSchedule(initial_tau=initial_tau)
+
+    # ------------------------------------------------------------------
+    def refine_augmented(self, aug_states: Tensor,
+                         aug_mask: np.ndarray) -> Tuple[Tensor, np.ndarray]:
+        """Eq. 13: gradually drop the most inconsistent augmented positions."""
+        mask = np.asarray(aug_mask, bool).copy()
+        keep_weight = Tensor(np.ones(mask.shape))
+        states = aug_states
+        for _ in range(self.rounds):
+            if mask.sum(axis=1).min() <= 2:
+                break  # never reduce a sequence below two items
+            one_hot, positions = self.refiner.select(
+                states, mask, self.temperature.tau,
+                deterministic=not self.training)
+            # Straight-through soft drop: zero the chosen position's weight.
+            keep_weight = keep_weight * (1.0 - one_hot)
+            mask = mask & (one_hot.data < 0.5)
+            states = aug_states * keep_weight.expand_dims(-1)
+        return states, mask
+
+    def forward(self, raw_states: Tensor, raw_mask: np.ndarray,
+                aug_states: Optional[Tensor] = None,
+                aug_mask: Optional[np.ndarray] = None) -> DenoisingResult:
+        """Produce the noiseless sub-sequence ``H^-_S`` (Eq. 14).
+
+        Without an augmented sequence (evaluation, or stage-2 disabled),
+        the denoiser runs directly on the raw sequence.
+        """
+        raw_mask = np.asarray(raw_mask, bool)
+        if aug_states is None:
+            refined_states, refined_mask = raw_states, raw_mask
+        else:
+            refined_states, refined_mask = self.refine_augmented(
+                aug_states, aug_mask)
+        keep = self.denoiser(raw_states, raw_mask,
+                             guidance=refined_states,
+                             guidance_mask=refined_mask)
+        keep_mask = (keep.data > 0.5) & raw_mask
+        empty = ~keep_mask.any(axis=1)
+        if empty.any():
+            keep_mask[empty] = raw_mask[empty]
+        states = raw_states * keep.expand_dims(-1)
+        return DenoisingResult(
+            states=states,
+            mask=keep_mask,
+            keep=keep,
+            refined_states=refined_states,
+            refined_mask=refined_mask,
+        )
+
+    def on_batch_end(self) -> None:
+        self.temperature.step()
+        self.denoiser.on_batch_end()

@@ -1,0 +1,25 @@
+"""``repro.data`` — interaction datasets, splits, batching, and noise tooling."""
+
+from .batching import (Batch, BucketedDataLoader, DataLoader,
+                       NegativeSampler, pad_sequences)
+from .dataset import (PAD_ID, InteractionDataset, SequenceExample,
+                      SequenceSplit, leave_one_out_split)
+from .io import load_dataset, save_dataset
+from .loaders import load_amazon_csv, load_yelp_json
+from .movielens import find_local_ml100k, load_ml100k
+from .noise import NoisyDataset, OUPResult, inject_noise, score_denoising
+from .preprocessing import k_core_filter, popularity_split, remap_ids
+from .synthetic import PROFILES, SyntheticProfile, all_datasets, generate
+
+__all__ = [
+    "PAD_ID", "InteractionDataset", "SequenceExample", "SequenceSplit",
+    "leave_one_out_split",
+    "Batch", "DataLoader", "BucketedDataLoader", "NegativeSampler",
+    "pad_sequences",
+    "k_core_filter", "popularity_split", "remap_ids",
+    "PROFILES", "SyntheticProfile", "generate", "all_datasets",
+    "NoisyDataset", "OUPResult", "inject_noise", "score_denoising",
+    "load_ml100k", "find_local_ml100k",
+    "load_amazon_csv", "load_yelp_json",
+    "save_dataset", "load_dataset",
+]

@@ -1,0 +1,188 @@
+"""Batching: padding, data loading, negative sampling.
+
+Sequences are left-padded with ``PAD_ID`` (0) so the most recent item is
+always at the last position, matching the convention of SASRec-style
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .dataset import PAD_ID, SequenceExample
+
+
+@dataclass
+class Batch:
+    """A padded mini-batch of sequence examples.
+
+    Attributes
+    ----------
+    users:
+        (B,) user ids.
+    items:
+        (B, L) left-padded item ids.
+    mask:
+        (B, L) boolean validity mask (True at real items).
+    lengths:
+        (B,) true sequence lengths.
+    targets:
+        (B,) next-item ids.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    mask: np.ndarray
+    lengths: np.ndarray
+    targets: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.users)
+
+    @property
+    def max_len(self) -> int:
+        return self.items.shape[1]
+
+
+def pad_sequences(sequences: Sequence[Sequence[int]],
+                  max_len: Optional[int] = None) -> tuple:
+    """Left-pad variable-length sequences into a dense id matrix.
+
+    Returns ``(items, mask, lengths)``; sequences longer than ``max_len``
+    keep their most recent items.
+    """
+    if not sequences:
+        raise ValueError("cannot pad an empty list of sequences")
+    lengths = np.array([min(len(s), max_len) if max_len else len(s)
+                        for s in sequences], dtype=np.int64)
+    width = max_len or int(lengths.max())
+    items = np.full((len(sequences), width), PAD_ID, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        tail = list(seq)[-width:]
+        if tail:
+            items[row, width - len(tail):] = tail
+    mask = items != PAD_ID
+    return items, mask, lengths
+
+
+class DataLoader:
+    """Iterate over :class:`SequenceExample` lists in shuffled mini-batches."""
+
+    def __init__(self, examples: List[SequenceExample], batch_size: int = 256,
+                 max_len: Optional[int] = None, shuffle: bool = True,
+                 seed: int = 0, drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.examples = list(examples)
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.examples)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.examples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            chunk = [self.examples[i] for i in idx]
+            items, mask, lengths = pad_sequences(
+                [ex.sequence for ex in chunk], self.max_len)
+            yield Batch(
+                users=np.array([ex.user for ex in chunk], dtype=np.int64),
+                items=items,
+                mask=mask,
+                lengths=lengths,
+                targets=np.array([ex.target for ex in chunk], dtype=np.int64),
+            )
+
+
+class BucketedDataLoader(DataLoader):
+    """DataLoader that groups examples of similar length into batches.
+
+    Left padding wastes computation when short and long sequences share a
+    batch (every model step runs over the padded width).  Bucketing sorts
+    examples by length, slices batches from the sorted order, and shuffles
+    only the batch order — cutting padded positions substantially on
+    datasets with skewed length distributions, at the cost of slightly
+    less randomness within batches.
+
+    Batches are padded to their own longest sequence (``max_len`` still
+    caps the width).
+    """
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.argsort([len(ex.sequence) for ex in self.examples],
+                           kind="stable")
+        starts = list(range(0, len(order), self.batch_size))
+        if self.shuffle:
+            self._rng.shuffle(starts)
+        for start in starts:
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                continue
+            chunk = [self.examples[i] for i in idx]
+            longest = max(len(ex.sequence) for ex in chunk)
+            width = min(longest, self.max_len) if self.max_len else longest
+            items, mask, lengths = pad_sequences(
+                [ex.sequence for ex in chunk], max_len=width)
+            yield Batch(
+                users=np.array([ex.user for ex in chunk], dtype=np.int64),
+                items=items,
+                mask=mask,
+                lengths=lengths,
+                targets=np.array([ex.target for ex in chunk],
+                                 dtype=np.int64),
+            )
+
+
+class NegativeSampler:
+    """Uniform negative sampling excluding each example's positive items."""
+
+    def __init__(self, num_items: int, seed: int = 0):
+        if num_items < 2:
+            raise ValueError("need at least 2 items to sample negatives")
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, positives: Sequence[int], count: int = 1) -> np.ndarray:
+        """Draw ``count`` item ids not present in ``positives``."""
+        forbidden = set(int(p) for p in positives)
+        if len(forbidden) >= self.num_items:
+            raise ValueError("no negatives available: all items are positive")
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = self._rng.integers(1, self.num_items + 1,
+                                      size=(count - filled) * 2)
+            for candidate in draw:
+                if candidate not in forbidden:
+                    out[filled] = candidate
+                    filled += 1
+                    if filled == count:
+                        break
+        return out
+
+    def sample_batch(self, targets: np.ndarray) -> np.ndarray:
+        """One negative per target, vectorized (negatives != targets)."""
+        targets = np.asarray(targets)
+        neg = self._rng.integers(1, self.num_items + 1, size=len(targets))
+        clash = neg == targets
+        while clash.any():
+            neg[clash] = self._rng.integers(1, self.num_items + 1,
+                                            size=int(clash.sum()))
+            clash = neg == targets
+        return neg

@@ -1,0 +1,188 @@
+"""Dataset containers for user-item interaction data.
+
+Two central classes:
+
+* :class:`InteractionDataset` — raw (user, item, timestamp) interactions
+  with derived per-user temporal sequences and the interaction matrix ``A``
+  (Sec. II, "User-Item Interaction Data").
+* :class:`SequenceSplit` — the leave-one-out train/valid/test view used by
+  every experiment (Sec. IV-A1).
+
+Item and user ids are contiguous integers starting at 1; id 0 is reserved
+for padding everywhere in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+PAD_ID = 0
+
+
+@dataclass
+class InteractionDataset:
+    """Raw sequential interaction data.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"ml-100k-synth"``).
+    num_users, num_items:
+        Counts excluding the padding id; valid ids are ``1..num_users`` and
+        ``1..num_items``.
+    sequences:
+        ``sequences[u]`` is user ``u``'s temporally ordered item list.
+        Indexed by user id (entry 0 is an empty placeholder).
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    sequences: List[List[int]]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.sequences) != self.num_users + 1:
+            raise ValueError(
+                f"sequences must have num_users+1 entries "
+                f"({self.num_users + 1}), got {len(self.sequences)}")
+        for u, seq in enumerate(self.sequences[1:], start=1):
+            for item in seq:
+                if not 1 <= item <= self.num_items:
+                    raise ValueError(
+                        f"user {u} has out-of-range item {item} "
+                        f"(num_items={self.num_items})")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_interactions(self) -> int:
+        return sum(len(s) for s in self.sequences)
+
+    @property
+    def avg_sequence_length(self) -> float:
+        lens = [len(s) for s in self.sequences[1:] if s]
+        return float(np.mean(lens)) if lens else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of the user-item matrix that is empty (paper Table II)."""
+        total = self.num_users * self.num_items
+        if total == 0:
+            return 1.0
+        distinct = sum(len(set(s)) for s in self.sequences[1:])
+        return 1.0 - distinct / total
+
+    def interaction_matrix(self) -> sparse.csr_matrix:
+        """Matrix ``A`` with A[u, v] = number of times u interacted with v.
+
+        Shape ``(num_users + 1, num_items + 1)`` so ids index directly.
+        """
+        rows, cols = [], []
+        for u, seq in enumerate(self.sequences):
+            rows.extend([u] * len(seq))
+            cols.extend(seq)
+        data = np.ones(len(rows))
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(self.num_users + 1, self.num_items + 1))
+
+    def item_popularity(self) -> np.ndarray:
+        """Interaction count per item id (index 0 is always 0)."""
+        counts = np.zeros(self.num_items + 1, dtype=np.int64)
+        for seq in self.sequences:
+            for item in seq:
+                counts[item] += 1
+        return counts
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary row matching the columns of the paper's Table II."""
+        return {
+            "users": self.num_users,
+            "items": self.num_items,
+            "actions": self.num_interactions,
+            "avg_len": round(self.avg_sequence_length, 1),
+            "sparsity": round(self.sparsity, 4),
+        }
+
+
+@dataclass
+class SequenceExample:
+    """One training/evaluation example: predict ``target`` from ``sequence``."""
+
+    user: int
+    sequence: List[int]
+    target: int
+
+
+@dataclass
+class SequenceSplit:
+    """Leave-one-out split of an :class:`InteractionDataset`.
+
+    For each user with a sequence of length n (n >= 3):
+
+    * test: predict item n from items 1..n-1
+    * valid: predict item n-1 from items 1..n-2
+    * train: predict item n-2 from items 1..n-3 (plus optional intermediate
+      prefixes when ``augment_prefixes`` was requested at build time)
+    """
+
+    dataset: InteractionDataset
+    train: List[SequenceExample]
+    valid: List[SequenceExample]
+    test: List[SequenceExample]
+    max_len: int
+
+    @property
+    def num_items(self) -> int:
+        return self.dataset.num_items
+
+    @property
+    def num_users(self) -> int:
+        return self.dataset.num_users
+
+
+def leave_one_out_split(dataset: InteractionDataset, max_len: int = 50,
+                        augment_prefixes: bool = False,
+                        min_length: int = 3) -> SequenceSplit:
+    """Build the leave-one-out split used throughout the paper.
+
+    Parameters
+    ----------
+    max_len:
+        Sequences are truncated to their most recent ``max_len`` items
+        (the paper uses 200 for ML-1M and 50 elsewhere).
+    augment_prefixes:
+        If True, every prefix of the training portion becomes an additional
+        training example (standard RecBole-style augmentation).
+    min_length:
+        Users with fewer interactions are skipped entirely.
+    """
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    train: List[SequenceExample] = []
+    valid: List[SequenceExample] = []
+    test: List[SequenceExample] = []
+    for user in range(1, dataset.num_users + 1):
+        seq = dataset.sequences[user]
+        if len(seq) < min_length:
+            continue
+        test.append(SequenceExample(user, _truncate(seq[:-1], max_len), seq[-1]))
+        valid.append(SequenceExample(user, _truncate(seq[:-2], max_len), seq[-2]))
+        train_hist = seq[:-2]
+        if len(train_hist) >= 2:
+            train.append(SequenceExample(
+                user, _truncate(train_hist[:-1], max_len), train_hist[-1]))
+            if augment_prefixes:
+                for cut in range(1, len(train_hist) - 1):
+                    train.append(SequenceExample(
+                        user, _truncate(train_hist[:cut], max_len),
+                        train_hist[cut]))
+    return SequenceSplit(dataset, train, valid, test, max_len)
+
+
+def _truncate(seq: Sequence[int], max_len: int) -> List[int]:
+    return list(seq[-max_len:])

@@ -1,0 +1,82 @@
+"""Dataset serialization: save/load :class:`InteractionDataset` to ``.npz``.
+
+Synthetic generation and k-core filtering are deterministic but not free;
+persisting prepared datasets lets experiment pipelines and notebooks skip
+re-generation.  The format stores sequences as one flat id array plus
+offsets (ragged-array encoding) and JSON metadata — no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from .dataset import InteractionDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` (.npz)."""
+    path = Path(path)
+    flat: List[int] = []
+    offsets = [0]
+    for seq in dataset.sequences:
+        flat.extend(seq)
+        offsets.append(len(flat))
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "metadata": _jsonable(dataset.metadata),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        items=np.asarray(flat, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> InteractionDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format {meta['format_version']}")
+        flat = archive["items"]
+        offsets = archive["offsets"]
+    sequences = [flat[lo:hi].tolist()
+                 for lo, hi in zip(offsets, offsets[1:])]
+    return InteractionDataset(
+        name=meta["name"],
+        num_users=meta["num_users"],
+        num_items=meta["num_items"],
+        sequences=sequences,
+        metadata=meta["metadata"],
+    )
+
+
+def _jsonable(value):
+    """Recursively convert numpy containers to plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value

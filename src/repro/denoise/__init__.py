@@ -1,0 +1,22 @@
+"""``repro.denoise`` — sequence denoising baselines (Table IV)."""
+
+from typing import Dict, Type
+
+from .base import SequenceDenoiser
+from .dcrec import DCRec
+from .dsan import DSAN
+from .fmlprec import FMLPRec
+from .hsd import HSD, NoiseGate
+from .steam import STEAM
+
+#: Registry used by experiment runners (SSDRec is added by repro.core).
+DENOISERS: Dict[str, Type[SequenceDenoiser]] = {
+    "DSAN": DSAN,
+    "FMLP-Rec": FMLPRec,
+    "HSD": HSD,
+    "STEAM": STEAM,
+    "DCRec": DCRec,
+}
+
+__all__ = ["SequenceDenoiser", "FMLPRec", "DSAN", "HSD", "NoiseGate",
+           "STEAM", "DCRec", "DENOISERS"]

@@ -1,0 +1,79 @@
+"""Shared interface of sequence denoisers (Table IV baselines and SSDRec).
+
+A denoiser wraps (or *is*) a recommender and exposes:
+
+* ``forward(items, mask) -> logits`` — full-ranking scores, used by the
+  shared :class:`~repro.eval.evaluator.Evaluator`;
+* ``loss(batch)`` — end-to-end training objective;
+* :meth:`SequenceDenoiser.keep_decisions` — per-sequence keep/drop
+  decisions at the *item level*, used by the OUP experiment (Fig. 1) and
+  the case study (Fig. 4).  Implicit denoisers keep everything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.batching import Batch, pad_sequences
+from ..nn import Module, Tensor, no_grad
+
+
+class SequenceDenoiser(Module):
+    """Base class; subclasses must implement forward/loss."""
+
+    #: True for methods that physically remove items (HSD, STEAM, DSAN,
+    #: SSDRec); False for representation-level methods (FMLP-Rec, DCRec).
+    explicit = True
+
+    def forward(self, items: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        raise NotImplementedError
+
+    def loss(self, batch: Batch) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def keep_mask(self, items: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Boolean (B, L): True where the denoiser keeps the item.
+
+        Default: keep every valid position (implicit denoising).
+        Explicit denoisers override this.
+        """
+        return np.asarray(mask, dtype=bool)
+
+    def keep_decisions(self, sequences: List[List[int]],
+                       batch_size: int = 256) -> Dict[int, List[int]]:
+        """Kept positions per 1-indexed sequence id (Fig. 1 protocol).
+
+        ``sequences`` is a list of raw item-id lists; the returned mapping
+        uses ``i + 1`` as the key of ``sequences[i]`` to match the
+        user-id convention of :func:`repro.data.noise.score_denoising`.
+        """
+        decisions: Dict[int, List[int]] = {}
+        capacity = getattr(self, "max_len", None)
+        self.eval()
+        with no_grad():
+            for start in range(0, len(sequences), batch_size):
+                chunk = sequences[start:start + batch_size]
+                items, mask, lengths = pad_sequences(chunk, max_len=capacity)
+                keep = self.keep_mask(items, mask)
+                width = items.shape[1]
+                for row, seq in enumerate(chunk):
+                    tail = min(len(seq), width)
+                    offset = width - tail          # left padding
+                    head = len(seq) - tail         # truncated prefix: kept
+                    decisions[start + row + 1] = list(range(head)) + [
+                        head + pos for pos in range(tail)
+                        if keep[row, offset + pos]
+                    ]
+        return decisions
+
+    def dropped_ratio(self, sequences: List[List[int]]) -> float:
+        """Fraction of interactions removed across ``sequences`` (Sec. IV-E)."""
+        total = sum(len(s) for s in sequences)
+        if total == 0:
+            return 0.0
+        kept = sum(len(v) for v in self.keep_decisions(sequences).values())
+        return 1.0 - kept / total

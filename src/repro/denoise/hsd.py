@@ -1,0 +1,201 @@
+"""HSD (Zhang et al., CIKM 2022): hierarchical item-inconsistency signals.
+
+HSD learns two self-supervised noise signals per position:
+
+* a **sequentiality** (item-level) signal — how consistent the item is
+  with its local sequential context (a GRU over the sequence), and
+* a **user-interest** (sequence-level) signal — how similar the item is
+  to the user's general interest (the sequence's masked mean, or an
+  external guidance representation when HSD runs as SSDRec's stage-3
+  denoiser, Eq. 14).
+
+Their combination yields per-position keep/drop decisions through a
+binary Gumbel-Softmax (straight-through), producing a noiseless
+sub-sequence that feeds a downstream recommender (BERT4Rec in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.dataset import PAD_ID
+from ..models.base import SequentialRecommender
+from ..models.bert4rec import BERT4Rec
+from ..nn import (GRU, Dropout, Linear, Module, Tensor, TemperatureSchedule,
+                  no_grad)
+from ..nn import functional as F
+from ..nn.gumbel import gumbel_sigmoid
+from ..nn.module import Parameter
+from .base import SequenceDenoiser
+
+
+class NoiseGate(Module):
+    """The reusable keep/drop gate at the heart of HSD.
+
+    ``forward`` maps an item representation sequence to a straight-through
+    binary keep gate: 1 keeps the item, 0 drops it.  Two consistency
+    signals — sequentiality (item vs local GRU context) and user interest
+    (item vs sequence/guidance mean) — are **standardized within each
+    sequence** so the gate discriminates the *relatively* most
+    inconsistent items, then combined into a keep logit whose bias term
+    learns the base drop rate.  A binary-concrete (Gumbel-sigmoid)
+    relaxation keeps everything differentiable; at evaluation the gate is
+    the deterministic threshold ``keep_logit > 0``.
+    """
+
+    def __init__(self, dim: int, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.dim = dim
+        self.rng = rng or np.random.default_rng()
+        self.context_gru = GRU(dim, dim, rng=self.rng)
+        self.seq_score = Linear(dim, 1, rng=self.rng)
+        self.interest_proj = Linear(dim, dim, bias=False, rng=self.rng)
+        # keep_logit = w_seq * z_seq + w_user * z_user + bias; positive
+        # weights mean "consistent items are kept"; the bias is the prior
+        # log-odds of keeping (starts clearly positive: keep by default).
+        self.signal_weights = Parameter(np.array([1.0, 1.0]))
+        self.keep_bias = Parameter(np.array([1.5]))
+        self.dropout = Dropout(dropout, rng=self.rng)
+        self.temperature = TemperatureSchedule(initial_tau=1.0)
+
+    def signals(self, states: Tensor, mask: np.ndarray,
+                guidance: Optional[Tensor] = None,
+                guidance_mask: Optional[np.ndarray] = None
+                ) -> Tuple[Tensor, Tensor]:
+        """Return (sequentiality, user-interest) consistency energies, (B, L).
+
+        Both are standardized over each sequence's valid positions: the
+        output says how consistent each item is *relative to its own
+        sequence*, which is exactly HSD's inconsistency notion.
+        """
+        mask = np.asarray(mask, bool)
+        context, _ = self.context_gru(self.dropout(states))
+        seq_energy = self.seq_score(states * context).squeeze(-1)
+        if guidance is not None:
+            gmask = np.asarray(
+                guidance_mask if guidance_mask is not None
+                else np.ones(guidance.shape[:2], dtype=bool), bool)
+            weights = gmask.astype(np.float64)
+            denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+            interest = (guidance * Tensor(weights[:, :, None])).sum(axis=1) \
+                / Tensor(denom)
+        else:
+            weights = mask.astype(np.float64)
+            denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+            interest = (states * Tensor(weights[:, :, None])).sum(axis=1) \
+                / Tensor(denom)
+        projected = self.interest_proj(interest)  # (B, d)
+        user_energy = ((states * projected.expand_dims(1)).sum(axis=-1)
+                       * (1.0 / np.sqrt(self.dim)))
+        return (_standardize(seq_energy, mask),
+                _standardize(user_energy, mask))
+
+    def keep_logits(self, states: Tensor, mask: np.ndarray,
+                    guidance: Optional[Tensor] = None,
+                    guidance_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Per-position keep log-odds, (B, L)."""
+        seq_signal, user_signal = self.signals(states, mask, guidance,
+                                               guidance_mask)
+        return (seq_signal * self.signal_weights[0]
+                + user_signal * self.signal_weights[1]
+                + self.keep_bias)
+
+    def forward(self, states: Tensor, mask: np.ndarray,
+                guidance: Optional[Tensor] = None,
+                guidance_mask: Optional[np.ndarray] = None,
+                hard: bool = True) -> Tensor:
+        """Keep gate (B, L): straight-through binary during training."""
+        mask = np.asarray(mask, bool)
+        logits = self.keep_logits(states, mask, guidance, guidance_mask)
+        keep = gumbel_sigmoid(logits, tau=self.temperature.tau, hard=hard,
+                              rng=self.rng, deterministic=not self.training)
+        # Padding positions are never "kept" (they stay masked anyway).
+        return keep * Tensor(mask.astype(np.float64))
+
+    def on_batch_end(self) -> None:
+        self.temperature.step()
+
+
+def _standardize(energy: Tensor, mask: np.ndarray) -> Tensor:
+    """Z-score over each row's valid positions (invalid entries get 0)."""
+    valid = Tensor(np.asarray(mask, np.float64))
+    counts = np.maximum(np.asarray(mask, bool).sum(axis=1, keepdims=True), 1)
+    counts_t = Tensor(counts.astype(np.float64))
+    mean = (energy * valid).sum(axis=1, keepdims=True) / counts_t
+    centered = (energy - mean) * valid
+    var = (centered * centered).sum(axis=1, keepdims=True) / counts_t
+    return centered / (var + 1e-8).sqrt()
+
+
+class HSD(SequenceDenoiser):
+    """HSD with a pluggable backbone (BERT4Rec by default, as in the paper).
+
+    The backbone consumes the gated representation sequence: dropped
+    positions are zeroed and removed from the attention mask, which is the
+    embedding-space equivalent of deleting them from the sub-sequence.
+    """
+
+    explicit = True
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 50,
+                 backbone_cls: Type[SequentialRecommender] = BERT4Rec,
+                 drop_penalty: float = 1.0, target_drop_rate: float = 0.2,
+                 dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_items = num_items
+        self.dim = dim
+        self.max_len = max_len
+        self.rng = rng or np.random.default_rng()
+        self.backbone = backbone_cls(num_items=num_items, dim=dim,
+                                     max_len=max_len, rng=self.rng)
+        self.gate = NoiseGate(dim, dropout=dropout, rng=self.rng)
+        self.drop_penalty = drop_penalty
+        self.target_drop_rate = target_drop_rate
+
+    # ------------------------------------------------------------------
+    def _denoise(self, items: np.ndarray, mask: np.ndarray) -> tuple:
+        states = self.backbone.embed_items(items)
+        keep = self.gate(states, mask)
+        gated = states * keep.expand_dims(-1)
+        keep_mask = (keep.data > 0.5) & np.asarray(mask, bool)
+        # Never hand the backbone an entirely-empty sequence.
+        empty = ~keep_mask.any(axis=1)
+        if empty.any():
+            keep_mask[empty] = np.asarray(mask, bool)[empty]
+        return gated, keep_mask, keep
+
+    def forward(self, items: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        items = np.asarray(items)
+        if mask is None:
+            mask = items != PAD_ID
+        gated, keep_mask, _ = self._denoise(items, mask)
+        rep = self.backbone.encode_states(gated, keep_mask)
+        return self.backbone.score(rep)
+
+    def loss(self, batch: Batch) -> Tensor:
+        gated, keep_mask, keep = self._denoise(batch.items, batch.mask)
+        rep = self.backbone.encode_states(gated, keep_mask)
+        rec_loss = F.cross_entropy(self.backbone.score(rep), batch.targets)
+        # Rate-targeting regularizer: without noise labels, the expected
+        # noise fraction acts as a prior so the gate neither freezes (drop
+        # nothing) nor collapses (drop everything).  The denoised sub-
+        # sequences the paper reports drop 23-39% of interactions.
+        valid = Tensor(np.asarray(batch.mask, np.float64))
+        drop_frac = ((1.0 - keep) * valid).sum() / max(valid.data.sum(), 1.0)
+        gap = drop_frac - self.target_drop_rate
+        return rec_loss + self.drop_penalty * gap * gap
+
+    def on_batch_end(self) -> None:
+        self.gate.on_batch_end()
+
+    # ------------------------------------------------------------------
+    def keep_mask(self, items: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        with no_grad():
+            _, keep_mask, _ = self._denoise(np.asarray(items), mask)
+        return keep_mask

@@ -1,0 +1,51 @@
+"""Full-ranking evaluation over a :class:`~repro.data.dataset.SequenceSplit`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.batching import DataLoader
+from ..data.dataset import SequenceExample
+from ..nn import no_grad
+from .metrics import metric_report, ranks_from_scores
+
+
+class Evaluator:
+    """Evaluate any model exposing ``forward(items, mask) -> logits``.
+
+    Models are put in eval mode, run without gradient tracking, and scored
+    by full ranking against the entire item universe.
+    """
+
+    def __init__(self, examples: List[SequenceExample], batch_size: int = 256,
+                 max_len: Optional[int] = None,
+                 ks: Sequence[int] = (5, 10, 20)):
+        if not examples:
+            raise ValueError("evaluator needs at least one example")
+        self.loader = DataLoader(examples, batch_size=batch_size,
+                                 max_len=max_len, shuffle=False)
+        self.ks = tuple(ks)
+
+    def ranks(self, model) -> np.ndarray:
+        """Target ranks for every example (order matches the example list)."""
+        was_training = getattr(model, "training", False)
+        model.eval()
+        all_ranks: List[np.ndarray] = []
+        with no_grad():
+            for batch in self.loader:
+                batch_forward = getattr(model, "forward_batch", None)
+                if batch_forward is not None:
+                    logits = batch_forward(batch)
+                else:
+                    logits = model.forward(batch.items, batch.mask)
+                scores = logits.data[:, :]
+                all_ranks.append(ranks_from_scores(scores, batch.targets))
+        if was_training:
+            model.train()
+        return np.concatenate(all_ranks)
+
+    def evaluate(self, model) -> Dict[str, float]:
+        """Full metric block (HR/N@K + MRR) on the held-out examples."""
+        return metric_report(self.ranks(model), self.ks)

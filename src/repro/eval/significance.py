@@ -1,0 +1,73 @@
+"""Statistical significance testing (two-sided t-tests, Sec. IV-B).
+
+The paper reports all improvements significant with p < 0.05 under
+two-sided t-tests.  We implement Welch's t-test from scratch (cross-checked
+against scipy in the test suite) plus a paired variant operating on
+per-user reciprocal ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass
+class TTestResult:
+    """Outcome of a two-sided t-test."""
+
+    statistic: float
+    p_value: float
+    degrees_of_freedom: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def welch_t_test(sample_a: Sequence[float],
+                 sample_b: Sequence[float]) -> TTestResult:
+    """Two-sided Welch's t-test for unequal variances."""
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("each sample needs at least 2 observations")
+    var_a, var_b = a.var(ddof=1), b.var(ddof=1)
+    na, nb = len(a), len(b)
+    se = np.sqrt(var_a / na + var_b / nb)
+    if se == 0:
+        return TTestResult(0.0, 1.0, float(na + nb - 2))
+    t = (a.mean() - b.mean()) / se
+    df_num = (var_a / na + var_b / nb) ** 2
+    df_den = (var_a / na) ** 2 / (na - 1) + (var_b / nb) ** 2 / (nb - 1)
+    df = df_num / df_den if df_den > 0 else float(na + nb - 2)
+    p = 2.0 * scipy_stats.t.sf(abs(t), df)
+    return TTestResult(float(t), float(p), float(df))
+
+
+def paired_t_test(sample_a: Sequence[float],
+                  sample_b: Sequence[float]) -> TTestResult:
+    """Two-sided paired t-test (same users under two models)."""
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least 2 pairs")
+    diff = a - b
+    sd = diff.std(ddof=1)
+    if sd == 0:
+        return TTestResult(0.0, 1.0, float(len(a) - 1))
+    t = diff.mean() / (sd / np.sqrt(len(diff)))
+    df = len(diff) - 1
+    p = 2.0 * scipy_stats.t.sf(abs(t), df)
+    return TTestResult(float(t), float(p), float(df))
+
+
+def compare_rank_lists(ranks_ours: np.ndarray,
+                       ranks_baseline: np.ndarray) -> TTestResult:
+    """Paired test on per-user reciprocal ranks of two models."""
+    return paired_t_test(1.0 / np.asarray(ranks_ours, dtype=np.float64),
+                         1.0 / np.asarray(ranks_baseline, dtype=np.float64))

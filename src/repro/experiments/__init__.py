@@ -1,0 +1,32 @@
+"""``repro.experiments`` — runners regenerating every table and figure.
+
+| Paper artifact | Module |
+|---|---|
+| Table II (dataset statistics) | :mod:`.table2_datasets` |
+| Table III (backbones w/ vs w/o SSDRec) | :mod:`.table3_backbones` |
+| Table IV (vs denoising baselines) | :mod:`.table4_denoisers` |
+| Table V (stage ablation) | :mod:`.table5_ablation` |
+| Table VI (efficiency) | :mod:`.table6_efficiency` |
+| Fig. 1 (OUP ratios) | :mod:`.fig1_oup` |
+| Fig. 4 + Sec. IV-E (case study, drop ratios) | :mod:`.fig4_case_study` |
+| Fig. 5 (tau sensitivity) | :mod:`.fig5_tau` |
+
+Every runner exposes ``run(scale=None, seed=0) -> dict`` and
+``render(result) -> str``; the scale defaults to the ``REPRO_SCALE``
+environment variable (smoke / quick / full).
+"""
+
+from . import (ext_noise_sweep, fig1_oup, fig4_case_study, fig5_tau,
+               significance_runs, table2_datasets, table3_backbones,
+               table4_denoisers, table5_ablation, table6_efficiency)
+from .config import SCALES, Scale, default_scale, max_len_for
+from .common import prepare, train_and_evaluate
+
+__all__ = [
+    "Scale", "SCALES", "default_scale", "max_len_for",
+    "prepare", "train_and_evaluate",
+    "table2_datasets", "table3_backbones", "table4_denoisers",
+    "table5_ablation", "table6_efficiency",
+    "fig1_oup", "fig4_case_study", "fig5_tau",
+    "significance_runs", "ext_noise_sweep",
+]

@@ -1,0 +1,66 @@
+"""Experiment scales and shared experiment configuration.
+
+Every experiment runner accepts a :class:`Scale` controlling dataset size,
+model dimension, and training epochs, so the same code serves CI smoke
+tests (``smoke``), the default benchmark harness (``quick``), and longer
+reproductions (``full``).  The active default comes from the
+``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs shared by all experiment runners."""
+
+    name: str
+    dataset_scale: float     # multiplier on synthetic profile sizes
+    dim: int
+    epochs: int
+    batch_size: int
+    max_len_short: int       # cap for Amazon/Yelp-like datasets
+    max_len_long: int        # cap for MovieLens-like datasets
+    datasets: Tuple[str, ...]
+    augment_prefixes: bool = True
+    patience: int = 5
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke", dataset_scale=0.25, dim=16, epochs=2, batch_size=64,
+        max_len_short=10, max_len_long=16,
+        datasets=("beauty",), augment_prefixes=False, patience=2),
+    "quick": Scale(
+        name="quick", dataset_scale=0.7, dim=16, epochs=12, batch_size=128,
+        max_len_short=12, max_len_long=20,
+        datasets=("ml-100k", "beauty"), patience=4),
+    "full": Scale(
+        name="full", dataset_scale=1.0, dim=32, epochs=25, batch_size=128,
+        max_len_short=20, max_len_long=40,
+        datasets=("ml-100k", "ml-1m", "beauty", "sports", "yelp"),
+        patience=5),
+}
+
+LONG_SEQUENCE_PROFILES = {"ml-100k", "ml-1m"}
+
+
+def default_scale() -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (defaults to ``quick``)."""
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown REPRO_SCALE={name!r}; options: {sorted(SCALES)}")
+
+
+def max_len_for(profile: str, scale: Scale) -> int:
+    """The paper caps ML-1M at 200 and others at 50; we scale accordingly."""
+    if profile in LONG_SEQUENCE_PROFILES:
+        return scale.max_len_long
+    return scale.max_len_short

@@ -1,0 +1,96 @@
+"""Figure 1 — over-/under-denoising problems (OUPs) of denoising methods.
+
+Protocol (Sec. I, Fig. 1): insert unobserved items as noise into raw short
+sequences, train each explicit denoiser on the noisy data, then measure
+
+* **under-denoising ratio** — inserted noise the method KEPT, and
+* **over-denoising ratio** — raw items the method DROPPED.
+
+The paper shows HSD and STEAM both suffer OUPs; SSDRec's self-augmentation
+is designed to reduce both ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import SSDRec
+from ..data import inject_noise, leave_one_out_split, score_denoising
+from ..data.synthetic import generate
+from ..denoise import HSD, STEAM
+from ..train import TrainConfig, Trainer
+from .common import ssdrec_config
+from .config import Scale, default_scale, max_len_for
+
+METHODS = ("HSD", "STEAM", "SSDRec")
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0,
+        profile: str = "ml-100k", noise_ratio: float = 0.2,
+        methods: Sequence[str] = METHODS) -> Dict[str, dict]:
+    """Train each method on noise-injected data and score OUP ratios."""
+    scale = scale or default_scale()
+    clean = generate(profile, seed=seed, scale=scale.dataset_scale)
+    noisy = inject_noise(clean, ratio=noise_ratio, seed=seed)
+    max_len = max_len_for(profile, scale)
+    split = leave_one_out_split(noisy.dataset, max_len=max_len,
+                                augment_prefixes=scale.augment_prefixes)
+    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
+                         patience=scale.patience, seed=seed)
+    results: Dict[str, dict] = {}
+    for name in methods:
+        rng = np.random.default_rng(seed)
+        if name == "HSD":
+            model = HSD(num_items=noisy.dataset.num_items, dim=scale.dim,
+                        max_len=max_len, rng=rng)
+        elif name == "STEAM":
+            model = STEAM(num_items=noisy.dataset.num_items, dim=scale.dim,
+                          max_len=max_len, rng=rng)
+        elif name == "SSDRec":
+            model = SSDRec(noisy.dataset,
+                           config=ssdrec_config(scale, max_len),
+                           rng=rng)
+        else:
+            raise KeyError(f"unknown method {name!r}")
+        Trainer(model, split, config).fit()
+        decisions = model.keep_decisions(noisy.dataset.sequences[1:])
+        oup = score_denoising(noisy, decisions)
+        results[name] = {
+            "under_denoising": oup.under_denoising,
+            "over_denoising": oup.over_denoising,
+            "kept_noise": oup.kept_noise,
+            "total_noise": oup.total_noise,
+            "dropped_raw": oup.dropped_raw,
+            "total_raw": oup.total_raw,
+        }
+    return results
+
+
+def render(results: Dict[str, dict]) -> str:
+    from ..viz import grouped_bar_chart
+    lines: List[str] = [
+        "Fig. 1 — over-/under-denoising ratios (lower is better)",
+        f"{'method':<10}{'under-denoise':>15}{'over-denoise':>15}",
+    ]
+    for name, row in results.items():
+        lines.append(f"{name:<10}{row['under_denoising']:>15.3f}"
+                     f"{row['over_denoising']:>15.3f}")
+    lines.append(grouped_bar_chart({
+        "under-denoising": {n: r["under_denoising"]
+                            for n, r in results.items()},
+        "over-denoising": {n: r["over_denoising"]
+                           for n, r in results.items()},
+    }))
+    lines.append("(paper: HSD and STEAM both exhibit substantial OUPs; "
+                 "SSDRec reduces them)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Figure 4 + Sec. IV-E — case study and dropped-interaction ratios.
+
+Trains SSDRec and HSD on the ML-100K stand-in, then traces a single user
+through the three stages: the raw sequence's score for the true next item,
+the score after self-augmentation, and the score after hierarchical
+denoising (paper: -0.96 -> -0.95 -> 0.89, vs HSD's 0.56).  Also reports
+the fraction of interactions each model drops per dataset (paper:
+24.22% / 25.10% / 26.28% / 22.96% / 39.41%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import SSDRec
+from ..denoise import HSD
+from ..train import TrainConfig, Trainer
+from .common import prepare, ssdrec_config
+from .config import Scale, default_scale
+from .paper_numbers import CASE_STUDY, DROPPED_RATIOS
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0,
+        profile: str = "ml-100k", user: Optional[int] = None) -> Dict[str, object]:
+    scale = scale or default_scale()
+    prepared = prepare(profile, scale, seed=seed)
+    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
+                         patience=scale.patience, seed=seed)
+
+    ssdrec = SSDRec(prepared.dataset,
+                    config=ssdrec_config(scale, prepared.max_len),
+                    rng=np.random.default_rng(seed))
+    Trainer(ssdrec, prepared.split, config).fit()
+    hsd = HSD(num_items=prepared.dataset.num_items, dim=scale.dim,
+              max_len=prepared.max_len, rng=np.random.default_rng(seed))
+    Trainer(hsd, prepared.split, config).fit()
+
+    # Pick a user with a reasonably long sequence (the paper's user 164
+    # had 42 interactions).
+    if user is None:
+        lengths = [len(s) for s in prepared.dataset.sequences]
+        user = int(np.argmax(lengths))
+    sequence = prepared.dataset.sequences[user]
+    history, target = sequence[:-1], sequence[-1]
+    trace = ssdrec.explain(history, user=user, target=target)
+
+    hsd_decisions = hsd.keep_decisions([history])[1]
+    trace["hsd_kept_positions"] = hsd_decisions
+    tail = history[-prepared.max_len:]
+    head_len = len(history) - len(tail)
+    trace["hsd_removed_items"] = [
+        tail[p - head_len] for p in range(head_len, len(history))
+        if p not in hsd_decisions]
+
+    # Dropped-interaction ratios across all sequences (Sec. IV-E).
+    all_seqs = [s for s in prepared.dataset.sequences[1:] if s]
+    dropped = {
+        "SSDRec": ssdrec.dropped_ratio(all_seqs),
+        "HSD": hsd.dropped_ratio(all_seqs),
+    }
+    return {"user": user, "target": target, "trace": trace,
+            "dropped_ratio": dropped, "profile": profile}
+
+
+def render(result: Dict[str, object]) -> str:
+    trace = result["trace"]
+    lines: List[str] = [
+        f"Fig. 4 — case study (user {result['user']}, "
+        f"target item {result['target']}, {result['profile']})",
+        f"raw sequence tail: {trace['raw_sequence'][-8:]}",
+        f"score(raw)       = {trace['raw_score']:+.3f}"
+        f"   (paper: {CASE_STUDY['raw_score']:+.2f})",
+    ]
+    if "augmented_score" in trace:
+        lines.append(
+            f"score(augmented) = {trace['augmented_score']:+.3f}"
+            f"   (paper: {CASE_STUDY['augmented_score']:+.2f}; inserted "
+            f"items {trace['inserted_items']} at {trace['insert_position']})")
+    lines.append(
+        f"score(denoised)  = {trace['denoised_score']:+.3f}"
+        f"   (paper: {CASE_STUDY['denoised_score']:+.2f}; removed "
+        f"{trace['removed_items']})")
+    lines.append(f"HSD removed items: {trace['hsd_removed_items']}")
+    lines.append("\nSec. IV-E — dropped interaction ratio "
+                 f"(paper SSDRec on {result['profile']}: "
+                 f"{DROPPED_RATIOS.get(result['profile'], float('nan')):.1%})")
+    for name, ratio in result["dropped_ratio"].items():
+        lines.append(f"  {name}: {ratio:.1%}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

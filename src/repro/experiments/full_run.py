@@ -1,0 +1,85 @@
+"""One-command reproduction: run every experiment and write EXPERIMENTS.md.
+
+``python -m repro.experiments.full_run [--scale quick] [--only fig1,table5]``
+
+Equivalent to the benchmark harness minus pytest — useful on machines
+without pytest-benchmark, or to regenerate a single experiment's section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from . import (ext_noise_sweep, fig1_oup, fig4_case_study, fig5_tau,
+               significance_runs, table2_datasets, table3_backbones,
+               table4_denoisers, table5_ablation, table6_efficiency)
+from .config import SCALES
+from .report import build_report
+
+#: name -> (module, results filename)
+RUNNERS = {
+    "table2": (table2_datasets, "table2_datasets"),
+    "table3": (table3_backbones, "table3_backbones"),
+    "table4": (table4_denoisers, "table4_denoisers"),
+    "table5": (table5_ablation, "table5_ablation"),
+    "table6": (table6_efficiency, "table6_efficiency"),
+    "fig1": (fig1_oup, "fig1_oup"),
+    "fig4": (fig4_case_study, "fig4_case_study"),
+    "fig5": (fig5_tau, "fig5_tau"),
+    "significance": (significance_runs, "significance"),
+    "noise-sweep": (ext_noise_sweep, "ext_noise_sweep"),
+}
+
+
+def run_all(scale_name: str = "quick", only: Optional[List[str]] = None,
+            results_dir: str | Path = "benchmarks/results",
+            report_path: str | Path | None = "EXPERIMENTS.md",
+            seed: int = 0) -> Dict[str, float]:
+    """Run the selected experiments; return per-experiment wall seconds."""
+    scale = SCALES[scale_name]
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    selected = only or list(RUNNERS)
+    unknown = set(selected) - set(RUNNERS)
+    if unknown:
+        raise KeyError(f"unknown experiments: {sorted(unknown)}; "
+                       f"options: {sorted(RUNNERS)}")
+    timings: Dict[str, float] = {}
+    for name in selected:
+        module, filename = RUNNERS[name]
+        start = time.perf_counter()
+        result = module.run(scale, seed=seed)
+        text = module.render(result)
+        (results_dir / f"{filename}.txt").write_text(text + "\n")
+        timings[name] = time.perf_counter() - start
+        print(f"[{name}] done in {timings[name]:.1f}s")
+    if report_path is not None:
+        Path(report_path).write_text(build_report(results_dir, scale_name))
+        print(f"report written to {report_path}")
+    return timings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run every paper experiment and build EXPERIMENTS.md")
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment names "
+                             f"({', '.join(sorted(RUNNERS))})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--results-dir", default="benchmarks/results")
+    parser.add_argument("--no-report", action="store_true")
+    args = parser.parse_args(argv)
+    only = args.only.split(",") if args.only else None
+    run_all(scale_name=args.scale, only=only, results_dir=args.results_dir,
+            report_path=None if args.no_report else "EXPERIMENTS.md",
+            seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Table II — dataset statistics (paper vs our scaled synthetic stand-ins)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..data import PROFILES, generate
+from .config import Scale, default_scale
+from .paper_numbers import TABLE2
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0) -> Dict[str, dict]:
+    """Compute the Table II statistics row for every dataset profile.
+
+    Returns ``{profile: {"paper": ..., "measured": ...}}``.  The measured
+    numbers describe the synthetic stand-in at the requested scale; the
+    comparison of interest is *shape* (relative avg lengths and sparsity
+    ordering), not absolute counts.
+    """
+    scale = scale or default_scale()
+    rows: Dict[str, dict] = {}
+    for profile in PROFILES:
+        dataset = generate(profile, seed=seed, scale=scale.dataset_scale)
+        rows[profile] = {
+            "paper": TABLE2[profile],
+            "measured": dataset.statistics(),
+        }
+    return rows
+
+
+def render(rows: Dict[str, dict]) -> str:
+    columns = ("users", "items", "actions", "avg_len", "sparsity")
+    lines = ["Table II — dataset statistics (paper / measured-synthetic)"]
+    header = f"{'dataset':<10}" + "".join(f"{c:>12}" for c in columns)
+    lines.append(header)
+    for profile, row in rows.items():
+        for source in ("paper", "measured"):
+            stats = row[source]
+            cells = "".join(f"{stats[c]:>12}" for c in columns)
+            lines.append(f"{profile + ' ' + source[0]:<10}{cells}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Table III — every backbone with (w) and without (w/o) SSDRec.
+
+For each dataset and each of the six mainstream sequential recommenders,
+train the plain backbone and the same backbone wrapped in SSDRec, then
+report the paper's metric block and the average relative improvement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import SSDRec
+from ..eval import improvement
+from ..models import BACKBONES
+from .common import (PreparedDataset, prepare, ssdrec_config,
+                     train_and_evaluate)
+from .config import Scale, default_scale
+from .paper_numbers import TABLE3
+
+
+def run_one(backbone: str, prepared: PreparedDataset, scale: Scale,
+            seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Train one backbone w/o and w SSDRec on one prepared dataset."""
+    cls = BACKBONES[backbone]
+    plain = cls(num_items=prepared.dataset.num_items, dim=scale.dim,
+                max_len=prepared.max_len, rng=np.random.default_rng(seed))
+    without, _ = train_and_evaluate(plain, prepared, scale, seed=seed)
+
+    wrapped = SSDRec(
+        prepared.dataset, backbone_cls=cls,
+        config=ssdrec_config(scale, prepared.max_len),
+        rng=np.random.default_rng(seed))
+    with_ssdrec, _ = train_and_evaluate(wrapped, prepared, scale, seed=seed)
+    return {"without": without, "with": with_ssdrec,
+            "improvement": improvement(with_ssdrec, without)}
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0,
+        backbones: Optional[Sequence[str]] = None,
+        datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
+    """Full Table III sweep at the requested scale."""
+    scale = scale or default_scale()
+    backbones = list(backbones or BACKBONES)
+    datasets = list(datasets or scale.datasets)
+    results: Dict[str, dict] = {}
+    for profile in datasets:
+        prepared = prepare(profile, scale, seed=seed)
+        results[profile] = {}
+        for backbone in backbones:
+            results[profile][backbone] = run_one(backbone, prepared, scale,
+                                                 seed=seed)
+    return results
+
+
+def render(results: Dict[str, dict]) -> str:
+    lines: List[str] = ["Table III — backbones w/o vs w SSDRec"]
+    metrics = ("HR@10", "HR@20", "N@10", "N@20", "MRR")
+    for profile, per_backbone in results.items():
+        lines.append(f"\n[{profile}]")
+        header = (f"{'model':<10}{'':>9}"
+                  + "".join(f"{m:>9}" for m in metrics) + f"{'avg-imp%':>10}")
+        lines.append(header)
+        for backbone, res in per_backbone.items():
+            paper = TABLE3.get(profile, {}).get(backbone)
+            for variant in ("without", "with"):
+                cells = "".join(f"{res[variant][m]:>9.4f}" for m in metrics)
+                imp = f"{res['improvement']:>10.1f}" if variant == "with" else ""
+                lines.append(f"{backbone:<10}{variant:>9}{cells}{imp}")
+                if paper:
+                    ref = "".join(f"{paper[variant][m]:>9.4f}" for m in metrics)
+                    lines.append(f"{'  paper':<10}{variant:>9}{ref}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Table V — ablation of SSDRec's three stages on the ML-100K stand-in.
+
+Variants follow the paper exactly:
+
+* ``w/o SSDRec-1`` — stages 2+3 only (no global relation encoder),
+* ``w/o SSDRec-2`` — stages 1+3 only (no self-augmentation; this is
+  "HSD integrated with SSDRec-1"),
+* ``w/o SSDRec-3`` — stages 1+2 only (no hierarchical denoising),
+* ``HSD`` — the plain denoising baseline,
+* ``SSDRec`` — the full model.
+
+Plus extension ablations for design choices called out in DESIGN.md:
+Gumbel hard vs soft selection and the number of Eq.-13 refinement rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import SSDRec
+from ..denoise import HSD
+from ..eval import Evaluator
+from ..eval.metrics import hit_ratio, mrr, ndcg
+from .common import PreparedDataset, prepare, ssdrec_config
+from .config import Scale, default_scale
+from .paper_numbers import TABLE5
+from ..train import TrainConfig, Trainer
+
+TABLE5_METRICS = ("HR@10", "HR@20", "N@10", "N@20", "MRR@10", "MRR@20")
+
+
+def _table5_metrics(ranks: np.ndarray) -> Dict[str, float]:
+    return {
+        "HR@10": hit_ratio(ranks, 10), "HR@20": hit_ratio(ranks, 20),
+        "N@10": ndcg(ranks, 10), "N@20": ndcg(ranks, 20),
+        "MRR@10": mrr(ranks, 10), "MRR@20": mrr(ranks, 20),
+    }
+
+
+def _variants(prepared: PreparedDataset, scale: Scale, seed: int) -> Dict[str, object]:
+    def cfg(**kw):
+        return ssdrec_config(scale, prepared.max_len, **kw)
+
+    rng = lambda: np.random.default_rng(seed)  # noqa: E731 - fresh per model
+    return {
+        "w/o SSDRec-1": SSDRec(prepared.dataset, config=cfg(use_stage1=False),
+                               rng=rng()),
+        "w/o SSDRec-2": SSDRec(prepared.dataset, config=cfg(use_stage2=False),
+                               rng=rng()),
+        "w/o SSDRec-3": SSDRec(prepared.dataset, config=cfg(use_stage3=False),
+                               rng=rng()),
+        "HSD": HSD(num_items=prepared.dataset.num_items, dim=scale.dim,
+                   max_len=prepared.max_len, rng=rng()),
+        "SSDRec": SSDRec(prepared.dataset, config=cfg(), rng=rng()),
+    }
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0,
+        profile: str = "ml-100k",
+        include_extensions: bool = False) -> Dict[str, Dict[str, float]]:
+    """Train all ablation variants and report Table V's metric block."""
+    scale = scale or default_scale()
+    prepared = prepare(profile, scale, seed=seed)
+    variants = _variants(prepared, scale, seed)
+    if include_extensions:
+        variants.update(_extension_variants(prepared, scale, seed))
+    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
+                         patience=scale.patience, seed=seed)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, model in variants.items():
+        Trainer(model, prepared.split, config).fit()
+        evaluator = Evaluator(prepared.split.test,
+                              batch_size=scale.batch_size,
+                              max_len=prepared.max_len)
+        results[name] = _table5_metrics(evaluator.ranks(model))
+    return results
+
+
+def _extension_variants(prepared: PreparedDataset, scale: Scale,
+                        seed: int) -> Dict[str, object]:
+    """Design-choice ablations beyond the paper's table."""
+    def cfg(**kw):
+        return ssdrec_config(scale, prepared.max_len, **kw)
+
+    return {
+        "rounds=0 (no Eq.13 refinement)": SSDRec(
+            prepared.dataset, config=cfg(denoise_rounds=0),
+            rng=np.random.default_rng(seed)),
+        "rounds=3": SSDRec(
+            prepared.dataset, config=cfg(denoise_rounds=3),
+            rng=np.random.default_rng(seed)),
+        "augment only short (thr=8)": SSDRec(
+            prepared.dataset, config=cfg(augment_threshold=8),
+            rng=np.random.default_rng(seed)),
+        "no drop penalty": SSDRec(
+            prepared.dataset, config=cfg(drop_penalty=0.0),
+            rng=np.random.default_rng(seed)),
+        "f_den=sparse-attention": SSDRec(
+            prepared.dataset, config=cfg(denoise_gate="sparse-attention"),
+            rng=np.random.default_rng(seed)),
+        "f_den=threshold": SSDRec(
+            prepared.dataset, config=cfg(denoise_gate="threshold"),
+            rng=np.random.default_rng(seed)),
+    }
+
+
+def render(results: Dict[str, Dict[str, float]]) -> str:
+    lines: List[str] = ["Table V — stage ablation (ML-100K stand-in)"]
+    width = max(len(n) for n in results) + 2
+    lines.append(" " * width + "".join(f"{m:>9}" for m in TABLE5_METRICS))
+    for name, row in results.items():
+        cells = "".join(f"{row[m]:>9.4f}" for m in TABLE5_METRICS)
+        lines.append(f"{name:<{width}}{cells}")
+        paper = TABLE5.get(name)
+        if paper:
+            ref = "".join(f"{paper[m]:>9.4f}" for m in TABLE5_METRICS)
+            lines.append(f"{'  paper':<{width}}{ref}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run(include_extensions=True)))
+
+
+if __name__ == "__main__":
+    main()

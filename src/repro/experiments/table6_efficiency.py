@@ -1,0 +1,89 @@
+"""Table VI — per-epoch training and inference time of the heavy methods.
+
+Measures wall-clock seconds for one training epoch and one full-ranking
+inference pass of HSD, STEAM, DCRec, and SSDRec on every dataset.  The
+paper's absolute numbers come from a GPU workstation; the comparison of
+interest is *relative* cost (SSDRec trains slower than HSD but infers
+comparably, STEAM infers slowly, DCRec is light).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..data.batching import DataLoader
+from ..eval import Evaluator
+from ..nn import Adam
+from .common import prepare
+from .config import Scale, default_scale
+from .paper_numbers import TABLE6
+from .table4_denoisers import build_method
+
+METHODS = ("HSD", "STEAM", "DCRec", "SSDRec")
+
+
+def time_one_epoch(model, prepared, scale: Scale) -> float:
+    """Wall-clock seconds for one full training epoch."""
+    loader = DataLoader(prepared.split.train, batch_size=scale.batch_size,
+                        max_len=prepared.max_len, seed=0)
+    optimizer = Adam(model.parameters())
+    model.train()
+    start = time.perf_counter()
+    for batch in loader:
+        optimizer.zero_grad()
+        model.loss(batch).backward()
+        optimizer.step()
+        hook = getattr(model, "on_batch_end", None)
+        if hook is not None:
+            hook()
+    return time.perf_counter() - start
+
+
+def time_inference(model, prepared, scale: Scale) -> float:
+    """Wall-clock seconds for one full-ranking pass over the test set."""
+    evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
+                          max_len=prepared.max_len)
+    start = time.perf_counter()
+    evaluator.ranks(model)
+    return time.perf_counter() - start
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0,
+        methods: Sequence[str] = METHODS,
+        datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
+    scale = scale or default_scale()
+    datasets = list(datasets or scale.datasets)
+    results: Dict[str, dict] = {"training": {}, "inference": {}}
+    for profile in datasets:
+        prepared = prepare(profile, scale, seed=seed)
+        for name in methods:
+            model = build_method(name, prepared, scale, seed=seed)
+            train_s = time_one_epoch(model, prepared, scale)
+            infer_s = time_inference(model, prepared, scale)
+            results["training"].setdefault(name, {})[profile] = train_s
+            results["inference"].setdefault(name, {})[profile] = infer_s
+    return results
+
+
+def render(results: Dict[str, dict]) -> str:
+    lines: List[str] = ["Table VI — per-epoch training / inference seconds"]
+    for mode in ("training", "inference"):
+        lines.append(f"\n[{mode}] (measured | paper GPU reference)")
+        datasets = sorted({d for per in results[mode].values() for d in per})
+        lines.append(f"{'method':<10}" + "".join(f"{d:>18}" for d in datasets))
+        for name, per in results[mode].items():
+            cells = []
+            for d in datasets:
+                paper = TABLE6[mode].get(name, {}).get(d, float("nan"))
+                cells.append(f"{per[d]:>8.2f}|{paper:>8.2f}")
+            lines.append(f"{name:<10}" + "".join(f"{c:>18}" for c in cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Item incompatible relations (Sec. III-A1, "Incompatible Relations").
+
+Two *popular* items are incompatible iff
+
+1. they share at least one common transitional neighbor
+   (``V_k = {v_k : (w_ik^+ + w_ki^+) * (w_jk^+ + w_kj^+) != 0}`` nonempty),
+2. they have no transitional relation in either direction.
+
+The weight sums, over the common neighbors, the four transitional weights
+``w_ik^+ + w_ki^+ + w_jk^+ + w_kj^+``.  Long-tail items are excluded to
+avoid unreliable relations (MGIR's definition, 20/80 principle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def build_incompatible(transitional: sparse.csr_matrix,
+                       popular_items: np.ndarray) -> sparse.csr_matrix:
+    """Build the symmetric incompatible-relation matrix.
+
+    Parameters
+    ----------
+    transitional:
+        Directed transitional matrix from
+        :func:`repro.graph.transitions.build_transitional`.
+    popular_items:
+        Ids of "head" items eligible for incompatible relations.
+
+    Returns
+    -------
+    Symmetric CSR matrix of the same shape with ``W[i, j] = w_ij^-``.
+    """
+    size = transitional.shape[0]
+    if transitional.shape[0] != transitional.shape[1]:
+        raise ValueError("transitional matrix must be square")
+    popular = np.asarray(popular_items, dtype=np.int64)
+    if popular.size == 0:
+        return sparse.csr_matrix((size, size))
+    if popular.min() < 1 or popular.max() >= size:
+        raise ValueError("popular item ids out of range")
+
+    # Symmetrized transitional strength: s[i, k] = w_ik^+ + w_ki^+.
+    sym = (transitional + transitional.T).tocsr()
+    sub = sym[popular][:, :]  # rows restricted to popular items
+    # common_strength[a, b] = sum_k (s[i_a, k] + s[j_b, k]) over common k.
+    # Decompose: sum over common k of s[i,k] = (binary_j @ s_i) pattern:
+    binary = (sub > 0).astype(np.float64)
+    # For each popular pair (a, b): sum_k s[a,k] * 1[s[b,k]>0]  +
+    #                               sum_k 1[s[a,k]>0] * s[b,k]
+    left = sub @ binary.T   # (P, P): Σ_k s[a,k] over k adjacent to b
+    right = binary @ sub.T  # (P, P): Σ_k s[b,k] over k adjacent to a
+    weights = (left + right).toarray()
+    has_common = (binary @ binary.T).toarray() > 0
+
+    # Direct transitional relation between the pair disqualifies it.
+    direct = sym[popular][:, popular].toarray() > 0
+
+    eligible = has_common & ~direct
+    np.fill_diagonal(eligible, False)
+
+    rows_p, cols_p = np.nonzero(eligible)
+    out = sparse.lil_matrix((size, size))
+    out[popular[rows_p], popular[cols_p]] = weights[rows_p, cols_p]
+    result = out.tocsr()
+    # Symmetry is guaranteed by construction, but enforce exactly.
+    return result.maximum(result.T)

@@ -1,0 +1,75 @@
+"""Item transitional relations (Sec. III-A1, "Transitional Relations").
+
+A directed edge v_i -> v_j exists iff v_j ever appears after v_i in some
+user's sequence.  Its weight aggregates, over every such occurrence in
+every user's sequence,
+
+    (n_u - Dis(v_i, v_j)) / n_u
+
+where ``Dis`` is the positional distance and ``n_u`` the sequence length —
+closer pairs in shorter sequences contribute more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..data.dataset import InteractionDataset
+
+
+def build_transitional(dataset: InteractionDataset,
+                       window: Optional[int] = None) -> sparse.csr_matrix:
+    """Build the weighted directed transitional-relation matrix.
+
+    Parameters
+    ----------
+    window:
+        If given, only ordered pairs within this positional distance
+        contribute (bounds the O(n^2) pair enumeration for long sequences).
+
+    Returns
+    -------
+    A ``(num_items + 1, num_items + 1)`` CSR matrix ``W`` with
+    ``W[i, j] = w_ij^+``; row/col 0 (padding) stay empty.
+    """
+    size = dataset.num_items + 1
+    rows, cols, vals = [], [], []
+    for seq in dataset.sequences[1:]:
+        n = len(seq)
+        if n < 2:
+            continue
+        limit = window if window is not None else n
+        for a in range(n - 1):
+            hi = min(n, a + 1 + limit)
+            for b in range(a + 1, hi):
+                if seq[a] == seq[b]:
+                    continue  # self-transitions carry no relation signal
+                rows.append(seq[a])
+                cols.append(seq[b])
+                vals.append((n - (b - a)) / n)
+    if not rows:
+        return sparse.csr_matrix((size, size))
+    mat = sparse.coo_matrix((vals, (rows, cols)), shape=(size, size))
+    return mat.tocsr()
+
+
+def prune_top_k(matrix: sparse.csr_matrix, k: int) -> sparse.csr_matrix:
+    """Keep only each row's ``k`` heaviest edges (graph sparsification)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    matrix = matrix.tocsr()
+    out = sparse.lil_matrix(matrix.shape)
+    for row in range(matrix.shape[0]):
+        start, stop = matrix.indptr[row], matrix.indptr[row + 1]
+        if start == stop:
+            continue
+        cols = matrix.indices[start:stop]
+        vals = matrix.data[start:stop]
+        if len(vals) > k:
+            keep = np.argpartition(-vals, k)[:k]
+            cols, vals = cols[keep], vals[keep]
+        out[row, cols] = vals
+    return out.tocsr()

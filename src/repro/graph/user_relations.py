@@ -1,0 +1,82 @@
+"""User similar/dissimilar relations (Sec. III-A2).
+
+* **Similar** users co-interacted with at least one item; the weight is the
+  paper's weighted Jaccard: (sum of both users' weights on common items) /
+  (sum of both users' total interaction weights).
+* **Dissimilar** users never co-interacted but share at least one common
+  *similar* user; the weight sums ``w_ik^+ + w_kj^+`` over the common
+  similar users ``u_k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def build_similar(interactions: sparse.csr_matrix,
+                  active_users: np.ndarray | None = None) -> sparse.csr_matrix:
+    """Build the symmetric similar-user matrix from interaction counts.
+
+    Parameters
+    ----------
+    interactions:
+        ``(num_users + 1, num_items + 1)`` matrix ``A`` (row 0 empty).
+    active_users:
+        Optional subset of user ids to consider (the paper's few-shot
+        filtering keeps relation construction away from ultra-sparse
+        users); others get no similar edges.
+    """
+    num_users = interactions.shape[0]
+    A = interactions.tocsr().astype(np.float64)
+    if active_users is not None:
+        mask = np.zeros(num_users, dtype=bool)
+        mask[np.asarray(active_users, dtype=np.int64)] = True
+        keep = sparse.diags(mask.astype(np.float64))
+        A = keep @ A
+
+    binary = (A > 0).astype(np.float64)
+    # numerator[i, j] = Σ_{common items k} (w_ik + w_jk)
+    numer = (A @ binary.T) + (binary @ A.T)
+    co = (binary @ binary.T)  # co-interaction indicator (count of common items)
+    totals = np.asarray(A.sum(axis=1)).ravel()
+
+    numer = numer.tocoo()
+    rows, cols, vals = [], [], []
+    for i, j, value in zip(numer.row, numer.col, numer.data):
+        if i == j or co[i, j] == 0:
+            continue
+        denom = totals[i] + totals[j]
+        if denom <= 0:
+            continue
+        rows.append(i)
+        cols.append(j)
+        vals.append(value / denom)
+    return sparse.coo_matrix((vals, (rows, cols)),
+                             shape=(num_users, num_users)).tocsr()
+
+
+def build_dissimilar(interactions: sparse.csr_matrix,
+                     similar: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Build the symmetric dissimilar-user matrix.
+
+    An edge (i, j) requires: no common items, and a nonempty common
+    similar-user set ``U_k = {u_k : w_ik^+ * w_kj^+ != 0}``.
+    Weight = Σ_{u_k} (w_ik^+ + w_kj^+).
+    """
+    num_users = interactions.shape[0]
+    binary_items = (interactions > 0).astype(np.float64)
+    co_items = (binary_items @ binary_items.T).toarray() > 0
+
+    sim = similar.tocsr()
+    sim_binary = (sim > 0).astype(np.float64)
+    # weight[i, j] = Σ_k sim[i,k]·1[sim[k,j]>0] + 1[sim[i,k]>0]·sim[k,j]
+    weights = (sim @ sim_binary.T + sim_binary @ sim.T).toarray()
+    common_sim = (sim_binary @ sim_binary.T).toarray() > 0
+
+    eligible = common_sim & ~co_items & ~(sim.toarray() > 0)
+    np.fill_diagonal(eligible, False)
+    rows, cols = np.nonzero(eligible)
+    return sparse.coo_matrix(
+        (weights[rows, cols], (rows, cols)),
+        shape=(num_users, num_users)).tocsr()

@@ -1,0 +1,32 @@
+"""``repro.models`` — sequential recommendation backbones (Table III)."""
+
+from typing import Dict, Type
+
+from .base import SequentialRecommender
+from .bert4rec import BERT4Rec
+from .caser import Caser
+from .gru4rec import GRU4Rec
+from .narm import NARM
+from .sasrec import SASRec
+from .srgnn import SRGNN
+from .stamp import STAMP
+
+#: Registry used by experiment runners to iterate over backbones.
+BACKBONES: Dict[str, Type[SequentialRecommender]] = {
+    "GRU4Rec": GRU4Rec,
+    "NARM": NARM,
+    "STAMP": STAMP,
+    "Caser": Caser,
+    "SASRec": SASRec,
+    "BERT4Rec": BERT4Rec,
+}
+
+#: Extension backbones beyond the paper's Table III set.
+EXTENSION_BACKBONES: Dict[str, Type[SequentialRecommender]] = {
+    "SR-GNN": SRGNN,
+}
+
+__all__ = [
+    "SequentialRecommender", "GRU4Rec", "Caser", "NARM", "STAMP",
+    "SASRec", "BERT4Rec", "SRGNN", "BACKBONES", "EXTENSION_BACKBONES",
+]

@@ -1,0 +1,75 @@
+"""Caser (Tang & Wang, 2018): convolutional sequence embedding.
+
+Horizontal convolutions (several filter heights over the time axis)
+capture union-level patterns; a vertical convolution (a weighted sum over
+time per latent dimension) captures point-level patterns.  Their
+concatenation passes through a fully connected layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import Conv1d, Dropout, Linear, MaxPool1d, Tensor
+from ..nn import functional as F
+from .base import SequentialRecommender
+
+
+class Caser(SequentialRecommender):
+    """Convolutional recommender over the embedded sequence "image"."""
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 50,
+                 num_h_filters: int = 4, filter_heights: Sequence[int] = (2, 3, 4),
+                 num_v_filters: int = 2, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_items, dim, max_len, rng)
+        self.filter_heights = tuple(filter_heights)
+        # Horizontal: treat embedding dims as channels, convolve over time.
+        self.h_convs = [
+            Conv1d(dim, num_h_filters, kernel_size=h, rng=self.rng)
+            for h in self.filter_heights
+        ]
+        self.pool = MaxPool1d()
+        # Vertical: one learned weighting over time positions per filter,
+        # shared across embedding dims (a Linear over the padded length).
+        self.num_v_filters = num_v_filters
+        self.v_conv = Linear(max_len + self.LENGTH_HEADROOM, num_v_filters,
+                             bias=False, rng=self.rng)
+        fc_in = num_h_filters * len(self.filter_heights) + num_v_filters * dim
+        self.fc = Linear(fc_in, dim, rng=self.rng)
+        self.dropout = Dropout(dropout, rng=self.rng)
+
+    def encode_states(self, states: Tensor, mask: np.ndarray) -> Tensor:
+        batch, length, dim = states.shape
+        # Zero out padded positions so convolutions see silence there.
+        states = states * Tensor(np.asarray(mask, np.float64)[:, :, None])
+        image = states.transpose(0, 2, 1)  # (B, d, L)
+        horizontal = []
+        for conv, height in zip(self.h_convs, self.filter_heights):
+            if length < height:
+                # Sequence shorter than the filter: contribute zeros in
+                # THIS filter's feature slots so the FC weight alignment
+                # of the remaining features is preserved.
+                horizontal.append(Tensor(np.zeros((batch, conv.out_channels))))
+                continue
+            horizontal.append(self.pool(F.relu(conv(image))))  # (B, nh)
+        # Vertical: weight positions. Pad/truncate length axis to the
+        # Linear's expected width (left-aligned zeros keep recency at end).
+        width = self.v_conv.in_features
+        padded = self._fit_length(image, width)  # (B, d, width)
+        vertical = F.relu(self.v_conv(padded))  # (B, d, nv)
+        vertical = vertical.reshape(batch, dim * self.num_v_filters)
+        features = Tensor.concat(horizontal + [vertical], axis=1)
+        return self.fc(self.dropout(features))
+
+    @staticmethod
+    def _fit_length(image: Tensor, width: int) -> Tensor:
+        batch, dim, length = image.shape
+        if length == width:
+            return image
+        if length > width:
+            return image[:, :, length - width:]
+        pad = Tensor(np.zeros((batch, dim, width - length)))
+        return Tensor.concat([pad, image], axis=2)

@@ -1,0 +1,40 @@
+"""SASRec (Kang & McAuley, 2018): self-attentive sequential recommendation.
+
+A causal Transformer over the embedded sequence with learned positional
+embeddings; the state at the last valid position is the sequence
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (Dropout, PositionalEmbedding, Tensor, TransformerEncoder,
+                  causal_mask)
+from .base import SequentialRecommender
+
+
+class SASRec(SequentialRecommender):
+    """Unidirectional (causal) Transformer recommender."""
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 50,
+                 num_layers: int = 2, num_heads: int = 2, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_items, dim, max_len, rng)
+        capacity = max_len + self.LENGTH_HEADROOM
+        self.position_embedding = PositionalEmbedding(capacity, dim, rng=self.rng)
+        self.encoder = TransformerEncoder(
+            dim, num_layers=num_layers, num_heads=num_heads,
+            dropout=dropout, rng=self.rng)
+        self.dropout = Dropout(dropout, rng=self.rng)
+
+    def encode_states(self, states: Tensor, mask: np.ndarray) -> Tensor:
+        batch, length, _ = states.shape
+        mask = np.asarray(mask, dtype=bool)
+        x = self.dropout(states + self.position_embedding(length))
+        # Causal AND key-padding mask: position i may attend to valid j <= i.
+        attn = causal_mask(length)[None, :, :] & mask[:, None, :]
+        hidden = self.encoder(x, attn_mask=attn)
+        return self.last_state(hidden, mask)

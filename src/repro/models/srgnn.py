@@ -1,0 +1,82 @@
+"""SR-GNN (Wu et al., AAAI 2019): session-based recommendation with GNNs.
+
+Each session is viewed as a graph whose edges connect consecutive items; a
+gated graph neural network propagates information along those edges, and a
+NARM-style attention readout (last item as query) produces the session
+representation.
+
+Extension backbone beyond the paper's Table III six — the paper cites
+SR-GNN [18] among the mainstream sequential recommenders SSDRec can wrap.
+To honor the :meth:`encode_states` plug-in contract (which receives
+representations, not ids), adjacency is built positionally: position ``t``
+links to ``t+1`` over valid steps.  For raw sequences this *is* the
+session transition graph (up to duplicate-item merging).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Dropout, GRUCell, Linear, Tensor
+from ..nn import functional as F
+from .base import SequentialRecommender
+
+
+class SRGNN(SequentialRecommender):
+    """Gated session-graph propagation + attentive readout."""
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 50,
+                 num_steps: int = 1, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_items, dim, max_len, rng)
+        if num_steps < 1:
+            raise ValueError("num_steps must be >= 1")
+        self.num_steps = num_steps
+        self.w_in = Linear(dim, dim, rng=self.rng)
+        self.w_out = Linear(dim, dim, rng=self.rng)
+        self.cell = GRUCell(2 * dim, dim, rng=self.rng)
+        # Attention readout (q1: last item, q2: each node).
+        self.attn_last = Linear(dim, dim, bias=False, rng=self.rng)
+        self.attn_node = Linear(dim, dim, bias=False, rng=self.rng)
+        self.attn_energy = Linear(dim, 1, bias=False, rng=self.rng)
+        self.combine = Linear(2 * dim, dim, bias=False, rng=self.rng)
+        self.dropout = Dropout(dropout, rng=self.rng)
+
+    @staticmethod
+    def _adjacency(mask: np.ndarray) -> tuple:
+        """Row-normalized in/out adjacency over consecutive valid steps."""
+        mask = np.asarray(mask, bool)
+        batch, length = mask.shape
+        out_adj = np.zeros((batch, length, length))
+        pair = mask[:, :-1] & mask[:, 1:]
+        rows, cols = np.nonzero(pair)
+        out_adj[rows, cols, cols + 1] = 1.0
+        in_adj = out_adj.transpose(0, 2, 1)
+
+        def normalize(adj):
+            degree = adj.sum(axis=-1, keepdims=True)
+            return adj / np.maximum(degree, 1.0)
+
+        return normalize(in_adj), normalize(out_adj)
+
+    def encode_states(self, states: Tensor, mask: np.ndarray) -> Tensor:
+        mask = np.asarray(mask, bool)
+        batch, length, dim = states.shape
+        in_adj, out_adj = self._adjacency(mask)
+        hidden = self.dropout(states)
+        for _ in range(self.num_steps):
+            a_in = Tensor(in_adj) @ self.w_in(hidden)    # (B, L, d)
+            a_out = Tensor(out_adj) @ self.w_out(hidden)
+            message = Tensor.concat([a_in, a_out], axis=2)  # (B, L, 2d)
+            hidden = self.cell(message.reshape(batch * length, 2 * dim),
+                               hidden.reshape(batch * length, dim))
+            hidden = hidden.reshape(batch, length, dim)
+        last = self.last_state(hidden, mask)
+        energy = self.attn_energy(
+            (self.attn_last(last).expand_dims(1)
+             + self.attn_node(hidden)).sigmoid()).squeeze(-1)
+        weights = F.masked_softmax(energy, mask, axis=-1)
+        global_pref = (hidden * weights.expand_dims(-1)).sum(axis=1)
+        return self.combine(Tensor.concat([global_pref, last], axis=1))

@@ -1,0 +1,45 @@
+"""STAMP (Liu et al., 2018): short-term attention/memory priority model.
+
+The general interest is an attention-weighted memory of the session with
+the last click emphasized; the current interest is the last click itself.
+Both pass through separate MLPs, and their elementwise product scores
+candidate items.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Dropout, Linear, Tensor
+from ..nn import functional as F
+from .base import SequentialRecommender
+
+
+class STAMP(SequentialRecommender):
+    """Attention over session memory, prioritized by the last interaction."""
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 50,
+                 dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_items, dim, max_len, rng)
+        self.w1 = Linear(dim, dim, bias=False, rng=self.rng)  # per-item
+        self.w2 = Linear(dim, dim, bias=False, rng=self.rng)  # last item
+        self.w3 = Linear(dim, dim, bias=False, rng=self.rng)  # session mean
+        self.w0 = Linear(dim, 1, bias=False, rng=self.rng)    # energy
+        self.mlp_s = Linear(dim, dim, rng=self.rng)  # general interest
+        self.mlp_t = Linear(dim, dim, rng=self.rng)  # current interest
+        self.dropout = Dropout(dropout, rng=self.rng)
+
+    def encode_states(self, states: Tensor, mask: np.ndarray) -> Tensor:
+        last = self.last_state(states, mask)            # x_t
+        mean = self.masked_mean(states, mask)           # m_s
+        energy = self.w0(
+            (self.w1(states) + self.w2(last).expand_dims(1)
+             + self.w3(mean).expand_dims(1)).sigmoid()).squeeze(-1)  # (B, L)
+        weights = F.masked_softmax(energy, np.asarray(mask, bool), axis=-1)
+        memory = (states * weights.expand_dims(-1)).sum(axis=1)  # m_a
+        h_s = self.mlp_s(self.dropout(memory)).tanh()
+        h_t = self.mlp_t(self.dropout(last)).tanh()
+        return h_s * h_t

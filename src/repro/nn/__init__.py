@@ -1,0 +1,37 @@
+"""``repro.nn`` — a from-scratch NumPy autograd + neural network framework.
+
+This package is the substrate replacing PyTorch for the SSDRec
+reproduction: reverse-mode autodiff (:mod:`repro.nn.tensor`), layers,
+recurrent and attention modules, optimizers, and Gumbel-Softmax sampling.
+"""
+
+from . import functional
+from .attention import (MultiHeadAttention, TransformerEncoder,
+                        TransformerEncoderLayer, causal_mask, padding_mask,
+                        sparsemax)
+from .gumbel import (TemperatureSchedule, gumbel_log_logits, gumbel_sigmoid,
+                     gumbel_softmax)
+from .layers import (Conv1d, Dropout, Embedding, FeedForward, LayerNorm,
+                     Linear, MaxPool1d, PositionalEmbedding)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, clip_grad_norm
+from .rnn import GRU, LSTM, BiLSTM, GRUCell, LSTMCell
+from .schedulers import (CosineAnnealingLR, ExponentialLR, LRScheduler,
+                         ReduceOnPlateau, StepLR, WarmupLR)
+from .tensor import Tensor, arange, ensure_tensor, no_grad, ones, randn, zeros
+
+__all__ = [
+    "Tensor", "ensure_tensor", "no_grad", "zeros", "ones", "randn", "arange",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "Linear", "Embedding", "Dropout", "LayerNorm", "Conv1d", "MaxPool1d",
+    "PositionalEmbedding", "FeedForward",
+    "GRU", "LSTM", "BiLSTM", "GRUCell", "LSTMCell",
+    "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer",
+    "causal_mask", "padding_mask", "sparsemax",
+    "gumbel_softmax", "gumbel_sigmoid", "gumbel_log_logits",
+    "TemperatureSchedule",
+    "SGD", "Adam", "clip_grad_norm",
+    "LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
+    "WarmupLR", "ReduceOnPlateau",
+    "functional",
+]

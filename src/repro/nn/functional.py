@@ -1,0 +1,139 @@
+"""Functional neural-network operations built on :mod:`repro.nn.tensor`.
+
+Numerically stable softmax/log-softmax, standard losses, and a handful of
+activations used throughout the recommenders.  All functions accept and
+return :class:`~repro.nn.tensor.Tensor` objects and are differentiable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return ensure_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return ensure_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return ensure_tensor(x).tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    x = ensure_tensor(x)
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero probability where ``mask`` is False.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array broadcastable to ``x.shape``; True marks valid entries.
+    """
+    x = ensure_tensor(x)
+    neg_inf = np.finfo(np.float64).min / 4
+    filled = x.masked_fill(~np.asarray(mask, dtype=bool), neg_inf)
+    return softmax(filled, axis=axis)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(N, C)`` unnormalized scores.
+    targets:
+        Shape ``(N,)`` integer class indices.
+    ignore_index:
+        Target value whose rows contribute zero loss (used for padding).
+    """
+    logits = ensure_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(n)
+    picked = logp[rows, targets]
+    if ignore_index is not None:
+        keep = (targets != ignore_index).astype(np.float64)
+        denom = max(keep.sum(), 1.0)
+        return -(picked * Tensor(keep)).sum() / denom
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     weight: Optional[np.ndarray] = None) -> Tensor:
+    """Mean binary cross-entropy from logits (stable formulation)."""
+    logits = ensure_tensor(logits)
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    # max(x,0) - x*t + log(1 + exp(-|x|))
+    abs_term = ((-logits.abs()).exp() + 1.0).log()
+    loss = logits.relu() - logits * targets + abs_term
+    if weight is not None:
+        loss = loss * Tensor(np.asarray(weight, dtype=np.float64))
+    return loss.mean()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian personalized ranking loss: -log sigma(pos - neg)."""
+    diff = ensure_tensor(pos_scores) - ensure_tensor(neg_scores)
+    return -(diff.sigmoid() + 1e-10).log().mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    diff = ensure_tensor(pred) - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: active only when ``training`` and ``p > 0``."""
+    if not training or p <= 0.0:
+        return ensure_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    x = ensure_tensor(x)
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def l2_regularization(params, coefficient: float) -> Tensor:
+    """Sum of squared parameter values scaled by ``coefficient``."""
+    total = Tensor(0.0)
+    for p in params:
+        total = total + (p * p).sum()
+    return total * coefficient

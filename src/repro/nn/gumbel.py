@@ -1,0 +1,135 @@
+"""Gumbel-Softmax sampling (Jang et al., 2017) with straight-through mode.
+
+Implements Eq. (11) of the paper: a differentiable approximation to argmax
+used by the position selector, the item selector, and the hierarchical
+denoising module.  The straight-through (hard) variant outputs an exact
+one-hot vector on the forward pass while gradients flow through the soft
+relaxation — which is how SSDRec performs hard item/position selection
+inside an end-to-end trained network.
+
+Also provides :class:`TemperatureSchedule`, annealing tau every
+``anneal_every`` batches as in Sec. IV-A3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, ensure_tensor
+
+
+def sample_gumbel(shape, rng: Optional[np.random.Generator] = None,
+                  eps: float = 1e-20) -> np.ndarray:
+    """Draw i.i.d. samples from Gumbel(0, 1)."""
+    rng = rng or np.random.default_rng()
+    uniform = rng.random(shape)
+    return -np.log(-np.log(uniform + eps) + eps)
+
+
+def gumbel_softmax(logits: Tensor, tau: float = 1.0, hard: bool = True,
+                   axis: int = -1,
+                   rng: Optional[np.random.Generator] = None,
+                   deterministic: bool = False) -> Tensor:
+    """Sample from the Gumbel-Softmax distribution over ``axis``.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalized log-probabilities (any shape).
+    tau:
+        Temperature > 0.  Small values approach exact one-hot selection.
+    hard:
+        If True, return a straight-through one-hot: the forward value is
+        one-hot but gradients are those of the soft sample.
+    deterministic:
+        If True, skip Gumbel noise (pure tempered softmax + optional hard
+        argmax) — used at evaluation time for reproducible selections.
+    """
+    if tau <= 0:
+        raise ValueError(f"temperature must be positive, got {tau}")
+    # Clamp so that -inf-like mask sentinels divided by a small tau cannot
+    # overflow; anything below -1e12 is already probability zero.
+    logits = ensure_tensor(logits).clip(-1e12, 1e12)
+    if deterministic:
+        noisy = logits / tau
+    else:
+        noise = sample_gumbel(logits.shape, rng)
+        noisy = (logits + Tensor(noise)) / tau
+    soft = F.softmax(noisy, axis=axis)
+    if not hard:
+        return soft
+    # Straight-through: hard one-hot forward, soft gradients backward.
+    indices = soft.data.argmax(axis=axis)
+    one_hot = np.zeros_like(soft.data)
+    np.put_along_axis(one_hot, np.expand_dims(indices, axis), 1.0, axis=axis)
+    return soft + Tensor(one_hot - soft.data)
+
+
+def gumbel_sigmoid(logits: Tensor, tau: float = 1.0, hard: bool = True,
+                   rng: Optional[np.random.Generator] = None,
+                   deterministic: bool = False) -> Tensor:
+    """Binary-concrete relaxation of a Bernoulli gate.
+
+    Returns per-element keep probabilities in (0, 1); with ``hard`` the
+    forward value is exactly 0/1 (straight-through).  ``deterministic``
+    drops the logistic noise — at evaluation the gate becomes the simple
+    threshold ``logits > 0``.
+    """
+    if tau <= 0:
+        raise ValueError(f"temperature must be positive, got {tau}")
+    logits = ensure_tensor(logits)
+    if deterministic:
+        noisy = logits / tau
+    else:
+        rng = rng or np.random.default_rng()
+        uniform = np.clip(rng.random(logits.shape), 1e-12, 1 - 1e-12)
+        noise = np.log(uniform) - np.log1p(-uniform)
+        noisy = (logits + Tensor(noise)) / tau
+    soft = noisy.sigmoid()
+    if not hard:
+        return soft
+    hard_values = (soft.data > 0.5).astype(np.float64)
+    return soft + Tensor(hard_values - soft.data)
+
+
+def gumbel_log_logits(probs: Tensor, eps: float = 1e-10) -> Tensor:
+    """Convert a probability distribution to logits via log, as in Eq. (11).
+
+    The paper's score distribution ``r_S`` is a product of two softmax
+    outputs; Gumbel-Softmax expects log-probabilities.
+    """
+    return (ensure_tensor(probs) + eps).log()
+
+
+class TemperatureSchedule:
+    """Multiplicative annealing of the Gumbel temperature.
+
+    The paper anneals tau after every 40 batches; ``step()`` should be
+    called once per batch.  Temperature never drops below ``min_tau`` to
+    keep gradients finite.
+    """
+
+    def __init__(self, initial_tau: float = 1.0, anneal_rate: float = 0.95,
+                 anneal_every: int = 40, min_tau: float = 0.05):
+        if initial_tau <= 0:
+            raise ValueError("initial temperature must be positive")
+        self.initial_tau = initial_tau
+        self.anneal_rate = anneal_rate
+        self.anneal_every = anneal_every
+        self.min_tau = min_tau
+        self._batches = 0
+        self.tau = initial_tau
+
+    def step(self) -> float:
+        """Advance one batch; return the (possibly updated) temperature."""
+        self._batches += 1
+        if self._batches % self.anneal_every == 0:
+            self.tau = max(self.tau * self.anneal_rate, self.min_tau)
+        return self.tau
+
+    def reset(self) -> None:
+        self._batches = 0
+        self.tau = self.initial_tau

@@ -1,0 +1,70 @@
+"""Weight initialization schemes.
+
+The paper initializes embeddings with Xavier [44]; we provide both uniform
+and normal Xavier variants plus small helpers used by recurrent layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a 0-d shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, ...],
+                   rng: Optional[np.random.Generator] = None,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization U(-a, a), a = gain*sqrt(6/(fi+fo))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...],
+                  rng: Optional[np.random.Generator] = None,
+                  gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialization N(0, gain^2 * 2/(fi+fo))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.02,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Plain normal initialization (BERT-style)."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(shape: Tuple[int, ...],
+               rng: Optional[np.random.Generator] = None,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization, standard for recurrent weight matrices."""
+    rng = rng or np.random.default_rng()
+    if len(shape) < 2:
+        raise ValueError("orthogonal init requires at least 2 dimensions")
+    rows, cols = shape[0], int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)

@@ -1,0 +1,159 @@
+"""Module/Parameter abstractions, mirroring ``torch.nn.Module`` at small scale.
+
+A :class:`Module` automatically registers :class:`Parameter` attributes and
+child modules (including those inside plain lists via :class:`ModuleList`),
+supports train/eval mode propagation, and can snapshot/restore its weights
+via :meth:`Module.state_dict` and :meth:`Module.load_state_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor flagged as a trainable model parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network layers and models."""
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, element in enumerate(value):
+                    if isinstance(element, Parameter):
+                        yield f"{name}.{i}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{name}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module tree."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        yield from element.modules()
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set train/eval mode on this module and every descendant."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot of parameter values (copied arrays)."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameter values from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            param = own[name]
+            if param.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {value.shape}")
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def summary(self, max_rows: int = 40) -> str:
+        """Human-readable parameter table (name, shape, count)."""
+        rows = [(name, p.data.shape, p.size)
+                for name, p in self.named_parameters()]
+        name_width = max([len(r[0]) for r in rows] + [9])
+        lines = [f"{type(self).__name__} — {self.num_parameters():,} parameters",
+                 f"{'parameter':<{name_width}}  {'shape':<16}{'count':>10}"]
+        for name, shape, count in rows[:max_rows]:
+            lines.append(f"{name:<{name_width}}  {str(shape):<16}{count:>10,}")
+        if len(rows) > max_rows:
+            hidden = sum(r[2] for r in rows[max_rows:])
+            lines.append(f"... {len(rows) - max_rows} more parameters "
+                         f"({hidden:,} values)")
+        return "\n".join(lines)
+
+
+class ModuleList(Module):
+    """A list of modules that registers its elements' parameters."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> None:
+        self.items.append(module)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self):
+        return len(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Sequential(Module):
+    """Chain modules, feeding each one's output into the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.items = list(modules)
+
+    def forward(self, x):
+        for module in self.items:
+            x = module(x)
+        return x

@@ -1,0 +1,143 @@
+"""Recurrent layers: GRU, LSTM, and the Bi-LSTM context-aware encoder.
+
+The Bi-LSTM is the paper's "context-aware encoder" (Eq. 9 and Eq. 12): its
+left-to-right hidden states ``H^L`` summarize each item's left context and
+its right-to-left states ``H^R`` the right context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, ensure_tensor
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates: update (z), reset (r), candidate (n) — fused weights.
+        self.w_ih = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.w_hh = Parameter(init.orthogonal((hidden_dim, 3 * hidden_dim), rng))
+        self.b_ih = Parameter(init.zeros((3 * hidden_dim,)))
+        self.b_hh = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_dim
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        z = (gi[:, :d] + gh[:, :d]).sigmoid()
+        r = (gi[:, d:2 * d] + gh[:, d:2 * d]).sigmoid()
+        n = (gi[:, 2 * d:] + r * gh[:, 2 * d:]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class LSTMCell(Module):
+    """A single LSTM step with fused gate weights (i, f, g, o)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_ih = Parameter(init.xavier_uniform((input_dim, 4 * hidden_dim), rng))
+        self.w_hh = Parameter(init.orthogonal((hidden_dim, 4 * hidden_dim), rng))
+        self.bias = Parameter(init.zeros((4 * hidden_dim,)))
+        # Forget-gate bias of 1.0 is the standard trick for gradient flow.
+        self.bias.data[hidden_dim:2 * hidden_dim] = 1.0
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        d = self.hidden_dim
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        i = gates[:, :d].sigmoid()
+        f = gates[:, d:2 * d].sigmoid()
+        g = gates[:, 2 * d:3 * d].tanh()
+        o = gates[:, 3 * d:].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class GRU(Module):
+    """Unidirectional GRU over ``(batch, length, input_dim)`` inputs."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        """Return ``(outputs, last_hidden)``; outputs is (B, L, H)."""
+        x = ensure_tensor(x)
+        batch, length, _ = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(length):
+            h = self.cell(x[:, t, :], h)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1), h
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over ``(batch, length, input_dim)`` inputs."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor,
+                state: Optional[Tuple[Tensor, Tensor]] = None
+                ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        x = ensure_tensor(x)
+        batch, length, _ = x.shape
+        if state is None:
+            zeros = np.zeros((batch, self.hidden_dim))
+            state = (Tensor(zeros), Tensor(zeros.copy()))
+        h, c = state
+        outputs = []
+        for t in range(length):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1), (h, c)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM returning separate forward/backward state sequences.
+
+    This is the paper's context-aware encoder.  For position ``t``:
+
+    * ``H^L[:, t]`` encodes items ``s_1..s_t`` (left-to-right pass),
+    * ``H^R[:, t]`` encodes items ``s_t..s_n`` (right-to-left pass).
+
+    Both passes map to ``hidden_dim`` so elementwise products with item
+    representations (Eq. 9) are well-defined.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.forward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.backward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(H_L, H_R)``, each of shape (B, L, hidden_dim)."""
+        x = ensure_tensor(x)
+        left, _ = self.forward_lstm(x)
+        length = x.shape[1]
+        reversed_idx = np.arange(length - 1, -1, -1)
+        right_rev, _ = self.backward_lstm(x[:, reversed_idx, :])
+        right = right_rev[:, reversed_idx, :]
+        return left, right

@@ -1,0 +1,131 @@
+"""Learning-rate schedulers operating on any optimizer with an ``lr``.
+
+Complements :class:`~repro.nn.gumbel.TemperatureSchedule` (which anneals
+the Gumbel temperature): these anneal the optimizer's learning rate.
+``step()`` is called once per epoch unless noted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: remembers the optimizer's initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10,
+                 gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** self.epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup for ``warmup`` epochs, then delegate to ``after``.
+
+    ``after`` is any other scheduler constructed on the same optimizer; its
+    epoch counter starts once warmup completes.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup: int,
+                 after: LRScheduler | None = None):
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        super().__init__(optimizer)
+        self.warmup = warmup
+        self.after = after
+
+    def get_lr(self) -> float:
+        if self.epoch <= self.warmup:
+            return self.base_lr * self.epoch / self.warmup
+        if self.after is None:
+            return self.base_lr
+        self.after.epoch = self.epoch - self.warmup
+        return self.after.get_lr()
+
+
+class ReduceOnPlateau:
+    """Halve the learning rate when a monitored metric stops improving.
+
+    Unlike the epoch-indexed schedulers, call ``step(metric)`` with the
+    latest validation value (higher is better).
+    """
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 patience: int = 3, min_lr: float = 1e-6):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = -math.inf
+        self._bad_epochs = 0
+        self.history: List[float] = []
+
+    def step(self, metric: float) -> float:
+        self.history.append(metric)
+        if metric > self._best:
+            self._best = metric
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+            if self._bad_epochs >= self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor,
+                                        self.min_lr)
+                self._bad_epochs = 0
+        return self.optimizer.lr

@@ -1,0 +1,7 @@
+"""``repro.train`` — training loop with early stopping, checkpointing."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = ["TrainConfig", "Trainer", "TrainResult",
+           "save_checkpoint", "load_checkpoint"]

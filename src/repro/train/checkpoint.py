@@ -1,0 +1,76 @@
+"""Model checkpointing: save/restore parameters (and optimizer state).
+
+Checkpoints are plain ``.npz`` archives — no pickling, no code execution
+on load — holding every named parameter plus optional Adam moments, so
+training can resume exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Adam
+from ..nn.module import Module
+
+_META_KEY = "__checkpoint_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: str | Path,
+                    optimizer: Optional[Adam] = None,
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write ``model`` (and optionally Adam state) to ``path`` (.npz).
+
+    ``metadata`` must be JSON-serializable; it is stored alongside the
+    arrays and returned by :func:`load_checkpoint`.
+    """
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {
+        f"param/{name}": p.data for name, p in model.named_parameters()}
+    if optimizer is not None:
+        arrays["optim/t"] = np.array([optimizer._t])
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"optim/m/{i}"] = m
+            arrays[f"optim/v/{i}"] = v
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_parameters": model.num_parameters(),
+        "has_optimizer": optimizer is not None,
+        "user": metadata or {},
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path,
+                    optimizer: Optional[Adam] = None) -> Dict[str, object]:
+    """Restore ``model`` (and Adam state) from a checkpoint.
+
+    Returns the user metadata stored at save time.  Raises ``KeyError`` on
+    parameter-name mismatches and ``ValueError`` on shape mismatches, so a
+    checkpoint can never be silently loaded into the wrong architecture.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta['format_version']}")
+        state = {key[len("param/"):]: archive[key]
+                 for key in archive.files if key.startswith("param/")}
+        model.load_state_dict(state)
+        if optimizer is not None:
+            if not meta["has_optimizer"]:
+                raise KeyError("checkpoint holds no optimizer state")
+            optimizer._t = int(archive["optim/t"][0])
+            for i in range(len(optimizer.params)):
+                optimizer._m[i][...] = archive[f"optim/m/{i}"]
+                optimizer._v[i][...] = archive[f"optim/v/{i}"]
+    return meta["user"]

@@ -1,0 +1,151 @@
+"""Training loop with early stopping (Sec. IV-A3).
+
+Implements the paper's protocol: Adam (lr=0.001 default), mini-batches,
+early stopping when validation HR@20 fails to improve for ``patience``
+consecutive epochs, and restoring the best checkpoint at the end.  Models
+may expose ``on_batch_end()`` (e.g. SSDRec anneals its Gumbel temperature
+every 40 batches) and ``loss(batch)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.batching import DataLoader
+from ..data.dataset import SequenceSplit
+from ..eval.evaluator import Evaluator
+from ..nn import Adam, clip_grad_norm
+from ..nn.layers import Embedding
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 30
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    patience: int = 10
+    grad_clip: Optional[float] = 5.0
+    eval_metric: str = "HR@20"
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :meth:`Trainer.fit`."""
+
+    best_metric: float
+    best_epoch: int
+    epochs_run: int
+    history: List[Dict[str, float]] = field(default_factory=list)
+    train_seconds_per_epoch: float = 0.0
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Fit a model on a :class:`SequenceSplit` with early stopping."""
+
+    def __init__(self, model, split: SequenceSplit,
+                 config: Optional[TrainConfig] = None,
+                 loss_fn: Optional[Callable] = None,
+                 scheduler_factory: Optional[Callable] = None):
+        self.model = model
+        self.split = split
+        self.config = config or TrainConfig()
+        self.loss_fn = loss_fn or model.loss
+        self.optimizer = Adam(model.parameters(),
+                              lr=self.config.learning_rate,
+                              weight_decay=self.config.weight_decay)
+        # Optional per-epoch LR schedule: the factory receives the
+        # optimizer and returns an object whose ``step`` takes either no
+        # argument (epoch-indexed schedulers) or the validation metric
+        # (ReduceOnPlateau).
+        self.scheduler = (scheduler_factory(self.optimizer)
+                          if scheduler_factory else None)
+        self.evaluator = Evaluator(split.valid,
+                                   batch_size=self.config.batch_size,
+                                   max_len=split.max_len)
+
+    def fit(self) -> TrainResult:
+        config = self.config
+        loader = DataLoader(self.split.train, batch_size=config.batch_size,
+                            max_len=self.split.max_len, seed=config.seed)
+        best_metric = -np.inf
+        best_epoch = -1
+        best_state = None
+        bad_epochs = 0
+        history: List[Dict[str, float]] = []
+        epoch_times: List[float] = []
+        stopped_early = False
+        for epoch in range(config.epochs):
+            start = time.perf_counter()
+            epoch_loss = self._train_one_epoch(loader)
+            epoch_times.append(time.perf_counter() - start)
+            metrics = self.evaluator.evaluate(self.model)
+            metrics["loss"] = epoch_loss
+            current = metrics[config.eval_metric]
+            if self.scheduler is not None:
+                metrics["lr"] = self._step_scheduler(current)
+            history.append(metrics)
+            if config.verbose:
+                print(f"epoch {epoch}: loss={epoch_loss:.4f} "
+                      f"{config.eval_metric}={current:.4f}")
+            if current > best_metric:
+                best_metric = current
+                best_epoch = epoch
+                best_state = self.model.state_dict()
+                bad_epochs = 0
+            else:
+                bad_epochs += 1
+                if bad_epochs >= config.patience:
+                    stopped_early = True
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self._refresh_padding_rows()
+        return TrainResult(
+            best_metric=float(best_metric),
+            best_epoch=best_epoch,
+            epochs_run=len(history),
+            history=history,
+            train_seconds_per_epoch=float(np.mean(epoch_times)),
+            stopped_early=stopped_early,
+        )
+
+    def _step_scheduler(self, metric: float) -> float:
+        """Advance the LR schedule (metric-driven or epoch-indexed)."""
+        import inspect
+        signature = inspect.signature(self.scheduler.step)
+        if signature.parameters:
+            return self.scheduler.step(metric)
+        return self.scheduler.step()
+
+    # ------------------------------------------------------------------
+    def _train_one_epoch(self, loader: DataLoader) -> float:
+        self.model.train()
+        losses: List[float] = []
+        for batch in loader:
+            self.optimizer.zero_grad()
+            loss = self.loss_fn(batch)
+            loss.backward()
+            if self.config.grad_clip:
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            self._refresh_padding_rows()
+            hook = getattr(self.model, "on_batch_end", None)
+            if hook is not None:
+                hook()
+            losses.append(float(loss.item()))
+        return float(np.mean(losses)) if losses else 0.0
+
+    def _refresh_padding_rows(self) -> None:
+        for module in self.model.modules():
+            if isinstance(module, Embedding):
+                module.apply_padding_mask()

@@ -1,0 +1,102 @@
+"""Terminal visualization: ASCII bar charts and line plots.
+
+The paper's figures are charts; with no plotting dependency available,
+these helpers render the same series as readable terminal graphics.  Used
+by the experiment runners for Fig. 1 (grouped bars) and Fig. 5 (curves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def bar_chart(values: Dict[str, float], width: int = 40,
+              title: str = "", fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart of labelled values in [0, inf)."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "#" * filled
+        lines.append(f"{label:<{label_width}} |{bar:<{width}}| "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Dict[str, Dict[str, float]], width: int = 40,
+                      title: str = "") -> str:
+    """Several labelled series, one block per group (Fig. 1 style)."""
+    lines: List[str] = [title] if title else []
+    peak = max((v for g in groups.values() for v in g.values()), default=1.0)
+    peak = peak or 1.0
+    for group, values in groups.items():
+        lines.append(f"[{group}]")
+        label_width = max(len(k) for k in values)
+        for label, value in values.items():
+            filled = int(round(width * value / peak))
+            lines.append(f"  {label:<{label_width}} |{'#' * filled:<{width}}| "
+                         f"{value:.3f}")
+    return "\n".join(lines)
+
+
+def line_plot(x: Sequence[float], series: Dict[str, Sequence[float]],
+              height: int = 10, width: int = 60, title: str = "",
+              logx: bool = False) -> str:
+    """ASCII line plot of one or more series over shared x values.
+
+    Each series gets a distinct marker; points are placed on a
+    ``height x width`` character grid (Fig. 5 style).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("line_plot needs at least two x values")
+    if logx:
+        if (x <= 0).any():
+            raise ValueError("logx requires positive x values")
+        x = np.log10(x)
+    markers = "ox+*sd"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64)
+                            for v in series.values()])
+    lo, hi = float(all_y.min()), float(all_y.max())
+    span = (hi - lo) or 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(markers, series.items()):
+        ys = np.asarray(ys, dtype=np.float64)
+        if ys.shape != x.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((yv - lo) / span * (height - 1)))
+            grid[row][col] = marker
+    lines: List[str] = [title] if title else []
+    lines.append(f"{hi:9.4f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " ┤" + "".join(row))
+    lines.append(f"{lo:9.4f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    legend = "   ".join(f"{m}={name}" for m, (name, _) in
+                        zip(markers, series.items()))
+    axis = "log10(x)" if logx else "x"
+    lines.append(f"{'':10} {axis}: {x.min():g} .. {x.max():g}    {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of values using block characters."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("sparkline needs at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(values.min()), float(values.max())
+    span = (hi - lo) or 1.0
+    idx = ((values - lo) / span * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in idx)

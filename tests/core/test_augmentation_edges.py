@@ -1,0 +1,76 @@
+"""Edge-case tests for the self-augmentation module."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelfAugmentation
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(101)
+DIM = 12
+
+
+def run_aug(mask_rows, length_threshold=None, length=5, seed=0):
+    aug = SelfAugmentation(DIM, length_threshold=length_threshold,
+                           rng=np.random.default_rng(seed))
+    aug.train()
+    batch = len(mask_rows)
+    states = Tensor(RNG.normal(size=(batch, length, DIM)))
+    mask = np.array(mask_rows, dtype=bool)
+    table = Tensor(RNG.normal(size=(15, DIM)))
+    return aug, aug(states, mask, table), states, mask
+
+
+class TestAugmentationEdges:
+    def test_single_valid_position(self):
+        """A one-item sequence can still be augmented (insert around it)."""
+        aug, result, states, mask = run_aug(
+            [[False, False, False, False, True]])
+        assert result.augmented_rows[0]
+        assert result.mask.sum() == 3  # item + two insertions
+        assert result.positions[0] == 4
+
+    def test_threshold_equal_to_length_not_augmented(self):
+        # length 5, threshold 5 -> rows with exactly 5 items skipped
+        aug, result, states, mask = run_aug([[True] * 5],
+                                            length_threshold=5)
+        assert not result.augmented_rows[0]
+        assert result.mask.sum() == 5
+
+    def test_threshold_one_above_length_augmented(self):
+        aug, result, states, mask = run_aug([[True] * 5],
+                                            length_threshold=6)
+        assert result.augmented_rows[0]
+
+    def test_mixed_batch_shapes_consistent(self):
+        rows = [[True] * 5,
+                [False, True, True, True, True],
+                [False, False, False, True, True]]
+        aug, result, states, mask = run_aug(rows, length_threshold=5)
+        assert result.states.shape == (3, 7, DIM)
+        # Row 0 skipped (length 5 >= 5), rows 1-2 augmented.
+        np.testing.assert_array_equal(result.augmented_rows,
+                                      [False, True, True])
+        np.testing.assert_array_equal(result.mask.sum(axis=1), [5, 6, 4])
+
+    def test_inserted_ids_zero_for_skipped_rows(self):
+        aug, result, *_ = run_aug([[True] * 5, [False] * 3 + [True] * 2],
+                                  length_threshold=3)
+        assert result.inserted_left[0] == 0
+        assert result.inserted_right[0] == 0
+
+    def test_training_flag_controls_noise(self):
+        """Eval mode: repeated calls agree; train mode: Gumbel noise varies
+        selections across calls (with a fresh rng state each time)."""
+        aug = SelfAugmentation(DIM, rng=np.random.default_rng(0))
+        states = Tensor(RNG.normal(size=(4, 6, DIM)))
+        mask = np.ones((4, 6), dtype=bool)
+        table = Tensor(RNG.normal(size=(15, DIM)))
+        aug.eval()
+        a = aug(states, mask, table)
+        b = aug(states, mask, table)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        aug.train()
+        positions = {tuple(aug(states, mask, table).positions)
+                     for _ in range(8)}
+        assert len(positions) > 1  # noise produced different selections

@@ -1,0 +1,99 @@
+"""Tests for the analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (compare_datasets, gini_coefficient,
+                            graph_report, length_histogram, noise_report,
+                            popularity_report, short_sequence_fraction)
+from repro.data import InteractionDataset, generate
+from repro.graph import build_multi_relation_graph
+
+
+def make_dataset(sequences, num_items=None):
+    num_items = num_items or max(max(s) for s in sequences if s)
+    return InteractionDataset(
+        name="toy", num_users=len(sequences), num_items=num_items,
+        sequences=[[]] + [list(s) for s in sequences])
+
+
+class TestHistograms:
+    def test_length_histogram_buckets(self):
+        ds = make_dataset([[1] * 3, [1] * 7, [1] * 15, [1] * 300])
+        hist = length_histogram(ds, bins=(5, 10, 20))
+        assert hist["(0,5]"] == 1
+        assert hist["(5,10]"] == 1
+        assert hist["(10,20]"] == 1
+        assert hist[">20"] == 1
+
+    def test_short_fraction(self):
+        ds = make_dataset([[1] * 5, [1] * 50])
+        np.testing.assert_allclose(short_sequence_fraction(ds, 10), 0.5)
+
+
+class TestGini:
+    def test_equal_distribution(self):
+        np.testing.assert_allclose(gini_coefficient([1, 1, 1, 1]), 0.0)
+
+    def test_concentrated_distribution(self):
+        g = gini_coefficient([0] * 99 + [100])
+        assert g > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: G = (2*1-3)*1 + (4-3)*3 / (2*4) = 2/8 = 0.25
+        np.testing.assert_allclose(gini_coefficient([1, 3]), 0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+
+class TestPopularity:
+    def test_head_share(self):
+        # 10 items; item 1 gets 91 of 100 interactions.
+        seqs = [[1] * 91 + list(range(2, 11))]
+        ds = make_dataset(seqs, num_items=10)
+        report = popularity_report(ds, head_fraction=0.1)
+        np.testing.assert_allclose(report["head_interaction_share"], 0.91)
+        assert report["gini"] > 0.5
+
+
+class TestNoiseReport:
+    def test_synthetic_flags(self):
+        ds = generate("beauty", seed=0, scale=0.25, noise_rate=0.2)
+        report = noise_report(ds)
+        assert 0.1 < report["noise_rate"] < 0.3
+        assert report["users_with_noise"] > 0
+
+    def test_missing_flags(self):
+        ds = make_dataset([[1, 2]])
+        with pytest.raises(KeyError):
+            noise_report(ds)
+
+
+class TestGraphReport:
+    def test_connectivity_summary(self):
+        ds = generate("beauty", seed=0, scale=0.25)
+        graph = build_multi_relation_graph(ds)
+        report = graph_report(graph)
+        assert report.relation_counts["transitional"] > 0
+        assert report.mean_degrees["transitional"] > 0
+        assert 0 < report.largest_component_fraction <= 1.0
+
+
+class TestCompare:
+    def test_rows_per_dataset(self):
+        datasets = {name: generate(name, seed=0, scale=0.25)
+                    for name in ("beauty", "ml-100k")}
+        rows = compare_datasets(datasets)
+        assert len(rows) == 2
+        for _, stats in rows:
+            assert "pop_gini" in stats and "short_frac(<=10)" in stats
+        # ML-100K-like data has far fewer short sequences than Beauty-like.
+        by_name = dict(rows)
+        assert by_name["beauty"]["short_frac(<=10)"] > \
+            by_name["ml-100k"]["short_frac(<=10)"]

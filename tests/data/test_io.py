@@ -1,0 +1,45 @@
+"""Tests for dataset serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate
+from repro.data.io import load_dataset, save_dataset
+
+
+class TestDatasetIO:
+    def test_roundtrip_sequences(self, tmp_path):
+        ds = generate("beauty", seed=0, scale=0.25)
+        path = save_dataset(ds, tmp_path / "beauty.npz")
+        loaded = load_dataset(path)
+        assert loaded.sequences == ds.sequences
+        assert loaded.name == ds.name
+        assert loaded.num_users == ds.num_users
+        assert loaded.num_items == ds.num_items
+
+    def test_metadata_survives(self, tmp_path):
+        ds = generate("beauty", seed=3, scale=0.25)
+        loaded = load_dataset(save_dataset(ds, tmp_path / "d.npz"))
+        assert loaded.metadata["seed"] == 3
+        assert loaded.metadata["profile"] == "beauty"
+        # noise flags (list of bool lists) survive the JSON round trip
+        orig_flags = ds.metadata["noise_flags"]
+        assert loaded.metadata["noise_flags"][1] == list(orig_flags[1])
+
+    def test_statistics_identical(self, tmp_path):
+        ds = generate("yelp", seed=0, scale=0.25)
+        loaded = load_dataset(save_dataset(ds, tmp_path / "y.npz"))
+        assert loaded.statistics() == ds.statistics()
+
+    def test_numpy_metadata_converted(self, tmp_path):
+        ds = generate("beauty", seed=0, scale=0.25)
+        ds.metadata["np_int"] = np.int64(7)
+        ds.metadata["np_arr"] = np.array([1.5, 2.5])
+        loaded = load_dataset(save_dataset(ds, tmp_path / "m.npz"))
+        assert loaded.metadata["np_int"] == 7
+        assert loaded.metadata["np_arr"] == [1.5, 2.5]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        ds = generate("beauty", seed=0, scale=0.25)
+        path = save_dataset(ds, tmp_path / "nested" / "dir" / "d.npz")
+        assert path.exists()

@@ -1,0 +1,91 @@
+"""Tests for the Amazon CSV and Yelp JSON loaders."""
+
+import json
+
+import pytest
+
+from repro.data.loaders import load_amazon_csv, load_yelp_json
+
+
+@pytest.fixture
+def amazon_csv(tmp_path):
+    rows = [
+        ("A1", "B001", 5.0, 100), ("A1", "B002", 4.0, 200),
+        ("A2", "B001", 2.0, 150), ("A2", "B003", 5.0, 50),
+    ]
+    path = tmp_path / "ratings.csv"
+    path.write_text("\n".join(",".join(map(str, r)) for r in rows) + "\n")
+    return path
+
+
+@pytest.fixture
+def yelp_json(tmp_path):
+    rows = [
+        {"user_id": "u1", "business_id": "b1", "stars": 5.0,
+         "date": "2019-06-01"},
+        {"user_id": "u1", "business_id": "b2", "stars": 4.0,
+         "date": "2019-07-01"},
+        {"user_id": "u1", "business_id": "b3", "stars": 3.0,
+         "date": "2018-01-01"},  # before the cutoff
+        {"user_id": "u2", "business_id": "b1", "stars": 1.0,
+         "date": "2020-01-01"},
+    ]
+    path = tmp_path / "review.json"
+    path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    return path
+
+
+class TestAmazon:
+    def test_string_ids_remapped(self, amazon_csv):
+        ds = load_amazon_csv(amazon_csv, apply_k_core=False)
+        assert ds.num_users == 2 and ds.num_items == 3
+        # A2's items sorted by timestamp: B003 (50) before B001 (150).
+        assert len(ds.sequences[2]) == 2
+
+    def test_temporal_order(self, amazon_csv):
+        ds = load_amazon_csv(amazon_csv, apply_k_core=False)
+        # user A1: B001 (ts 100) then B002 (ts 200)
+        seq = ds.sequences[1]
+        assert len(seq) == 2
+
+    def test_min_rating(self, amazon_csv):
+        ds = load_amazon_csv(amazon_csv, min_rating=4.0, apply_k_core=False)
+        assert ds.num_interactions == 3  # the 2.0 rating dropped
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_amazon_csv(tmp_path / "nope.csv")
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ValueError):
+            load_amazon_csv(path)
+
+
+class TestYelp:
+    def test_date_cutoff(self, yelp_json):
+        ds = load_yelp_json(yelp_json, apply_k_core=False)
+        # The 2018 review is dropped -> 3 interactions remain.
+        assert ds.num_interactions == 3
+
+    def test_custom_cutoff(self, yelp_json):
+        ds = load_yelp_json(yelp_json, since="2017-01-01",
+                            apply_k_core=False)
+        assert ds.num_interactions == 4
+
+    def test_min_stars(self, yelp_json):
+        ds = load_yelp_json(yelp_json, min_stars=4.0, apply_k_core=False)
+        assert ds.num_interactions == 2
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError):
+            load_yelp_json(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"user_id": "u"}) + "\n")
+        with pytest.raises(ValueError):
+            load_yelp_json(path)

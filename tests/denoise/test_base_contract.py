@@ -1,0 +1,59 @@
+"""Contract tests for SequenceDenoiser.keep_decisions / dropped_ratio."""
+
+import numpy as np
+
+from repro.denoise.base import SequenceDenoiser
+from repro.nn import Tensor
+
+
+class DropEverySecond(SequenceDenoiser):
+    """Stub denoiser keeping alternate valid positions (0-based even)."""
+
+    max_len = 6
+
+    def forward(self, items, mask=None):
+        return Tensor(np.zeros((len(items), 3)))
+
+    def loss(self, batch):
+        return Tensor(np.zeros(1))
+
+    def keep_mask(self, items, mask):
+        mask = np.asarray(mask, bool)
+        keep = np.zeros_like(mask)
+        for row in range(mask.shape[0]):
+            valid = np.flatnonzero(mask[row])
+            keep[row, valid[::2]] = True
+        return keep
+
+
+class TestKeepDecisions:
+    def test_positions_relative_to_sequence(self):
+        model = DropEverySecond()
+        decisions = model.keep_decisions([[10, 11, 12, 13]])
+        # Left padding width 4 -> valid cols 0..3 kept at ::2 -> pos 0, 2.
+        assert decisions[1] == [0, 2]
+
+    def test_truncated_prefix_kept_by_default(self):
+        model = DropEverySecond()  # max_len = 6
+        seq = list(range(1, 11))  # length 10 > 6
+        decisions = model.keep_decisions([seq])
+        kept = decisions[1]
+        # Prefix positions 0..3 (outside the window) default to kept.
+        assert all(p in kept for p in range(4))
+        # Tail decisions land within [4, 10).
+        assert all(0 <= p < 10 for p in kept)
+
+    def test_dropped_ratio_value(self):
+        model = DropEverySecond()
+        # 4-item sequence keeps 2 -> 50% dropped.
+        ratio = model.dropped_ratio([[1, 2, 3, 4]])
+        np.testing.assert_allclose(ratio, 0.5)
+
+    def test_dropped_ratio_empty(self):
+        model = DropEverySecond()
+        assert model.dropped_ratio([]) == 0.0
+
+    def test_multiple_sequences_keyed_from_one(self):
+        model = DropEverySecond()
+        decisions = model.keep_decisions([[1, 2], [3, 4, 5]])
+        assert set(decisions) == {1, 2}

@@ -1,0 +1,240 @@
+"""Tests for the five denoising baselines (Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAD_ID, generate, inject_noise, score_denoising
+from repro.data.batching import Batch, pad_sequences
+from repro.denoise import DCRec, DENOISERS, DSAN, FMLPRec, HSD, STEAM
+from repro.denoise.fmlprec import circular_filter
+from repro.denoise.hsd import NoiseGate
+from repro.nn import Adam, Tensor
+
+RNG = np.random.default_rng(21)
+NUM_ITEMS = 40
+DIM = 16
+MAX_LEN = 10
+
+
+def make_model(name):
+    cls = DENOISERS[name]
+    kwargs = dict(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                  rng=np.random.default_rng(0))
+    return cls(**kwargs)
+
+
+def make_batch(batch_size=4):
+    seqs = [RNG.integers(1, NUM_ITEMS + 1,
+                         size=RNG.integers(3, MAX_LEN + 1)).tolist()
+            for _ in range(batch_size)]
+    items, mask, lengths = pad_sequences(seqs, max_len=MAX_LEN)
+    return Batch(users=np.arange(1, batch_size + 1), items=items, mask=mask,
+                 lengths=lengths,
+                 targets=RNG.integers(1, NUM_ITEMS + 1, size=batch_size))
+
+
+@pytest.mark.parametrize("name", sorted(DENOISERS))
+class TestAllDenoisers:
+    def test_forward_and_loss(self, name):
+        model = make_model(name)
+        batch = make_batch()
+        logits = model.forward(batch.items, batch.mask)
+        assert logits.shape[0] == batch.batch_size
+        assert (logits.data[:, PAD_ID] < -1e100).all()
+        loss = model.loss(batch)
+        assert np.isfinite(loss.item())
+
+    def test_gradients_flow(self, name):
+        model = make_model(name)
+        model.loss(make_batch()).backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, "no parameter received a gradient"
+        assert sum(float(np.abs(g).sum()) for g in grads) > 0
+
+    def test_one_step_reduces_loss(self, name):
+        model = make_model(name)
+        model.eval()
+        batch = make_batch()
+        opt = Adam(model.parameters(), lr=0.01)
+        np.random.seed(0)
+        first = model.loss(batch)
+        first.backward()
+        opt.step()
+        second = model.loss(batch)
+        assert second.item() < first.item() + 1e-6
+
+    def test_keep_decisions_interface(self, name):
+        model = make_model(name)
+        seqs = [RNG.integers(1, NUM_ITEMS + 1, size=6).tolist()
+                for _ in range(3)]
+        decisions = model.keep_decisions(seqs)
+        assert set(decisions) == {1, 2, 3}
+        for key, kept in decisions.items():
+            assert all(0 <= p < len(seqs[key - 1]) for p in kept)
+
+    def test_explicit_flag_consistent(self, name):
+        model = make_model(name)
+        if not model.explicit:
+            # Implicit methods keep every valid item.
+            seqs = [[1, 2, 3, 4, 5]]
+            assert model.keep_decisions(seqs)[1] == [0, 1, 2, 3, 4]
+
+
+class TestCircularFilter:
+    def test_identity_kernel(self):
+        x = Tensor(RNG.normal(size=(2, 5, 3)))
+        kernel = np.zeros((5, 3))
+        kernel[0] = 1.0  # delta at lag 0 -> identity
+        out = circular_filter(x, Tensor(kernel))
+        np.testing.assert_allclose(out.data, x.data, atol=1e-12)
+
+    def test_shift_kernel(self):
+        x = Tensor(RNG.normal(size=(1, 4, 2)))
+        kernel = np.zeros((4, 2))
+        kernel[1] = 1.0  # delta at lag 1 -> circular shift by one
+        out = circular_filter(x, Tensor(kernel))
+        np.testing.assert_allclose(out.data[:, 1:], x.data[:, :-1], atol=1e-12)
+        np.testing.assert_allclose(out.data[:, 0], x.data[:, -1], atol=1e-12)
+
+    def test_matches_fft(self):
+        """Time-domain circular conv == FFT elementwise multiply."""
+        x = RNG.normal(size=(2, 6, 3))
+        k = RNG.normal(size=(6, 3))
+        out = circular_filter(Tensor(x), Tensor(k)).data
+        ref = np.fft.ifft(np.fft.fft(x, axis=1) * np.fft.fft(k, axis=0)[None],
+                          axis=1).real
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_gradcheck(self):
+        x = Tensor(RNG.normal(size=(1, 4, 2)), requires_grad=True)
+        k = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        weights = RNG.normal(size=(1, 4, 2))
+        (circular_filter(x, k) * Tensor(weights)).sum().backward()
+        eps = 1e-6
+        for tensor, data in ((x, x.data), (k, k.data)):
+            flat = data.reshape(-1)
+            num = np.zeros_like(flat)
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi = (circular_filter(Tensor(x.data), Tensor(k.data)).data
+                      * weights).sum()
+                flat[i] = orig - eps
+                lo = (circular_filter(Tensor(x.data), Tensor(k.data)).data
+                      * weights).sum()
+                flat[i] = orig
+                num[i] = (hi - lo) / (2 * eps)
+            np.testing.assert_allclose(tensor.grad.reshape(-1), num, atol=1e-5)
+
+    def test_kernel_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            circular_filter(Tensor(np.zeros((1, 4, 2))),
+                            Tensor(np.zeros((3, 2))))
+
+
+class TestDSAN:
+    def test_sparse_attention_drops_items(self):
+        model = make_model("DSAN")
+        # With random weights some items usually get exactly zero attention.
+        seqs = [RNG.integers(1, NUM_ITEMS + 1, size=8).tolist()
+                for _ in range(8)]
+        decisions = model.keep_decisions(seqs)
+        total_kept = sum(len(v) for v in decisions.values())
+        assert total_kept < 64  # sparsemax produced at least one zero
+
+    def test_keep_mask_respects_padding(self):
+        model = make_model("DSAN")
+        items, mask, _ = pad_sequences([[1, 2, 3]], max_len=6)
+        keep = model.keep_mask(items, mask)
+        assert not keep[0, :3].any()  # padded positions never kept
+
+
+class TestHSD:
+    def test_gate_binary_and_masked(self):
+        gate = NoiseGate(DIM, rng=np.random.default_rng(0))
+        states = Tensor(RNG.normal(size=(3, 6, DIM)))
+        mask = np.ones((3, 6), dtype=bool)
+        mask[0, :3] = False
+        keep = gate(states, mask)
+        vals = keep.data
+        assert ((vals == 0) | (vals == 1)).all()
+        assert (vals[0, :3] == 0).all()
+
+    def test_gate_guidance_changes_decision_scores(self):
+        gate = NoiseGate(DIM, rng=np.random.default_rng(0))
+        gate.eval()
+        states = Tensor(RNG.normal(size=(2, 6, DIM)))
+        mask = np.ones((2, 6), dtype=bool)
+        s1, u1 = gate.signals(states, mask)
+        guidance = Tensor(RNG.normal(size=(2, 8, DIM)) * 3)
+        s2, u2 = gate.signals(states, mask, guidance=guidance)
+        np.testing.assert_allclose(s1.data, s2.data)  # seq signal unchanged
+        assert not np.allclose(u1.data, u2.data)      # interest signal moved
+
+    def test_never_empties_sequence(self):
+        model = make_model("HSD")
+        items, mask, _ = pad_sequences([[5, 5, 5]], max_len=6)
+        keep = model.keep_mask(items, mask)
+        assert keep.any()
+
+    def test_temperature_anneals_via_hook(self):
+        model = make_model("HSD")
+        start = model.gate.temperature.tau
+        for _ in range(model.gate.temperature.anneal_every):
+            model.on_batch_end()
+        assert model.gate.temperature.tau < start
+
+
+class TestSTEAM:
+    def test_corruption_labels(self):
+        model = make_model("STEAM")
+        items, mask, _ = pad_sequences(
+            [RNG.integers(1, NUM_ITEMS + 1, size=8).tolist()], max_len=MAX_LEN)
+        corrupted, cmask, labels = model._corrupt(items, mask)
+        assert corrupted.shape == items.shape
+        # Labels only at valid positions; inserted items labeled DELETE.
+        assert (labels[~cmask] == -1).all()
+        valid_labels = labels[cmask]
+        assert set(valid_labels.tolist()) <= {0, 1, 2}
+
+    def test_high_insert_rate_creates_delete_labels(self):
+        model = STEAM(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      corrupt_insert=0.9, corrupt_delete=0.0,
+                      rng=np.random.default_rng(0))
+        items, mask, _ = pad_sequences([[1, 2, 3, 4]], max_len=MAX_LEN)
+        _, cmask, labels = model._corrupt(items, mask)
+        assert (labels[cmask] == 1).sum() > 0  # OP_DELETE labels present
+
+
+class TestDCRec:
+    def test_dataset_aware_construction(self):
+        ds = generate("beauty", seed=0, scale=0.3)
+        model = DCRec(num_items=ds.num_items, dim=DIM, max_len=MAX_LEN,
+                      dataset=ds, rng=np.random.default_rng(0))
+        # Popular items get smaller conformity weight than rare ones.
+        pop = ds.item_popularity()
+        most, least = pop[1:].argmax() + 1, pop[1:].argmin() + 1
+        assert model._conformity[most] < model._conformity[least]
+
+    def test_contrastive_term_changes_loss(self):
+        ds = generate("beauty", seed=0, scale=0.3)
+        rng_batch = make_batch()
+        a = DCRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                  contrastive_weight=0.0, rng=np.random.default_rng(0))
+        b = DCRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                  contrastive_weight=1.0, rng=np.random.default_rng(0))
+        a.eval(), b.eval()
+        assert a.loss(rng_batch).item() != b.loss(rng_batch).item()
+
+
+class TestOUPIntegration:
+    def test_denoiser_scores_against_ground_truth(self):
+        """End-to-end Fig. 1 protocol on an untrained HSD (sanity only)."""
+        ds = generate("beauty", seed=0, scale=0.3, noise_rate=0.0)
+        noisy = inject_noise(ds, ratio=0.2, seed=0)
+        model = HSD(num_items=ds.num_items, dim=DIM, max_len=MAX_LEN,
+                    rng=np.random.default_rng(0))
+        seqs = noisy.dataset.sequences[1:]
+        result = score_denoising(noisy, model.keep_decisions(seqs))
+        assert 0.0 <= result.under_denoising <= 1.0
+        assert 0.0 <= result.over_denoising <= 1.0

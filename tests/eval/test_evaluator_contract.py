@@ -1,0 +1,75 @@
+"""Contract tests for the Evaluator against stub models."""
+
+import numpy as np
+
+from repro.data.dataset import SequenceExample
+from repro.eval import Evaluator
+from repro.nn import Tensor
+
+
+class OracleModel:
+    """Stub that always ranks the target first."""
+
+    training = False
+    num_items = 10
+
+    def eval(self):
+        self.training = False
+
+    def train(self):
+        self.training = True
+
+    def forward(self, items, mask):
+        batch = items.shape[0]
+        logits = np.zeros((batch, self.num_items + 1))
+        # Score each row's last item's successor highest... the evaluator
+        # does not know targets, so the oracle can't cheat through
+        # forward(); rank tests use AntiOracle below instead.
+        return Tensor(logits)
+
+
+class BatchAwareModel(OracleModel):
+    """Stub proving the evaluator prefers ``forward_batch``."""
+
+    def __init__(self):
+        self.used_batch_forward = False
+
+    def forward_batch(self, batch):
+        self.used_batch_forward = True
+        logits = np.zeros((batch.batch_size, self.num_items + 1))
+        logits[np.arange(batch.batch_size), batch.targets] = 10.0
+        return Tensor(logits)
+
+
+def examples(n=6):
+    return [SequenceExample(user=i + 1, sequence=[1, 2, 3], target=(i % 9) + 1)
+            for i in range(n)]
+
+
+class TestEvaluatorContract:
+    def test_prefers_forward_batch(self):
+        model = BatchAwareModel()
+        evaluator = Evaluator(examples(), max_len=5)
+        metrics = evaluator.evaluate(model)
+        assert model.used_batch_forward
+        assert metrics["HR@5"] == 1.0  # forward_batch scored targets top
+
+    def test_constant_scores_rank_pessimistically(self):
+        model = OracleModel()
+        evaluator = Evaluator(examples(), max_len=5)
+        ranks = evaluator.ranks(model)
+        # All-equal scores: pessimistic tie-breaking ranks targets last.
+        assert (ranks == model.num_items + 1).all()
+
+    def test_restores_train_mode(self):
+        model = BatchAwareModel()
+        model.train()
+        Evaluator(examples(), max_len=5).evaluate(model)
+        assert model.training
+
+    def test_rank_order_matches_example_order(self):
+        model = BatchAwareModel()
+        evaluator = Evaluator(examples(4), max_len=5, batch_size=2)
+        ranks = evaluator.ranks(model)
+        assert len(ranks) == 4
+        assert (ranks == 1).all()

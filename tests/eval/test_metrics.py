@@ -1,0 +1,173 @@
+"""Tests for ranking metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.eval import (compare_rank_lists, hit_ratio, improvement,
+                        metric_report, mrr, ndcg, paired_t_test,
+                        ranks_from_scores, welch_t_test)
+
+
+class TestRanks:
+    def test_simple_ranking(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        assert ranks_from_scores(scores, np.array([1]))[0] == 1
+        assert ranks_from_scores(scores, np.array([2]))[0] == 2
+        assert ranks_from_scores(scores, np.array([0]))[0] == 4
+
+    def test_ties_pessimistic(self):
+        scores = np.array([[0.5, 0.5, 0.5]])
+        # All tied: the target counts every tie ahead of it.
+        assert ranks_from_scores(scores, np.array([0]))[0] == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ranks_from_scores(np.zeros(3), np.zeros(3, dtype=int))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 30))
+    def test_rank_bounds_property(self, n_items):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(5, n_items))
+        targets = rng.integers(0, n_items, size=5)
+        ranks = ranks_from_scores(scores, targets)
+        assert ((ranks >= 1) & (ranks <= n_items)).all()
+
+
+class TestMetrics:
+    def test_hit_ratio(self):
+        ranks = np.array([1, 5, 11, 20, 21])
+        np.testing.assert_allclose(hit_ratio(ranks, 10), 0.4)
+        np.testing.assert_allclose(hit_ratio(ranks, 20), 0.8)
+
+    def test_ndcg_hand_computed(self):
+        ranks = np.array([1, 2, 100])
+        expected = (1.0 + 1.0 / np.log2(3.0) + 0.0) / 3
+        np.testing.assert_allclose(ndcg(ranks, 10), expected)
+
+    def test_mrr(self):
+        ranks = np.array([1, 4, 50])
+        np.testing.assert_allclose(mrr(ranks, 20), (1 + 0.25 + 0) / 3)
+        np.testing.assert_allclose(mrr(ranks), (1 + 0.25 + 0.02) / 3)
+
+    def test_perfect_and_worst(self):
+        perfect = np.ones(10, dtype=int)
+        assert hit_ratio(perfect, 5) == ndcg(perfect, 5) == mrr(perfect, 5) == 1.0
+        worst = np.full(10, 10_000)
+        assert hit_ratio(worst, 20) == ndcg(worst, 20) == mrr(worst, 20) == 0.0
+
+    def test_monotonic_in_k(self):
+        rng = np.random.default_rng(1)
+        ranks = rng.integers(1, 50, size=100)
+        assert hit_ratio(ranks, 5) <= hit_ratio(ranks, 10) <= hit_ratio(ranks, 20)
+        assert ndcg(ranks, 5) <= ndcg(ranks, 20)
+
+    def test_metric_report_keys(self):
+        report = metric_report(np.array([1, 2, 3]))
+        assert set(report) == {"HR@5", "HR@10", "HR@20",
+                               "N@5", "N@10", "N@20", "MRR"}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_ratio(np.array([1]), 0)
+
+    def test_empty_ranks(self):
+        assert hit_ratio(np.array([]), 5) == 0.0
+
+    def test_improvement(self):
+        ours = {"HR@5": 0.2, "N@5": 0.1}
+        base = {"HR@5": 0.1, "N@5": 0.1}
+        np.testing.assert_allclose(improvement(ours, base), 50.0)
+
+
+class TestSignificance:
+    def test_welch_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, 40)
+        b = rng.normal(0.5, 2.0, 35)
+        ours = welch_t_test(a, b)
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        np.testing.assert_allclose(ours.statistic, ref.statistic, rtol=1e-10)
+        np.testing.assert_allclose(ours.p_value, ref.pvalue, rtol=1e-10)
+
+    def test_paired_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 1.0, 30)
+        b = a + rng.normal(0.3, 0.5, 30)
+        ours = paired_t_test(a, b)
+        ref = scipy_stats.ttest_rel(a, b)
+        np.testing.assert_allclose(ours.statistic, ref.statistic, rtol=1e-10)
+        np.testing.assert_allclose(ours.p_value, ref.pvalue, rtol=1e-10)
+
+    def test_identical_samples_not_significant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        result = paired_t_test(a, a)
+        assert not result.significant()
+
+    def test_clear_difference_significant(self):
+        a = np.full(30, 10.0) + np.random.default_rng(4).normal(0, 0.1, 30)
+        b = np.zeros(30) + np.random.default_rng(5).normal(0, 0.1, 30)
+        assert welch_t_test(a, b).significant(alpha=0.001)
+
+    def test_compare_rank_lists(self):
+        better = np.ones(20, dtype=int)          # always rank 1
+        worse = np.full(20, 100, dtype=int)
+        result = compare_rank_lists(better, worse)
+        assert result.significant()
+        assert result.statistic > 0
+
+    def test_too_small_sample(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+
+class TestSampledRanks:
+    """The sampled-metric comparison utility (bias demonstration)."""
+
+    def _scores(self, n=50, v=200, seed=0):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(n, v))
+        targets = rng.integers(1, v, size=n)
+        return scores, targets, rng
+
+    def test_rank_bounds(self):
+        from repro.eval.metrics import sampled_ranks
+        scores, targets, rng = self._scores()
+        ranks = sampled_ranks(scores, targets, num_negatives=20, rng=rng)
+        assert ((ranks >= 1) & (ranks <= 21)).all()
+
+    def test_sampled_inflates_metrics(self):
+        """The documented bias: HR@K under sampling >= under full ranking."""
+        from repro.eval.metrics import sampled_ranks
+        scores, targets, rng = self._scores()
+        full = ranks_from_scores(scores, targets)
+        sampled = sampled_ranks(scores, targets, num_negatives=50, rng=rng)
+        assert hit_ratio(sampled, 10) >= hit_ratio(full, 10)
+
+    def test_exclude_mask_respected(self):
+        from repro.eval.metrics import sampled_ranks
+        rng = np.random.default_rng(0)
+        # Give excluded items huge scores: if they were sampled, the
+        # target would rank last.
+        scores = np.zeros((1, 10))
+        scores[0, 5:] = 100.0
+        exclude = np.zeros((1, 10), dtype=bool)
+        exclude[0, 5:] = True
+        ranks = sampled_ranks(scores, np.array([1]), num_negatives=3,
+                              rng=rng, exclude=exclude)
+        assert ranks[0] <= 4  # ties only among zero-scored sampled items
+
+    def test_too_many_negatives(self):
+        from repro.eval.metrics import sampled_ranks
+        with pytest.raises(ValueError):
+            sampled_ranks(np.zeros((1, 5)), np.array([1]), num_negatives=4)
+
+    def test_invalid_count(self):
+        from repro.eval.metrics import sampled_ranks
+        with pytest.raises(ValueError):
+            sampled_ranks(np.zeros((1, 5)), np.array([1]), num_negatives=0)

@@ -1,0 +1,77 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, grouped_bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart({"HSD": 0.5, "SSDRec": 0.25}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10   # max value fills the width
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart({"a": 1.0}, title="OUP")
+        assert out.splitlines()[0] == "OUP"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_all_zero(self):
+        out = bar_chart({"a": 0.0})
+        assert "#" not in out
+
+
+class TestGroupedBars:
+    def test_groups_share_scale(self):
+        out = grouped_bar_chart(
+            {"under": {"HSD": 1.0}, "over": {"HSD": 0.5}}, width=10)
+        lines = [l for l in out.splitlines() if "#" in l or "|" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+
+class TestLinePlot:
+    def test_markers_present(self):
+        out = line_plot([1, 2, 3], {"HR": [0.1, 0.3, 0.2],
+                                    "MRR": [0.05, 0.06, 0.04]})
+        assert "o" in out and "x" in out
+        assert "o=HR" in out and "x=MRR" in out
+
+    def test_log_axis(self):
+        out = line_plot([0.01, 0.1, 1, 10], {"s": [1, 2, 3, 4]}, logx=True)
+        assert "log10(x)" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"s": [1, 2]}, logx=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"s": [1, 2, 3]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([1], {"s": [1]})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        out = sparkline([1, 2, 3, 4])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,85 @@
+"""Property-based tests of graph construction over random datasets.
+
+The Sec. III-A construction rules are stated as universally quantified
+properties; hypothesis generates random small interaction datasets and
+checks that every rule holds on all of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.graph import (GraphConfig, build_dissimilar, build_incompatible,
+                         build_multi_relation_graph, build_similar,
+                         build_transitional)
+
+
+@st.composite
+def datasets(draw):
+    num_items = draw(st.integers(3, 12))
+    num_users = draw(st.integers(2, 8))
+    sequences = [[]]
+    for _ in range(num_users):
+        length = draw(st.integers(2, 8))
+        seq = [draw(st.integers(1, num_items)) for _ in range(length)]
+        sequences.append(seq)
+    return InteractionDataset(name="hyp", num_users=num_users,
+                              num_items=num_items, sequences=sequences)
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_transitional_weights_bounded(ds):
+    """Each pair occurrence contributes at most (n-1)/n < 1 per sequence."""
+    W = build_transitional(ds)
+    max_occurrences = sum(len(s) ** 2 for s in ds.sequences)
+    assert W.data.size == 0 or W.data.max() <= max_occurrences
+    assert (W.data >= 0).all() if W.data.size else True
+    assert W[0].nnz == 0 and W[:, 0].nnz == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_incompatible_never_overlaps_transitional(ds):
+    W = build_transitional(ds)
+    popular = np.arange(1, ds.num_items + 1)
+    inc = build_incompatible(W, popular)
+    sym = W + W.T
+    overlap = inc.multiply(sym)
+    assert overlap.nnz == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_similar_iff_co_interaction(ds):
+    A = ds.interaction_matrix()
+    sim = build_similar(A)
+    binary = (A > 0).astype(float)
+    co = (binary @ binary.T).toarray()
+    coo = sim.tocoo()
+    for i, j in zip(coo.row, coo.col):
+        assert co[i, j] > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_dissimilar_disjoint_from_similar_and_cointeraction(ds):
+    A = ds.interaction_matrix()
+    sim = build_similar(A)
+    dis = build_dissimilar(A, sim)
+    assert dis.multiply(sim).nnz == 0
+    binary = (A > 0).astype(float)
+    co = (binary @ binary.T).toarray()
+    coo = dis.tocoo()
+    for i, j in zip(coo.row, coo.col):
+        assert co[i, j] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(datasets())
+def test_full_graph_validates(ds):
+    graph = build_multi_relation_graph(ds, GraphConfig(max_neighbors=5))
+    graph.validate()
+    counts = graph.relation_counts()
+    assert all(v >= 0 for v in counts.values())

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--model", "SASRec"])
+        assert args.dataset == "beauty"
+        assert args.epochs == 10
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "Nope"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig1",
+                                          "--scale", "smoke"])
+        assert args.name == "fig1" and args.scale == "smoke"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ml-100k" in out and "sparsity" in out
+
+    def test_train_and_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        code = main(["train", "--model", "GRU4Rec", "--dataset", "beauty",
+                     "--dim", "8", "--max-len", "8", "--epochs", "1",
+                     "--scale", "0.25", "--save", str(ckpt)])
+        assert code == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "test:" in out
+
+    def test_train_ssdrec(self, capsys):
+        code = main(["train", "--model", "SSDRec", "--dataset", "beauty",
+                     "--dim", "8", "--max-len", "8", "--epochs", "1",
+                     "--scale", "0.25"])
+        assert code == 0
+        assert "SSDRec" in capsys.readouterr().out
+
+    def test_experiment_smoke(self, capsys):
+        assert main(["experiment", "table2", "--scale", "smoke"]) == 0
+        assert "Table II" in capsys.readouterr().out

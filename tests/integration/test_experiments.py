@@ -1,0 +1,160 @@
+"""Integration tests: every experiment runner executes at smoke scale.
+
+These exercise the exact code paths behind the benchmark harness, with
+minimal epochs — checking plumbing and output contracts, not effect sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (SCALES, fig1_oup, fig4_case_study, fig5_tau,
+                               table2_datasets, table3_backbones,
+                               table4_denoisers, table5_ablation,
+                               table6_efficiency)
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScaleConfig:
+    def test_default_scale_env(self, monkeypatch):
+        from repro.experiments import default_scale
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert default_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            default_scale()
+
+    def test_max_len_longer_for_movielens(self):
+        from repro.experiments import max_len_for
+        assert max_len_for("ml-1m", SMOKE) > max_len_for("beauty", SMOKE)
+
+
+class TestTable2:
+    def test_run_and_render(self):
+        rows = table2_datasets.run(SMOKE)
+        assert set(rows) == {"ml-100k", "ml-1m", "beauty", "sports", "yelp"}
+        for row in rows.values():
+            assert {"paper", "measured"} <= set(row)
+        text = table2_datasets.render(rows)
+        assert "sparsity" in text
+
+
+class TestTable3:
+    def test_single_cell(self):
+        from repro.experiments.common import prepare
+        prepared = prepare("beauty", SMOKE)
+        res = table3_backbones.run_one("GRU4Rec", prepared, SMOKE)
+        assert {"without", "with", "improvement"} <= set(res)
+        assert np.isfinite(res["improvement"])
+
+    def test_run_restricted(self):
+        results = table3_backbones.run(SMOKE, backbones=["STAMP"],
+                                       datasets=["beauty"])
+        assert set(results) == {"beauty"}
+        assert set(results["beauty"]) == {"STAMP"}
+        text = table3_backbones.render(results)
+        assert "STAMP" in text and "paper" in text
+
+
+class TestTable4:
+    def test_run_restricted(self):
+        results = table4_denoisers.run(SMOKE, methods=("HSD", "SSDRec"),
+                                       datasets=["beauty"])
+        per = results["beauty"]
+        assert {"HSD", "SSDRec", "improvement_vs_best"} <= set(per)
+        text = table4_denoisers.render(results)
+        assert "SSDRec improvement" in text
+
+    def test_build_every_method(self):
+        from repro.experiments.common import prepare
+        from repro.experiments.table4_denoisers import ALL_METHODS, build_method
+        prepared = prepare("beauty", SMOKE)
+        for name in ALL_METHODS:
+            model = build_method(name, prepared, SMOKE)
+            assert hasattr(model, "loss") and hasattr(model, "forward")
+
+
+class TestTable5:
+    def test_ablation_variants(self):
+        results = table5_ablation.run(SMOKE, profile="beauty")
+        assert set(results) == {"w/o SSDRec-1", "w/o SSDRec-2",
+                                "w/o SSDRec-3", "HSD", "SSDRec"}
+        for row in results.values():
+            assert set(row) == set(table5_ablation.TABLE5_METRICS)
+        assert "paper" in table5_ablation.render(results)
+
+    def test_extension_variants_construct(self):
+        from repro.experiments.common import prepare
+        from repro.experiments.table5_ablation import _extension_variants
+        prepared = prepare("beauty", SMOKE)
+        variants = _extension_variants(prepared, SMOKE, seed=0)
+        assert len(variants) == 6
+        assert any("f_den" in name for name in variants)
+
+
+class TestTable6:
+    def test_timings_positive(self):
+        results = table6_efficiency.run(SMOKE, methods=("HSD", "SSDRec"),
+                                        datasets=["beauty"])
+        for mode in ("training", "inference"):
+            for per in results[mode].values():
+                assert per["beauty"] > 0
+        assert "training" in table6_efficiency.render(results)
+
+
+class TestFig1:
+    def test_ratios_and_counts(self):
+        results = fig1_oup.run(SMOKE, methods=("HSD",), noise_ratio=0.2)
+        row = results["HSD"]
+        assert row["total_noise"] > 0 and row["total_raw"] > 0
+        assert 0 <= row["under_denoising"] <= 1
+        assert "under-denoise" in fig1_oup.render(results)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            fig1_oup.run(SMOKE, methods=("Nope",))
+
+
+class TestFig4:
+    def test_trace_contract(self):
+        result = fig4_case_study.run(SMOKE, profile="beauty")
+        trace = result["trace"]
+        assert {"raw_score", "augmented_score", "denoised_score",
+                "inserted_items", "removed_items"} <= set(trace)
+        assert {"SSDRec", "HSD"} == set(result["dropped_ratio"])
+        assert "case study" in fig4_case_study.render(result)
+
+
+class TestFig5:
+    def test_sweep(self):
+        results = fig5_tau.run(SMOKE, profile="beauty", taus=(0.5, 5.0))
+        assert set(results) == {0.5, 5.0}
+        for row in results.values():
+            assert {"HR@20", "N@20", "MRR"} == set(row)
+        assert "tau" in fig5_tau.render(results)
+
+
+class TestSignificanceRuns:
+    def test_two_seed_run(self):
+        from repro.experiments import significance_runs
+        result = significance_runs.run(SMOKE, profile="beauty",
+                                       seeds=(0, 1))
+        assert len(result["ssdrec_hr20"]) == 2
+        assert all(0 <= p <= 1 for p in result["paired_pvalues"])
+        assert 0 <= result["cross_seed_p"] <= 1
+        text = significance_runs.render(result)
+        assert "Welch" in text
+
+    def test_single_seed_rejected(self):
+        from repro.experiments import significance_runs
+        with pytest.raises(ValueError):
+            significance_runs.run(SMOKE, seeds=(0,))
+
+
+class TestNoiseSweep:
+    def test_single_level(self):
+        from repro.experiments import ext_noise_sweep
+        results = ext_noise_sweep.run(SMOKE, noise_levels=(0.2,))
+        assert set(results) == {0.2}
+        assert set(results[0.2]) == {"HSD", "SSDRec"}
+        assert "noise-level sweep" in ext_noise_sweep.render(results)

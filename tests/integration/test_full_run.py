@@ -1,0 +1,32 @@
+"""Tests for the one-command experiment orchestrator."""
+
+import pytest
+
+from repro.experiments.full_run import RUNNERS, main, run_all
+
+
+class TestFullRun:
+    def test_single_experiment(self, tmp_path, capsys):
+        timings = run_all(scale_name="smoke", only=["table2"],
+                          results_dir=tmp_path / "results",
+                          report_path=tmp_path / "EXPERIMENTS.md")
+        assert set(timings) == {"table2"}
+        assert (tmp_path / "results" / "table2_datasets.txt").exists()
+        report = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert "Table II" in report
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_all(scale_name="smoke", only=["bogus"],
+                    results_dir=tmp_path)
+
+    def test_runner_registry_complete(self):
+        # Every CLI experiment is runnable through full_run too.
+        from repro.cli import EXPERIMENTS
+        assert set(EXPERIMENTS) == set(RUNNERS)
+
+    def test_main_cli(self, tmp_path, capsys):
+        code = main(["--scale", "smoke", "--only", "table2",
+                     "--results-dir", str(tmp_path), "--no-report"])
+        assert code == 0
+        assert "done in" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Integrity checks on the transcribed paper numbers and table formatting.
+
+These guard the reference data the benchmark harness compares against:
+every table has the full metric block, the paper's internal consistency
+holds (e.g. HR grows with K; SSDRec rows dominate in Table IV), and the
+formatting helpers render what they are given.
+"""
+
+import numpy as np
+
+from repro.experiments.common import (METRIC_COLUMNS, format_table,
+                                      paper_vs_measured, ssdrec_config)
+from repro.experiments.config import SCALES
+from repro.experiments.paper_numbers import (CASE_STUDY, DROPPED_RATIOS,
+                                             TABLE2, TABLE3, TABLE4, TABLE5,
+                                             TABLE6, TAU_SWEEP)
+
+DATASETS = ("ml-100k", "ml-1m", "beauty", "sports", "yelp")
+BACKBONES = ("GRU4Rec", "NARM", "STAMP", "Caser", "SASRec", "BERT4Rec")
+DENOISERS = ("DSAN", "FMLP-Rec", "HSD", "DCRec", "STEAM", "SSDRec")
+
+
+class TestTable2Integrity:
+    def test_all_datasets_present(self):
+        assert set(TABLE2) == set(DATASETS)
+
+    def test_ml_sequences_longer(self):
+        assert TABLE2["ml-1m"]["avg_len"] > 10 * TABLE2["beauty"]["avg_len"]
+
+
+class TestTable3Integrity:
+    def test_complete_grid(self):
+        for dataset in DATASETS:
+            assert set(TABLE3[dataset]) == set(BACKBONES)
+            for rows in TABLE3[dataset].values():
+                for variant in ("without", "with"):
+                    assert set(rows[variant]) == set(METRIC_COLUMNS)
+
+    def test_hr_monotone_in_k(self):
+        for dataset in DATASETS:
+            for rows in TABLE3[dataset].values():
+                for variant in ("without", "with"):
+                    r = rows[variant]
+                    assert r["HR@5"] <= r["HR@10"] <= r["HR@20"]
+
+    def test_ssdrec_improves_every_cell(self):
+        """The paper's headline: w >= w/o on HR@20 for all 30 cells."""
+        for dataset in DATASETS:
+            for model, rows in TABLE3[dataset].items():
+                assert rows["with"]["HR@20"] >= rows["without"]["HR@20"], \
+                    (dataset, model)
+
+
+class TestTable4Integrity:
+    def test_complete_grid(self):
+        for dataset in DATASETS:
+            assert set(TABLE4[dataset]) == set(DENOISERS)
+
+    def test_ssdrec_best_on_every_metric(self):
+        for dataset in DATASETS:
+            rows = TABLE4[dataset]
+            for metric in METRIC_COLUMNS:
+                best = max(rows[m][metric] for m in DENOISERS)
+                assert rows["SSDRec"][metric] == best, (dataset, metric)
+
+    def test_table3_table4_ssdrec_rows_consistent(self):
+        """SSDRec's Table IV row is the SASRec-backboned configuration
+        (matches Table III's SASRec 'with' column)."""
+        for dataset in DATASETS:
+            t4 = TABLE4[dataset]["SSDRec"]
+            t3_sasrec = TABLE3[dataset]["SASRec"]["with"]
+            np.testing.assert_allclose(t4["HR@20"], t3_sasrec["HR@20"])
+
+
+class TestTable5Integrity:
+    def test_full_model_dominates(self):
+        for variant, row in TABLE5.items():
+            if variant == "SSDRec":
+                continue
+            assert TABLE5["SSDRec"]["HR@20"] > row["HR@20"], variant
+
+    def test_stage1_most_crucial(self):
+        drops = {v: TABLE5["SSDRec"]["HR@20"] - row["HR@20"]
+                 for v, row in TABLE5.items() if v.startswith("w/o")}
+        assert max(drops, key=drops.get) == "w/o SSDRec-1"
+
+
+class TestTable6Integrity:
+    def test_ssdrec_trains_slower_than_hsd(self):
+        for dataset in DATASETS:
+            assert TABLE6["training"]["SSDRec"][dataset] > \
+                TABLE6["training"]["HSD"][dataset]
+
+    def test_dropped_ratios_in_paper_range(self):
+        for ratio in DROPPED_RATIOS.values():
+            assert 0.2 < ratio < 0.4
+
+
+class TestCaseStudyIntegrity:
+    def test_score_progression(self):
+        assert CASE_STUDY["denoised_score"] > CASE_STUDY["hsd_score"] \
+            > CASE_STUDY["raw_score"]
+        assert abs(CASE_STUDY["augmented_score"]
+                   - CASE_STUDY["raw_score"]) < 0.05
+
+    def test_tau_sweep_matches_paper_grid(self):
+        assert TAU_SWEEP == (1e-2, 1e-1, 1.0, 10.0, 1e2, 1e3)
+
+
+class TestFormatting:
+    def test_format_table_renders_all_rows(self):
+        rows = [("a", {m: 0.1 for m in METRIC_COLUMNS}),
+                ("bb", {m: 0.2 for m in METRIC_COLUMNS})]
+        text = format_table("T", rows)
+        assert "a" in text and "bb" in text and "HR@20" in text
+
+    def test_format_table_missing_metric_nan(self):
+        text = format_table("T", [("x", {"HR@5": 0.5})])
+        assert "nan" in text
+
+    def test_paper_vs_measured(self):
+        row = {m: 0.5 for m in METRIC_COLUMNS}
+        text = paper_vs_measured("T", row, row)
+        assert "paper" in text and "measured" in text
+
+
+class TestSSDRecConfigHelper:
+    def test_thresholds_scale_with_max_len(self):
+        scale = SCALES["quick"]
+        short = ssdrec_config(scale, max_len=10)
+        long = ssdrec_config(scale, max_len=40)
+        assert short.augment_threshold < long.augment_threshold
+        assert short.target_drop_rate == long.target_drop_rate == 0.2
+
+    def test_overrides_win(self):
+        cfg = ssdrec_config(SCALES["smoke"], max_len=10, initial_tau=9.0,
+                            augment_threshold=3)
+        assert cfg.initial_tau == 9.0
+        assert cfg.augment_threshold == 3

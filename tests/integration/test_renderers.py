@@ -1,0 +1,54 @@
+"""Render-path tests: every experiment's render() embeds its visualization."""
+
+import numpy as np
+
+from repro.experiments import ext_noise_sweep, fig1_oup, fig5_tau
+
+
+class TestFig1Render:
+    def _results(self):
+        return {
+            "HSD": {"under_denoising": 0.9, "over_denoising": 0.1,
+                    "kept_noise": 9, "total_noise": 10,
+                    "dropped_raw": 5, "total_raw": 50},
+            "SSDRec": {"under_denoising": 0.7, "over_denoising": 0.05,
+                       "kept_noise": 7, "total_noise": 10,
+                       "dropped_raw": 2, "total_raw": 50},
+        }
+
+    def test_contains_bars_and_numbers(self):
+        text = fig1_oup.render(self._results())
+        assert "under-denoising" in text
+        assert "#" in text  # the bar chart
+        assert "0.900" in text and "0.700" in text
+
+
+class TestFig5Render:
+    def test_contains_line_plot(self):
+        results = {
+            0.1: {"HR@20": 0.10, "N@20": 0.05, "MRR": 0.02},
+            1.0: {"HR@20": 0.20, "N@20": 0.09, "MRR": 0.04},
+            10.0: {"HR@20": 0.15, "N@20": 0.07, "MRR": 0.03},
+        }
+        text = fig5_tau.render(results)
+        assert "tau sweep" in text
+        assert "log10(x)" in text
+        assert "o=HR@20" in text
+
+    def test_single_point_skips_plot(self):
+        results = {1.0: {"HR@20": 0.2, "N@20": 0.1, "MRR": 0.05}}
+        text = fig5_tau.render(results)
+        assert "tau sweep" not in text  # not enough points to plot
+
+
+class TestNoiseSweepRender:
+    def test_rows_per_level_and_method(self):
+        results = {
+            0.1: {"HSD": {"HR@20": 0.5, "under_denoising": 0.8,
+                          "over_denoising": 0.1},
+                  "SSDRec": {"HR@20": 0.6, "under_denoising": 0.7,
+                             "over_denoising": 0.05}},
+        }
+        text = ext_noise_sweep.render(results)
+        assert "10%" in text
+        assert "0.5000" in text and "0.6000" in text

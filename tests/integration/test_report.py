@@ -1,0 +1,32 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from pathlib import Path
+
+from repro.experiments.report import SECTIONS, build_report, main
+
+
+class TestReport:
+    def test_includes_existing_results(self, tmp_path):
+        (tmp_path / "fig1_oup.txt").write_text("UNDER 0.1 OVER 0.2")
+        report = build_report(tmp_path, scale="quick")
+        assert "UNDER 0.1 OVER 0.2" in report
+        assert "scale: ``quick``" in report
+
+    def test_flags_missing_sections(self, tmp_path):
+        report = build_report(tmp_path, scale="smoke")
+        assert "Missing sections" in report
+        for name, _, _ in SECTIONS:
+            assert name in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_datasets.txt").write_text("stats here")
+        out = tmp_path / "EXPERIMENTS.md"
+        assert main([str(results), str(out)]) == 0
+        assert "stats here" in out.read_text()
+
+    def test_every_section_has_commentary(self):
+        for name, title, commentary in SECTIONS:
+            assert len(commentary) > 40, f"{name} lacks commentary"
+            assert title

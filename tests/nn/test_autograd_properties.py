@@ -1,0 +1,133 @@
+"""Property-based tests of the autograd engine (hypothesis).
+
+Random compositions of differentiable ops are checked against central
+finite differences — the strongest general correctness statement we can
+make about reverse-mode AD.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+EPS = 1e-6
+
+# Each op: (name, callable, needs_positive_input)
+SAFE_UNARY = [
+    ("tanh", lambda t: t.tanh(), False),
+    ("sigmoid", lambda t: t.sigmoid(), False),
+    ("exp", lambda t: (t * 0.3).exp(), False),
+    ("square", lambda t: t * t, False),
+    ("scale", lambda t: t * 1.7 - 0.3, False),
+    ("softmax", lambda t: F.softmax(t, axis=-1), False),
+    ("logsumexp", lambda t: t.exp().sum(axis=-1, keepdims=True).log(), False),
+    ("mean", lambda t: t.mean(axis=0, keepdims=True) + t, False),
+]
+
+
+def numeric_grad(fn, x):
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        hi = fn(x)
+        flat[i] = orig - EPS
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * EPS)
+    return grad
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(range(len(SAFE_UNARY))), min_size=1, max_size=4),
+    st.integers(0, 10_000),
+)
+def test_random_composition_matches_finite_differences(op_indices, seed):
+    """d/dx of any chain of smooth ops must match finite differences."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.5, 1.5, size=(3, 4))
+    weights = rng.normal(size=(3, 4))
+
+    def apply_chain(arr):
+        t = Tensor(arr) if not isinstance(arr, Tensor) else arr
+        for idx in op_indices:
+            t = SAFE_UNARY[idx][1](t)
+        return t
+
+    t = Tensor(x.copy(), requires_grad=True)
+    (apply_chain(t) * Tensor(weights)).sum().backward()
+    num = numeric_grad(
+        lambda arr: float((apply_chain(arr).data * weights).sum()), x.copy())
+    np.testing.assert_allclose(t.grad, num, rtol=1e-3, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chain_rule_through_matmul_and_reduction(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+
+    def fn(arr):
+        return float((Tensor(arr) @ Tensor(b)).tanh().sum().data)
+
+    t = Tensor(a.copy(), requires_grad=True)
+    (t @ Tensor(b)).tanh().sum().backward()
+    num = numeric_grad(lambda arr: fn(arr), a.copy())
+    np.testing.assert_allclose(t.grad, num, rtol=1e-4, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_gradient_linearity(seed):
+    """grad of (f + g) == grad f + grad g, evaluated separately."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(5,))
+
+    t1 = Tensor(x.copy(), requires_grad=True)
+    (t1.tanh().sum()).backward()
+    g_f = t1.grad.copy()
+
+    t2 = Tensor(x.copy(), requires_grad=True)
+    ((t2 * t2).sum()).backward()
+    g_g = t2.grad.copy()
+
+    t3 = Tensor(x.copy(), requires_grad=True)
+    (t3.tanh().sum() + (t3 * t3).sum()).backward()
+    np.testing.assert_allclose(t3.grad, g_f + g_g, rtol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 1000))
+def test_softmax_jacobian_rows_sum_to_zero(rows, cols, seed):
+    """Σ_j d softmax_j / dx_i = 0: probability mass is conserved."""
+    rng = np.random.default_rng(seed)
+    t = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    F.softmax(t, axis=-1).sum().backward()
+    np.testing.assert_allclose(t.grad, np.zeros((rows, cols)), atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(2, 8), st.integers(0, 1000))
+def test_cross_entropy_gradient_rows_sum_to_zero(batch, classes, seed):
+    """Softmax CE gradient per row sums to zero (probs - onehot)."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(batch, classes)), requires_grad=True)
+    targets = rng.integers(0, classes, size=batch)
+    F.cross_entropy(logits, targets).backward()
+    np.testing.assert_allclose(logits.grad.sum(axis=1),
+                               np.zeros(batch), atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_detach_blocks_gradient(seed):
+    rng = np.random.default_rng(seed)
+    t = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    blocked = t.detach() * t  # only one path carries gradient
+    blocked.sum().backward()
+    np.testing.assert_allclose(t.grad, t.data, rtol=1e-12)

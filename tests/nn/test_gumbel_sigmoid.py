@@ -1,0 +1,65 @@
+"""Tests for the binary-concrete (Gumbel-sigmoid) gate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, gumbel_sigmoid
+
+
+class TestGumbelSigmoid:
+    def test_hard_is_binary(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        out = gumbel_sigmoid(logits, tau=0.5, hard=True,
+                             rng=np.random.default_rng(1))
+        assert ((out.data == 0) | (out.data == 1)).all()
+
+    def test_soft_in_unit_interval(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        out = gumbel_sigmoid(logits, tau=1.0, hard=False,
+                             rng=np.random.default_rng(1))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_deterministic_thresholds_at_zero(self):
+        logits = Tensor(np.array([-3.0, -0.1, 0.1, 3.0]))
+        out = gumbel_sigmoid(logits, tau=1.0, hard=True, deterministic=True)
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 1.0, 1.0])
+
+    def test_extreme_logits_saturate(self):
+        rng = np.random.default_rng(2)
+        logits = Tensor(np.array([50.0, -50.0]))
+        for _ in range(20):
+            out = gumbel_sigmoid(logits, tau=1.0, hard=True, rng=rng)
+            np.testing.assert_allclose(out.data, [1.0, 0.0])
+
+    def test_sampling_rate_matches_sigmoid(self):
+        """Empirical keep rate approximates sigmoid(logit) at tau=1."""
+        rng = np.random.default_rng(3)
+        logit = 1.0
+        logits = Tensor(np.full(20_000, logit))
+        out = gumbel_sigmoid(logits, tau=1.0, hard=True, rng=rng)
+        expected = 1.0 / (1.0 + np.exp(-logit))
+        assert abs(out.data.mean() - expected) < 0.02
+
+    def test_straight_through_gradient(self):
+        logits = Tensor(np.random.default_rng(4).normal(size=(3, 5)),
+                        requires_grad=True)
+        out = gumbel_sigmoid(logits, tau=1.0, hard=True,
+                             rng=np.random.default_rng(5))
+        out.sum().backward()
+        assert logits.grad is not None
+        # Soft-sample gradients: sigmoid'(z)/tau > 0 everywhere.
+        assert (logits.grad > 0).all()
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            gumbel_sigmoid(Tensor(np.zeros(3)), tau=-1.0)
+
+    def test_low_tau_sharpens(self):
+        """Small tau pushes soft samples toward {0,1}."""
+        rng_a, rng_b = (np.random.default_rng(6), np.random.default_rng(6))
+        logits = Tensor(np.random.default_rng(7).normal(size=1000))
+        soft_hi = gumbel_sigmoid(logits, tau=5.0, hard=False, rng=rng_a)
+        soft_lo = gumbel_sigmoid(logits, tau=0.1, hard=False, rng=rng_b)
+        spread_hi = np.abs(soft_hi.data - 0.5).mean()
+        spread_lo = np.abs(soft_lo.data - 0.5).mean()
+        assert spread_lo > spread_hi

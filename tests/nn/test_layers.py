@@ -1,0 +1,399 @@
+"""Tests for layers, modules, RNNs, attention, optimizers, and Gumbel-Softmax."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (GRU, LSTM, Adam, BiLSTM, Conv1d, Dropout, Embedding,
+                      FeedForward, LayerNorm, Linear, MaxPool1d, Module,
+                      MultiHeadAttention, Parameter, PositionalEmbedding,
+                      SGD, Tensor, TemperatureSchedule, TransformerEncoder,
+                      causal_mask, clip_grad_norm, gumbel_softmax, sparsemax)
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(2)
+
+
+def rand_rng():
+    return np.random.default_rng(123)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(4, 3, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(5, 4)))
+        out = layer(x)
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(
+            out.data, x.data @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=rand_rng())
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 2, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(3, 4)))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 3.0))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 6, rng=rand_rng())
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_duplicate_ids_accumulate_grad(self):
+        emb = Embedding(5, 3, rng=rand_rng())
+        emb(np.array([2, 2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(3, 3.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_padding_idx_row_zero(self):
+        emb = Embedding(5, 3, padding_idx=0, rng=rand_rng())
+        np.testing.assert_allclose(emb(np.array([0])).data, np.zeros((1, 3)))
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 3, rng=rand_rng())
+        with pytest.raises(IndexError):
+            emb(np.array([7]))
+
+
+class TestLayerNorm:
+    def test_output_statistics(self):
+        ln = LayerNorm(16)
+        x = Tensor(RNG.normal(2.0, 3.0, size=(4, 16)))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), rtol=1e-3)
+
+    def test_gradcheck(self):
+        ln = LayerNorm(5)
+        x = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        (ln(x) * Tensor(RNG.normal(size=(2, 5)))).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestConv1d:
+    def test_matches_manual_convolution(self):
+        conv = Conv1d(2, 3, kernel_size=2, rng=rand_rng())
+        x = RNG.normal(size=(1, 2, 5))
+        out = conv(Tensor(x))
+        assert out.shape == (1, 3, 4)
+        # Manual: out[0, o, t] = sum_{c,k} w[o, c*K+k... ] -- reconstruct cols
+        for t in range(4):
+            col = np.concatenate([x[0, :, t + k] for k in range(2)])
+            # our weight layout: (out, C*K) with col order (C, K) flattened as
+            # channel-major because stacking is (kernel) then transpose ->
+            # cols are [c0k0, c0k1, c1k0, c1k1]? verify via layer itself:
+            pass
+        # Differentiability and shape are the critical contracts; value parity
+        # with a reference implementation:
+        ref = np.zeros((1, 3, 4))
+        w = conv.weight.data.reshape(3, 2, 2)  # (out, C, K) per our col order
+        for o in range(3):
+            for t in range(4):
+                ref[0, o, t] = (w[o] * x[0, :, t:t + 2]).sum() + conv.bias.data[o]
+        np.testing.assert_allclose(out.data, ref, rtol=1e-10)
+
+    def test_stride(self):
+        conv = Conv1d(1, 1, kernel_size=2, stride=2, rng=rand_rng())
+        out = conv(Tensor(RNG.normal(size=(2, 1, 6))))
+        assert out.shape == (2, 1, 3)
+
+    def test_too_short_raises(self):
+        conv = Conv1d(1, 1, kernel_size=5, rng=rand_rng())
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3))))
+
+    def test_gradients(self):
+        conv = Conv1d(2, 2, kernel_size=3, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(2, 2, 6)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad.shape == (2, 2, 6)
+        assert conv.weight.grad is not None
+
+    def test_maxpool(self):
+        pool = MaxPool1d()
+        x = Tensor(np.array([[[1.0, 5.0, 2.0]]]))
+        np.testing.assert_allclose(pool(x).data, [[5.0]])
+
+
+class TestRNNs:
+    def test_gru_shapes(self):
+        gru = GRU(4, 6, rng=rand_rng())
+        out, h = gru(Tensor(RNG.normal(size=(3, 7, 4))))
+        assert out.shape == (3, 7, 6)
+        assert h.shape == (3, 6)
+        np.testing.assert_allclose(out.data[:, -1], h.data)
+
+    def test_lstm_shapes(self):
+        lstm = LSTM(4, 5, rng=rand_rng())
+        out, (h, c) = lstm(Tensor(RNG.normal(size=(2, 6, 4))))
+        assert out.shape == (2, 6, 5)
+        assert h.shape == c.shape == (2, 5)
+
+    def test_bilstm_directions_differ(self):
+        bi = BiLSTM(4, 5, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(2, 6, 4)))
+        left, right = bi(x)
+        assert left.shape == right.shape == (2, 6, 5)
+        assert not np.allclose(left.data, right.data)
+
+    def test_bilstm_backward_state_reverses(self):
+        """H^R at the last position only saw the last item."""
+        bi = BiLSTM(3, 4, rng=rand_rng())
+        x1 = RNG.normal(size=(1, 5, 3))
+        x2 = x1.copy()
+        x2[0, 0] += 10.0  # perturb the first item
+        _, r1 = bi(Tensor(x1))
+        _, r2 = bi(Tensor(x2))
+        # The backward pass's state at the LAST position depends only on the
+        # last item, so perturbing the first item must not change it.
+        np.testing.assert_allclose(r1.data[0, -1], r2.data[0, -1], atol=1e-12)
+        # But it must change the backward state at the first position.
+        assert not np.allclose(r1.data[0, 0], r2.data[0, 0])
+
+    def test_rnn_gradients_flow_through_time(self):
+        gru = GRU(3, 3, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(1, 8, 3)), requires_grad=True)
+        out, _ = gru(x)
+        out[:, -1, :].sum().backward()
+        assert np.abs(x.grad[0, 0]).sum() > 0  # gradient reached t=0
+
+
+class TestAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(8, num_heads=2, dropout=0.0, rng=rand_rng())
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        assert mha(x, x, x).shape == (2, 5, 8)
+
+    def test_causal_mask_blocks_future(self):
+        mha = MultiHeadAttention(8, num_heads=2, dropout=0.0, rng=rand_rng())
+        mha.eval()
+        x1 = RNG.normal(size=(1, 4, 8))
+        x2 = x1.copy()
+        x2[0, -1] += 5.0  # change only the last position
+        mask = causal_mask(4)
+        out1 = mha(Tensor(x1), Tensor(x1), Tensor(x1), attn_mask=mask)
+        out2 = mha(Tensor(x2), Tensor(x2), Tensor(x2), attn_mask=mask)
+        # Earlier positions cannot see the change at the last position.
+        np.testing.assert_allclose(out1.data[0, :3], out2.data[0, :3], atol=1e-10)
+        assert not np.allclose(out1.data[0, 3], out2.data[0, 3])
+
+    def test_transformer_encoder(self):
+        enc = TransformerEncoder(8, num_layers=2, num_heads=2, dropout=0.0,
+                                 rng=rand_rng())
+        out = enc(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_dim_head_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, num_heads=2)
+
+
+class TestSparsemax:
+    def test_simplex_output(self):
+        out = sparsemax(Tensor(RNG.normal(size=(4, 9))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-10)
+        assert (out.data >= 0).all()
+
+    def test_produces_exact_zeros(self):
+        out = sparsemax(Tensor(np.array([[5.0, 0.0, -5.0]])))
+        assert out.data[0, 2] == 0.0
+        assert out.data[0, 0] > 0.9
+
+    def test_uniform_input_uniform_output(self):
+        out = sparsemax(Tensor(np.zeros((1, 5))))
+        np.testing.assert_allclose(out.data, np.full((1, 5), 0.2))
+
+    def test_gradient_finite_difference(self):
+        x = RNG.normal(size=(6,))
+        t = Tensor(x.copy(), requires_grad=True)
+        weights = RNG.normal(size=(6,))
+        (sparsemax(t.reshape(1, 6)) * Tensor(weights)).sum().backward()
+        eps = 1e-6
+        num = np.zeros(6)
+        for i in range(6):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            fp = (sparsemax(Tensor(xp.reshape(1, 6))).data * weights).sum()
+            fm = (sparsemax(Tensor(xm.reshape(1, 6))).data * weights).sum()
+            num[i] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(t.grad, num, atol=1e-4)
+
+
+class TestGumbel:
+    def test_hard_one_hot(self):
+        logits = Tensor(RNG.normal(size=(4, 10)))
+        out = gumbel_softmax(logits, tau=0.5, hard=True,
+                             rng=np.random.default_rng(3))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+        assert ((out.data == 0) | (out.data == 1)).all()
+
+    def test_soft_sums_to_one(self):
+        logits = Tensor(RNG.normal(size=(4, 10)))
+        out = gumbel_softmax(logits, tau=1.0, hard=False,
+                             rng=np.random.default_rng(3))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+        assert not ((out.data == 0) | (out.data == 1)).all()
+
+    def test_deterministic_picks_argmax(self):
+        logits = Tensor(np.array([[0.1, 3.0, 0.2]]))
+        out = gumbel_softmax(logits, tau=0.1, hard=True, deterministic=True)
+        np.testing.assert_allclose(out.data, [[0.0, 1.0, 0.0]])
+
+    def test_straight_through_gradient(self):
+        logits = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        out = gumbel_softmax(logits, tau=1.0, hard=True,
+                             rng=np.random.default_rng(3))
+        (out * Tensor(RNG.normal(size=(2, 5)))).sum().backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_low_tau_concentrates(self):
+        rng = np.random.default_rng(4)
+        logits = Tensor(np.array([[0.0, 4.0, 0.0]]))
+        hits = sum(
+            gumbel_softmax(logits, tau=0.05, hard=True, rng=rng).data.argmax() == 1
+            for _ in range(50))
+        assert hits >= 45
+
+    def test_invalid_tau_raises(self):
+        with pytest.raises(ValueError):
+            gumbel_softmax(Tensor(np.zeros((1, 3))), tau=0.0)
+
+    def test_temperature_schedule(self):
+        sched = TemperatureSchedule(initial_tau=1.0, anneal_rate=0.5,
+                                    anneal_every=2, min_tau=0.2)
+        taus = [sched.step() for _ in range(8)]
+        assert taus[0] == 1.0 and taus[1] == 0.5 and taus[3] == 0.25
+        assert min(taus) == 0.2  # floor respected
+        sched.reset()
+        assert sched.tau == 1.0
+
+
+class TestModuleMechanics:
+    def _tiny_model(self):
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(3, 4, rng=rand_rng())
+                self.blocks = [Linear(4, 4, rng=rand_rng()) for _ in range(2)]
+                self.drop = Dropout(0.5)
+
+            def forward(self, x):
+                x = self.fc1(x)
+                for b in self.blocks:
+                    x = b(x)
+                return self.drop(x)
+
+        return Tiny()
+
+    def test_parameter_collection_recurses_lists(self):
+        model = self._tiny_model()
+        # fc1 (w+b) + 2 blocks (w+b each) = 6 parameters
+        assert len(model.parameters()) == 6
+
+    def test_train_eval_propagates(self):
+        model = self._tiny_model()
+        model.eval()
+        assert not model.drop.training
+        model.train()
+        assert model.drop.training
+
+    def test_state_dict_roundtrip(self):
+        model = self._tiny_model()
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.fc1.weight.data, state["fc1.weight"])
+
+    def test_state_dict_mismatch_raises(self):
+        model = self._tiny_model()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_zero_grad(self):
+        model = self._tiny_model()
+        model.eval()
+        model(Tensor(RNG.normal(size=(2, 3)))).sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+
+class TestOptim:
+    def test_sgd_descends_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_adam_descends_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.zeros(2), atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            losses[momentum] = abs(p.data[0])
+        assert losses[0.9] < losses[0.0]
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([30.0, 40.0])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(norm, 50.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 5.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestPositionalEmbedding:
+    def test_shape_and_limit(self):
+        pe = PositionalEmbedding(10, 4, rng=rand_rng())
+        assert pe(5).shape == (5, 4)
+        with pytest.raises(ValueError):
+            pe(11)
+
+
+class TestFeedForward:
+    def test_roundtrip_shape(self):
+        ffn = FeedForward(8, dropout=0.0, rng=rand_rng())
+        out = ffn(Tensor(RNG.normal(size=(2, 3, 8))))
+        assert out.shape == (2, 3, 8)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            FeedForward(8, activation="swishish")

@@ -1,0 +1,30 @@
+"""Tests for Module introspection helpers not covered elsewhere."""
+
+import numpy as np
+
+from repro.nn import Linear, Module, Sequential, Tensor
+
+
+class TestSequential:
+    def test_chains_modules(self):
+        seq = Sequential(Linear(4, 8, rng=np.random.default_rng(0)),
+                         Linear(8, 2, rng=np.random.default_rng(1)))
+        out = seq(Tensor(np.random.default_rng(2).normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_parameters_collected(self):
+        seq = Sequential(Linear(4, 8), Linear(8, 2))
+        assert len(seq.parameters()) == 4  # two weights + two biases
+
+
+class TestModulesIterator:
+    def test_yields_nested(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Sequential(Linear(2, 2), Linear(2, 2))
+
+        outer = Outer()
+        kinds = [type(m).__name__ for m in outer.modules()]
+        assert kinds.count("Linear") == 2
+        assert "Sequential" in kinds and "Outer" in kinds

@@ -1,0 +1,100 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Parameter
+from repro.nn.schedulers import (CosineAnnealingLR, ExponentialLR,
+                                 ReduceOnPlateau, StepLR, WarmupLR)
+
+
+def make_opt(lr=0.1):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        opt = make_opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [0.1, 0.01, 0.01, 0.001, 0.001])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestExponential:
+    def test_geometric_decay(self):
+        sched = ExponentialLR(make_opt(1.0), gamma=0.5)
+        lrs = [sched.step() for _ in range(3)]
+        np.testing.assert_allclose(lrs, [0.5, 0.25, 0.125])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        np.testing.assert_allclose(lrs[-1], 0.0, atol=1e-12)
+        # Monotone non-increasing.
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_stays_at_min_after_t_max(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=2, min_lr=0.1)
+        for _ in range(5):
+            lr = sched.step()
+        np.testing.assert_allclose(lr, 0.1)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_opt(1.0), warmup=4)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0])
+
+    def test_delegates_after_warmup(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup=2, after=ExponentialLR(opt, gamma=0.5))
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.5, 1.0, 0.5, 0.25])
+
+    def test_constant_after_warmup_without_delegate(self):
+        sched = WarmupLR(make_opt(1.0), warmup=1)
+        lrs = [sched.step() for _ in range(3)]
+        np.testing.assert_allclose(lrs, [1.0, 1.0, 1.0])
+
+
+class TestReduceOnPlateau:
+    def test_reduces_after_patience(self):
+        opt = make_opt(0.1)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        sched.step(0.5)   # best
+        sched.step(0.4)   # bad 1
+        lr = sched.step(0.4)  # bad 2 -> reduce
+        np.testing.assert_allclose(lr, 0.05)
+
+    def test_improvement_resets(self):
+        opt = make_opt(0.1)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        sched.step(0.5)
+        sched.step(0.4)
+        sched.step(0.6)   # improvement resets the counter
+        lr = sched.step(0.5)
+        np.testing.assert_allclose(lr, 0.1)
+
+    def test_min_lr_floor(self):
+        opt = make_opt(1e-6)
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=1, min_lr=1e-6)
+        sched.step(1.0)
+        lr = sched.step(0.0)
+        assert lr == 1e-6
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_opt(), factor=1.5)

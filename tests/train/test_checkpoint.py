@@ -1,0 +1,94 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.models import GRU4Rec, SASRec
+from repro.nn import Adam
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+
+def make_model(seed=0):
+    return GRU4Rec(num_items=20, dim=8, max_len=6,
+                   rng=np.random.default_rng(seed))
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        model = make_model(seed=0)
+        path = save_checkpoint(model, tmp_path / "ckpt.npz",
+                               metadata={"epoch": 3})
+        other = make_model(seed=1)
+        assert not np.allclose(other.item_embedding.weight.data,
+                               model.item_embedding.weight.data)
+        meta = load_checkpoint(other, path)
+        assert meta == {"epoch": 3}
+        np.testing.assert_array_equal(other.item_embedding.weight.data,
+                                      model.item_embedding.weight.data)
+
+    def test_optimizer_state_roundtrip(self, tmp_path):
+        model = make_model()
+        opt = Adam(model.parameters(), lr=0.01)
+        # Take a couple of steps to populate the moments.
+        for _ in range(3):
+            opt.zero_grad()
+            (model.item_embedding.weight * 2.0).sum().backward()
+            opt.step()
+        path = save_checkpoint(model, tmp_path / "c.npz", optimizer=opt)
+        model2 = make_model()
+        opt2 = Adam(model2.parameters(), lr=0.01)
+        load_checkpoint(model2, path, optimizer=opt2)
+        assert opt2._t == opt._t
+        np.testing.assert_array_equal(opt2._m[0], opt._m[0])
+
+    def test_wrong_architecture_rejected(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(model, tmp_path / "c.npz")
+        other = SASRec(num_items=20, dim=8, max_len=6,
+                       rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+
+    def test_missing_optimizer_state(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(model, tmp_path / "c.npz")
+        opt = Adam(model.parameters())
+        with pytest.raises(KeyError):
+            load_checkpoint(model, path, optimizer=opt)
+
+    def test_training_resumes_identically(self, tmp_path):
+        """Checkpoint mid-training, resume, and match a continuous run."""
+        from repro.data.batching import Batch, pad_sequences
+
+        def batch():
+            items, mask, lengths = pad_sequences([[1, 2, 3], [4, 5, 6]],
+                                                 max_len=6)
+            return Batch(users=np.array([1, 2]), items=items, mask=mask,
+                         lengths=lengths, targets=np.array([4, 7]))
+
+        def steps(model, opt, n):
+            model.eval()  # no dropout randomness
+            for _ in range(n):
+                opt.zero_grad()
+                model.loss(batch()).backward()
+                opt.step()
+
+        # Continuous run of 6 steps.
+        cont = make_model()
+        cont_opt = Adam(cont.parameters(), lr=0.01)
+        steps(cont, cont_opt, 6)
+
+        # 3 steps, checkpoint, restore into a fresh model, 3 more steps.
+        first = make_model()
+        first_opt = Adam(first.parameters(), lr=0.01)
+        steps(first, first_opt, 3)
+        path = save_checkpoint(first, tmp_path / "mid.npz",
+                               optimizer=first_opt)
+        resumed = make_model()
+        resumed_opt = Adam(resumed.parameters(), lr=0.01)
+        load_checkpoint(resumed, path, optimizer=resumed_opt)
+        steps(resumed, resumed_opt, 3)
+
+        np.testing.assert_allclose(
+            resumed.item_embedding.weight.data,
+            cont.item_embedding.weight.data, atol=1e-12)

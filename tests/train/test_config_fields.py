@@ -1,0 +1,27 @@
+"""Small contract tests for TrainConfig/TrainResult dataclasses."""
+
+import numpy as np
+
+from repro.train import TrainConfig, TrainResult
+
+
+class TestTrainConfig:
+    def test_defaults_match_paper_protocol(self):
+        config = TrainConfig()
+        assert config.learning_rate == 1e-3   # Adam lr of Sec. IV-A3
+        assert config.patience == 10          # early-stop patience
+        assert config.eval_metric == "HR@20"  # early-stop metric
+        assert config.batch_size == 256       # paper's mini-batch size
+
+    def test_replaceable(self):
+        from dataclasses import replace
+        config = replace(TrainConfig(), epochs=3, weight_decay=1e-4)
+        assert config.epochs == 3 and config.weight_decay == 1e-4
+
+
+class TestTrainResult:
+    def test_history_is_per_epoch(self):
+        result = TrainResult(best_metric=0.5, best_epoch=1, epochs_run=2,
+                             history=[{"loss": 1.0}, {"loss": 0.5}])
+        assert len(result.history) == result.epochs_run
+        assert result.history[result.best_epoch]["loss"] == 0.5

@@ -1,0 +1,67 @@
+"""Tests for the hyper-parameter grid search."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate, leave_one_out_split
+from repro.models import GRU4Rec
+from repro.train import TrainConfig
+from repro.train.search import grid_search
+
+
+@pytest.fixture(scope="module")
+def split():
+    return leave_one_out_split(generate("beauty", seed=0, scale=0.25),
+                               max_len=8)
+
+
+def factory_for(split):
+    def factory(dim=8):
+        return GRU4Rec(num_items=split.num_items, dim=dim, max_len=8,
+                       rng=np.random.default_rng(0))
+    return factory
+
+
+class TestGridSearch:
+    def test_paper_l2_grid(self, split):
+        """The paper's weight-decay grid {0, 1e-3, 1e-4}."""
+        result = grid_search(
+            factory_for(split), split,
+            param_grid={"weight_decay": [0.0, 1e-3, 1e-4]},
+            base_config=TrainConfig(epochs=1, batch_size=64))
+        assert len(result.trials) == 3
+        assert result.best_params["weight_decay"] in (0.0, 1e-3, 1e-4)
+        assert result.best_metric == max(m for _, m in result.trials)
+
+    def test_cartesian_product(self, split):
+        result = grid_search(
+            factory_for(split), split,
+            param_grid={"weight_decay": [0.0, 1e-3], "dim": [4, 8]},
+            base_config=TrainConfig(epochs=1, batch_size=64))
+        assert len(result.trials) == 4
+        dims = {p["dim"] for p, _ in result.trials}
+        assert dims == {4, 8}
+
+    def test_model_kwargs_routed(self, split):
+        captured = []
+
+        def factory(dim=8):
+            captured.append(dim)
+            return GRU4Rec(num_items=split.num_items, dim=dim, max_len=8,
+                           rng=np.random.default_rng(0))
+
+        grid_search(factory, split, param_grid={"dim": [4, 6]},
+                    base_config=TrainConfig(epochs=1, batch_size=64))
+        assert captured == [4, 6]
+
+    def test_ranked_order(self, split):
+        result = grid_search(
+            factory_for(split), split,
+            param_grid={"learning_rate": [1e-3, 1e-8]},
+            base_config=TrainConfig(epochs=2, batch_size=64))
+        ranked = result.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+
+    def test_empty_grid_rejected(self, split):
+        with pytest.raises(ValueError):
+            grid_search(factory_for(split), split, param_grid={})

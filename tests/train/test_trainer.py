@@ -1,0 +1,126 @@
+"""Tests for the training loop: early stopping, checkpointing, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate, leave_one_out_split
+from repro.eval import Evaluator
+from repro.models import GRU4Rec
+from repro.train import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def split():
+    return leave_one_out_split(generate("beauty", seed=0, scale=0.3),
+                               max_len=10)
+
+
+def make_model(seed=0):
+    return GRU4Rec(num_items=72, dim=16, max_len=10,
+                   rng=np.random.default_rng(seed))
+
+
+class TestTrainer:
+    def test_runs_requested_epochs(self, split):
+        model = make_model()
+        result = Trainer(model, split,
+                         TrainConfig(epochs=3, batch_size=32,
+                                     patience=10)).fit()
+        assert result.epochs_run == 3
+        assert len(result.history) == 3
+        assert result.train_seconds_per_epoch > 0
+
+    def test_early_stopping_triggers(self, split):
+        model = make_model()
+        # Zero learning rate -> validation metric never improves after
+        # the first epoch -> stops after patience more epochs.
+        config = TrainConfig(epochs=50, batch_size=32, learning_rate=0.0,
+                             patience=2)
+        result = Trainer(model, split, config).fit()
+        assert result.stopped_early
+        assert result.epochs_run <= 1 + 2 + 1
+
+    def test_best_checkpoint_restored(self, split):
+        model = make_model()
+        config = TrainConfig(epochs=4, batch_size=32, patience=10, seed=1)
+        trainer = Trainer(model, split, config)
+        result = trainer.fit()
+        # The restored model must reproduce the best validation metric.
+        metric = trainer.evaluator.evaluate(model)[config.eval_metric]
+        np.testing.assert_allclose(metric, result.best_metric, atol=1e-12)
+
+    def test_loss_decreases_over_training(self, split):
+        model = make_model()
+        result = Trainer(model, split,
+                         TrainConfig(epochs=8, batch_size=32,
+                                     patience=20)).fit()
+        losses = [h["loss"] for h in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_on_batch_end_hook_called(self, split):
+        model = make_model()
+        calls = []
+        model.on_batch_end = lambda: calls.append(1)
+        Trainer(model, split, TrainConfig(epochs=1, batch_size=32)).fit()
+        assert len(calls) == len(
+            list(range(0, len(split.train), 32)))
+
+    def test_padding_row_stays_zero(self, split):
+        model = make_model()
+        Trainer(model, split, TrainConfig(epochs=2, batch_size=32)).fit()
+        np.testing.assert_allclose(model.item_embedding.weight.data[0],
+                                   np.zeros(16))
+
+    def test_weight_decay_accepted(self, split):
+        model = make_model()
+        result = Trainer(model, split,
+                         TrainConfig(epochs=1, batch_size=32,
+                                     weight_decay=1e-3)).fit()
+        assert np.isfinite(result.history[0]["loss"])
+
+
+class TestEvaluatorIntegration:
+    def test_eval_restores_training_mode(self, split):
+        model = make_model()
+        model.train()
+        Evaluator(split.valid, max_len=10).evaluate(model)
+        assert model.training
+
+    def test_eval_requires_examples(self):
+        with pytest.raises(ValueError):
+            Evaluator([])
+
+    def test_deterministic_in_eval_mode(self, split):
+        model = make_model()
+        ev = Evaluator(split.test, max_len=10)
+        m1 = ev.evaluate(model)
+        m2 = ev.evaluate(model)
+        assert m1 == m2
+
+
+class TestSchedulerIntegration:
+    def test_epoch_scheduler_steps(self, split):
+        from repro.nn.schedulers import ExponentialLR
+        model = make_model()
+        trainer = Trainer(
+            model, split, TrainConfig(epochs=3, batch_size=32, patience=10),
+            scheduler_factory=lambda opt: ExponentialLR(opt, gamma=0.5))
+        result = trainer.fit()
+        lrs = [h["lr"] for h in result.history]
+        np.testing.assert_allclose(lrs, [5e-4, 2.5e-4, 1.25e-4])
+
+    def test_plateau_scheduler_receives_metric(self, split):
+        from repro.nn.schedulers import ReduceOnPlateau
+        model = make_model()
+        trainer = Trainer(
+            model, split,
+            TrainConfig(epochs=3, batch_size=32, learning_rate=0.0,
+                        patience=10),
+            scheduler_factory=lambda opt: ReduceOnPlateau(opt, patience=1,
+                                                          min_lr=0.0))
+        result = trainer.fit()
+        # lr=0 means the metric never improves after epoch 1 -> reductions
+        # (clamped at min_lr=0, so the rate can only stay or shrink).
+        lrs = [h["lr"] for h in result.history]
+        assert lrs[-1] <= lrs[0]
+        assert len(lrs) == result.epochs_run
