@@ -10,7 +10,8 @@ import pytest
 
 from repro.data import generate
 from repro.graph import build_multi_relation_graph
-from repro.nn import BiLSTM, Tensor, TransformerEncoder, gumbel_softmax
+from repro.nn import (LSTM, BiLSTM, LSTMCell, Tensor, TransformerEncoder,
+                      gumbel_softmax, reference, scaled_dot_product_attention)
 from repro.nn import functional as F
 
 RNG = np.random.default_rng(0)
@@ -73,3 +74,163 @@ def test_micro_graph_construction(benchmark):
     dataset = generate("beauty", seed=0, scale=0.5)
     graph = benchmark(lambda: build_multi_relation_graph(dataset))
     assert graph.transitional.nnz > 0
+
+
+# ---------------------------------------------------------------------------
+# Fused vs. unfused kernels (PR 1 fusion layer).  Benchmarks sharing a group
+# are compared side-by-side by pytest-benchmark; the unfused variants come
+# from repro.nn.reference and reproduce the pre-fusion compositions, so each
+# group is a before/after measurement of the same workload.
+# ``scripts/perf_smoke.py`` runs the same pairs as a regression gate.
+# ---------------------------------------------------------------------------
+
+def _attention_inputs():
+    rng = np.random.default_rng(1)
+    q = Tensor(rng.normal(size=(64, 50, 32)), requires_grad=True)
+    k = Tensor(rng.normal(size=(64, 50, 32)), requires_grad=True)
+    v = Tensor(rng.normal(size=(64, 50, 32)), requires_grad=True)
+    mask = np.tril(np.ones((50, 50), dtype=bool))
+    return q, k, v, mask
+
+
+@pytest.mark.benchmark(group="attention-fwd-bwd")
+def test_micro_attention_fused(benchmark):
+    q, k, v, mask = _attention_inputs()
+
+    def step():
+        q.grad = k.grad = v.grad = None
+        scaled_dot_product_attention(q, k, v, attn_mask=mask).sum().backward()
+
+    benchmark(step)
+    assert q.grad is not None
+
+
+@pytest.mark.benchmark(group="attention-fwd-bwd")
+def test_micro_attention_unfused(benchmark):
+    q, k, v, mask = _attention_inputs()
+
+    def step():
+        q.grad = k.grad = v.grad = None
+        reference.attention_unfused(q, k, v, attn_mask=mask).sum().backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="cross-entropy")
+def test_micro_cross_entropy_fused(benchmark):
+    logits = Tensor(RNG.normal(size=(256, 2000)), requires_grad=True)
+    targets = RNG.integers(0, 2000, size=256)
+
+    def step():
+        logits.grad = None
+        F.cross_entropy(logits, targets).backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="cross-entropy")
+def test_micro_cross_entropy_unfused(benchmark):
+    logits = Tensor(RNG.normal(size=(256, 2000)), requires_grad=True)
+    targets = RNG.integers(0, 2000, size=256)
+
+    def step():
+        logits.grad = None
+        reference.cross_entropy_unfused(logits, targets).backward()
+
+    benchmark(step)
+
+
+def _lstm_inputs():
+    rng = np.random.default_rng(2)
+    cell = LSTMCell(64, 64, rng=np.random.default_rng(0))
+    x = Tensor(rng.normal(size=(128, 64)), requires_grad=True)
+    h = Tensor(rng.normal(size=(128, 64)), requires_grad=True)
+    c = Tensor(rng.normal(size=(128, 64)), requires_grad=True)
+    return cell, x, h, c
+
+
+@pytest.mark.benchmark(group="lstm-step")
+def test_micro_lstm_step_fused(benchmark):
+    cell, x, h, c = _lstm_inputs()
+
+    def step():
+        cell.zero_grad()
+        x.grad = h.grad = c.grad = None
+        h2, c2 = cell(x, (h, c))
+        (h2.sum() + c2.sum()).backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="lstm-step")
+def test_micro_lstm_step_unfused(benchmark):
+    cell, x, h, c = _lstm_inputs()
+
+    def step():
+        cell.zero_grad()
+        x.grad = h.grad = c.grad = None
+        h2, c2 = reference.lstm_step_unfused(x, h, c, cell.w_ih, cell.w_hh,
+                                             cell.bias, 64)
+        (h2.sum() + c2.sum()).backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="lstm-recurrence")
+def test_micro_lstm_recurrence_fused(benchmark):
+    # The whole 20-step recurrence runs as one lstm_sequence graph node.
+    lstm = LSTM(32, 32, rng=np.random.default_rng(0))
+    x = Tensor(np.random.default_rng(3).normal(size=(64, 20, 32)),
+               requires_grad=True)
+
+    def step():
+        lstm.zero_grad()
+        x.grad = None
+        outs, _ = lstm(x)
+        outs.sum().backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="lstm-recurrence")
+def test_micro_lstm_recurrence_unfused(benchmark):
+    lstm = LSTM(32, 32, rng=np.random.default_rng(0))
+    x = Tensor(np.random.default_rng(3).normal(size=(64, 20, 32)),
+               requires_grad=True)
+    cell = lstm.cell
+
+    def step():
+        lstm.zero_grad()
+        x.grad = None
+        h = Tensor(np.zeros((64, 32)))
+        c = Tensor(np.zeros((64, 32)))
+        outs = []
+        for t in range(20):
+            h, c = reference.lstm_step_unfused(x[:, t, :], h, c, cell.w_ih,
+                                               cell.w_hh, cell.bias, 32)
+            outs.append(h)
+        Tensor.stack(outs, axis=1).sum().backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="softmax")
+def test_micro_softmax_fused(benchmark):
+    x = Tensor(RNG.normal(size=(256, 2000)), requires_grad=True)
+
+    def step():
+        x.grad = None
+        F.softmax(x).sum().backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="softmax")
+def test_micro_softmax_unfused(benchmark):
+    x = Tensor(RNG.normal(size=(256, 2000)), requires_grad=True)
+
+    def step():
+        x.grad = None
+        reference.softmax_unfused(x).sum().backward()
+
+    benchmark(step)

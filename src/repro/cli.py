@@ -84,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic dataset size multiplier")
     train.add_argument("--save", default=None,
                        help="write a checkpoint (.npz) after training")
+    train.add_argument("--profile", action="store_true",
+                       help="print per-op substrate timings after training")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -136,7 +138,10 @@ def cmd_train(args) -> int:
                      TrainConfig(epochs=args.epochs,
                                  batch_size=args.batch_size,
                                  learning_rate=args.lr, seed=args.seed,
-                                 verbose=True)).fit()
+                                 verbose=True,
+                                 profile=args.profile)).fit()
+    if args.profile and result.profile_table:
+        print(result.profile_table)
     metrics = Evaluator(split.test, max_len=args.max_len).evaluate(model)
     print("test:", {k: round(v, 4) for k, v in metrics.items()})
     if args.save:

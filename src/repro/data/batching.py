@@ -70,11 +70,20 @@ def pad_sequences(sequences: Sequence[Sequence[int]],
 
 
 class DataLoader:
-    """Iterate over :class:`SequenceExample` lists in shuffled mini-batches."""
+    """Iterate over :class:`SequenceExample` lists in shuffled mini-batches.
+
+    Deterministic loaders (``shuffle=False`` — validation and test splits)
+    produce identical batches every epoch, so their padded ``items``/
+    ``mask`` arrays are built once on the first pass and cached; early
+    stopping evaluates every epoch, making re-padding the same arrays a
+    measurable waste.  Consumers must treat batch arrays as read-only
+    (every in-repo model does).  Pass ``cache=False`` to opt out.
+    """
 
     def __init__(self, examples: List[SequenceExample], batch_size: int = 256,
                  max_len: Optional[int] = None, shuffle: bool = True,
-                 seed: int = 0, drop_last: bool = False):
+                 seed: int = 0, drop_last: bool = False,
+                 cache: Optional[bool] = None):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.examples = list(examples)
@@ -83,6 +92,8 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
+        self.cache = (not shuffle) if cache is None else cache
+        self._cached_batches: Optional[List[Batch]] = None
 
     def __len__(self) -> int:
         n = len(self.examples)
@@ -91,6 +102,11 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[Batch]:
+        if self._cached_batches is not None:
+            yield from self._cached_batches
+            return
+        collect = self.cache and not self.shuffle
+        collected: List[Batch] = []
         order = np.arange(len(self.examples))
         if self.shuffle:
             self._rng.shuffle(order)
@@ -101,13 +117,18 @@ class DataLoader:
             chunk = [self.examples[i] for i in idx]
             items, mask, lengths = pad_sequences(
                 [ex.sequence for ex in chunk], self.max_len)
-            yield Batch(
+            batch = Batch(
                 users=np.array([ex.user for ex in chunk], dtype=np.int64),
                 items=items,
                 mask=mask,
                 lengths=lengths,
                 targets=np.array([ex.target for ex in chunk], dtype=np.int64),
             )
+            if collect:
+                collected.append(batch)
+            yield batch
+        if collect:
+            self._cached_batches = collected
 
 
 class BucketedDataLoader(DataLoader):

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..data.batching import DataLoader
 from ..data.dataset import SequenceExample
-from ..nn import no_grad
+from ..nn import Tensor, no_grad
 from .metrics import metric_report, ranks_from_scores
 
 
@@ -17,6 +17,14 @@ class Evaluator:
 
     Models are put in eval mode, run without gradient tracking, and scored
     by full ranking against the entire item universe.
+
+    Candidate scoring is vectorized: models exposing the
+    ``encode``/``score`` API (every :class:`SequentialRecommender`) have
+    their per-batch sequence representations gathered first, then *one*
+    matmul against the item table scores all users at once — at small
+    model dimensions the per-batch scoring matmuls dominate eval cost.
+    Models with a custom ``forward_batch`` (e.g. SSDRec, which needs user
+    ids) or without the encode/score split fall back to per-batch scoring.
     """
 
     def __init__(self, examples: List[SequenceExample], batch_size: int = 256,
@@ -32,18 +40,37 @@ class Evaluator:
         """Target ranks for every example (order matches the example list)."""
         was_training = getattr(model, "training", False)
         model.eval()
-        all_ranks: List[np.ndarray] = []
         with no_grad():
-            for batch in self.loader:
-                batch_forward = getattr(model, "forward_batch", None)
-                if batch_forward is not None:
-                    logits = batch_forward(batch)
-                else:
-                    logits = model.forward(batch.items, batch.mask)
-                scores = logits.data[:, :]
-                all_ranks.append(ranks_from_scores(scores, batch.targets))
+            batch_forward = getattr(model, "forward_batch", None)
+            encode = getattr(model, "encode", None)
+            score = getattr(model, "score", None)
+            if batch_forward is None and encode is not None and score is not None:
+                all_ranks = self._ranks_vectorized(model, encode, score)
+            else:
+                all_ranks = self._ranks_per_batch(model, batch_forward)
         if was_training:
             model.train()
+        return all_ranks
+
+    def _ranks_vectorized(self, model, encode, score) -> np.ndarray:
+        """Encode per batch, then score every user in a single matmul."""
+        reprs: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for batch in self.loader:
+            reprs.append(encode(batch.items, batch.mask).data)
+            targets.append(batch.targets)
+        scores = score(Tensor(np.concatenate(reprs, axis=0))).data
+        return ranks_from_scores(scores, np.concatenate(targets))
+
+    def _ranks_per_batch(self, model, batch_forward) -> np.ndarray:
+        all_ranks: List[np.ndarray] = []
+        for batch in self.loader:
+            if batch_forward is not None:
+                logits = batch_forward(batch)
+            else:
+                logits = model.forward(batch.items, batch.mask)
+            scores = logits.data[:, :]
+            all_ranks.append(ranks_from_scores(scores, batch.targets))
         return np.concatenate(all_ranks)
 
     def evaluate(self, model) -> Dict[str, float]:

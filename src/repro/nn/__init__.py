@@ -6,16 +6,19 @@ recurrent and attention modules, optimizers, and Gumbel-Softmax sampling.
 """
 
 from . import functional
+from . import reference
 from .attention import (MultiHeadAttention, TransformerEncoder,
                         TransformerEncoderLayer, causal_mask, padding_mask,
-                        sparsemax)
+                        scaled_dot_product_attention, sparsemax)
 from .gumbel import (TemperatureSchedule, gumbel_log_logits, gumbel_sigmoid,
                      gumbel_softmax)
 from .layers import (Conv1d, Dropout, Embedding, FeedForward, LayerNorm,
                      Linear, MaxPool1d, PositionalEmbedding)
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, clip_grad_norm
-from .rnn import GRU, LSTM, BiLSTM, GRUCell, LSTMCell
+from .profiler import Profiler, profiler
+from .rnn import (GRU, LSTM, BiLSTM, GRUCell, LSTMCell, gru_sequence,
+                  gru_step, lstm_sequence, lstm_step)
 from .schedulers import (CosineAnnealingLR, ExponentialLR, LRScheduler,
                          ReduceOnPlateau, StepLR, WarmupLR)
 from .tensor import Tensor, arange, ensure_tensor, no_grad, ones, randn, zeros
@@ -28,6 +31,9 @@ __all__ = [
     "GRU", "LSTM", "BiLSTM", "GRUCell", "LSTMCell",
     "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer",
     "causal_mask", "padding_mask", "sparsemax",
+    "scaled_dot_product_attention", "lstm_step", "gru_step",
+    "lstm_sequence", "gru_sequence",
+    "Profiler", "profiler", "reference",
     "gumbel_softmax", "gumbel_sigmoid", "gumbel_log_logits",
     "TemperatureSchedule",
     "SGD", "Adam", "clip_grad_norm",

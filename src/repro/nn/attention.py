@@ -11,12 +11,76 @@ from typing import Optional
 
 import numpy as np
 
-from . import functional as F
 from .layers import Dropout, FeedForward, LayerNorm, Linear
 from .module import Module
 from .tensor import Tensor, ensure_tensor
 
 _NEG_INF = np.finfo(np.float64).min / 4
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 attn_mask: Optional[np.ndarray] = None,
+                                 scale: Optional[float] = None,
+                                 dropout_mask: Optional[np.ndarray] = None
+                                 ) -> Tensor:
+    """Fused attention: ``softmax(scale * q kᵀ + mask) @ v`` as one node.
+
+    The full QKᵀ → mask → softmax → (dropout) → V chain runs in NumPy and
+    records a single backward closure, avoiding the ~10 intermediate graph
+    nodes (and their allocations) of the unfused composition.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(..., L_q, d)``, ``(..., L_k, d)``, ``(..., L_k, d_v)`` tensors.
+    attn_mask:
+        Boolean array broadcastable to ``(..., L_q, L_k)``; True marks
+        allowed positions.
+    scale:
+        Score multiplier; defaults to ``1/sqrt(d)``.
+    dropout_mask:
+        Optional pre-scaled inverted-dropout multiplier for the attention
+        weights (plain array, already divided by the keep probability).
+    """
+    q, k, v = map(ensure_tensor, (q, k, v))
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    q_data, k_data, v_data = q.data, k.data, v.data
+    scores = q_data @ np.swapaxes(k_data, -1, -2)
+    scores *= scale
+    if attn_mask is not None:
+        blocked = np.broadcast_to(~np.asarray(attn_mask, dtype=bool),
+                                  scores.shape)
+        np.copyto(scores, _NEG_INF, where=blocked)
+    # In-place stable softmax over the last axis.
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    weights = scores
+    dropped = weights if dropout_mask is None else weights * dropout_mask
+    out_data = dropped @ v_data
+
+    def backward(grad):
+        g_dropped = grad @ np.swapaxes(v_data, -1, -2)
+        g_v = np.swapaxes(dropped, -1, -2) @ grad
+        # g_dropped is freshly allocated, so the softmax JVP can run
+        # entirely in place on it: g_scores = w * (g_w - sum(g_w * w)).
+        g_w = g_dropped
+        if dropout_mask is not None:
+            g_w *= dropout_mask
+        inner = np.einsum("...ij,...ij->...i", g_w, weights)
+        g_w -= inner[..., None]
+        g_w *= weights
+        if attn_mask is not None:
+            # Fully-masked rows produce uniform weights; the mask fill must
+            # still block their gradient (as masked_fill does unfused).
+            np.copyto(g_w, 0.0, where=blocked)
+        g_w *= scale
+        g_q = g_w @ k_data
+        g_k = np.swapaxes(g_w, -1, -2) @ q_data
+        return (g_q, g_k, g_v)
+
+    return Tensor._make(out_data, (q, k, v), backward)
 
 
 def causal_mask(length: int) -> np.ndarray:
@@ -101,17 +165,21 @@ class MultiHeadAttention(Module):
         q = self._split_heads(self.q_proj(query), batch, len_q)
         k = self._split_heads(self.k_proj(key), batch, len_k)
         v = self._split_heads(self.v_proj(value), batch, len_k)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        mask = None
         if attn_mask is not None:
             mask = np.asarray(attn_mask, dtype=bool)
             # Broadcast to (B, heads, L_q, L_k)
             while mask.ndim < 4:
                 mask = mask[:, None] if mask.ndim == 3 else mask[None]
-            scores = scores.masked_fill(~np.broadcast_to(
-                mask, (batch, self.num_heads, len_q, len_k)), _NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        weights = self.dropout(weights)
-        context = weights @ v  # (B, H, L_q, head_dim)
+        dropout_mask = None
+        if self.training and self.dropout.p > 0.0:
+            p = self.dropout.p
+            shape = (batch, self.num_heads, len_q, len_k)
+            dropout_mask = ((self.dropout.rng.random(shape) >= p)
+                            .astype(np.float64) / (1.0 - p))
+        context = scaled_dot_product_attention(
+            q, k, v, attn_mask=mask, scale=1.0 / np.sqrt(self.head_dim),
+            dropout_mask=dropout_mask)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, len_q, self.dim)
         return self.out_proj(merged)
 

@@ -37,22 +37,41 @@ def gelu(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    Fused: the whole forward runs in NumPy and records a *single* graph
+    node whose backward is the analytic Jacobian-vector product
+    ``p * (g - sum(g * p))`` — no intermediate Tensor allocations.
+    """
     x = ensure_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+    out_data = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(out_data, out=out_data)
+    out_data /= out_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - inner),)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
+    """Numerically stable log-softmax along ``axis`` (fused single node)."""
     x = ensure_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    out_data = x.data - x.data.max(axis=axis, keepdims=True)
+    out_data -= np.log(np.exp(out_data).sum(axis=axis, keepdims=True))
+
+    def backward(grad):
+        return (grad - np.exp(out_data) * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """Softmax that assigns zero probability where ``mask`` is False.
+
+    Fused with the mask fill: invalid entries get probability (and
+    gradient) exactly zero through one graph node.
 
     Parameters
     ----------
@@ -61,13 +80,30 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """
     x = ensure_tensor(x)
     neg_inf = np.finfo(np.float64).min / 4
-    filled = x.masked_fill(~np.asarray(mask, dtype=bool), neg_inf)
-    return softmax(filled, axis=axis)
+    valid = np.broadcast_to(np.asarray(mask, dtype=bool), x.shape)
+    out_data = np.where(valid, x.data, neg_inf)
+    out_data -= out_data.max(axis=axis, keepdims=True)
+    np.exp(out_data, out=out_data)
+    out_data /= out_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        # Softmax JVP; masked entries have out_data == 0 there, except for
+        # fully-masked rows (uniform output) where the fill must not leak
+        # gradient back into x.
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        g = out_data * (grad - inner)
+        return (np.where(valid, g, 0.0),)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray,
                   ignore_index: Optional[int] = None) -> Tensor:
     """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    Fused: forward computes the picked log-probabilities directly and the
+    backward is the closed form ``(softmax - onehot) / N`` — one graph
+    node instead of the log-softmax/gather/mean composition.
 
     Parameters
     ----------
@@ -83,14 +119,58 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     if logits.ndim != 2:
         raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
     n = logits.shape[0]
-    logp = log_softmax(logits, axis=-1)
     rows = np.arange(n)
-    picked = logp[rows, targets]
+    shifted = logits.data - logits.data.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    sumexp = exp.sum(axis=-1, keepdims=True)
+    logp_target = shifted[rows, targets] - np.log(sumexp[:, 0])
     if ignore_index is not None:
-        keep = (targets != ignore_index).astype(np.float64)
-        denom = max(keep.sum(), 1.0)
-        return -(picked * Tensor(keep)).sum() / denom
-    return -picked.mean()
+        weights = (targets != ignore_index).astype(np.float64)
+        weights /= max(weights.sum(), 1.0)
+    else:
+        weights = np.full(n, 1.0 / n)
+    out_data = np.asarray(-(logp_target * weights).sum())
+    probs = exp / sumexp
+
+    def backward(grad):
+        g = probs.copy()
+        g[rows, targets] -= 1.0
+        g *= weights[:, None]
+        g *= grad
+        return (g,)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused affine map ``x @ W + b`` recorded as one graph node.
+
+    ``x`` may have any number of leading batch dimensions; ``weight`` is
+    ``(in_features, out_features)`` and ``bias``, when given, is
+    ``(out_features,)``.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    x_data, w_data = x.data, weight.data
+    out_data = x_data @ w_data
+    if bias is not None:
+        bias = ensure_tensor(bias)
+        out_data += bias.data  # fresh array from matmul: in-place is safe
+
+    def backward(grad):
+        g_x = grad @ w_data.T
+        if x_data.ndim == 2:
+            g_w = x_data.T @ grad
+        else:
+            leading = list(range(x_data.ndim - 1))
+            g_w = np.tensordot(x_data, grad, axes=(leading, leading))
+        if bias is None:
+            return (g_x, g_w)
+        g_b = grad.sum(axis=tuple(range(grad.ndim - 1)))
+        return (g_x, g_w, g_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,

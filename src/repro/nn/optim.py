@@ -20,11 +20,12 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     Returns the pre-clipping norm.
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = float(np.sqrt(sum(float(np.dot(g, g)) for g in
+                              (p.grad.reshape(-1) for p in params))))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            p.grad *= scale
     return total
 
 
@@ -66,7 +67,9 @@ class SGD(Optimizer):
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data = p.data - self.lr * grad
+            # In-place update: the parameter array is never reallocated, so
+            # optimizer state, views, and checkpoints keep aliasing it.
+            p.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -82,22 +85,37 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Two scratch buffers per parameter so a step performs zero array
+        # allocations: every intermediate lands in a preallocated buffer and
+        # the parameter itself is updated in place.
+        self._buf1 = [np.empty_like(p.data) for p in self.params]
+        self._buf2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, buf1, buf2 in zip(self.params, self._m, self._v,
+                                       self._buf1, self._buf2):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf1)
+                buf1 += grad
+                grad = buf1
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf2)
+            m += buf2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=buf2)
+            buf2 *= (1.0 - self.beta2)
+            v += buf2
+            # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=buf2)
+            np.sqrt(buf2, out=buf2)
+            buf2 += self.eps
+            np.divide(m, buf2, out=buf2)
+            buf2 *= self.lr / bias1
+            p.data -= buf2

@@ -3,6 +3,11 @@
 The Bi-LSTM is the paper's "context-aware encoder" (Eq. 9 and Eq. 12): its
 left-to-right hidden states ``H^L`` summarize each item's left context and
 its right-to-left states ``H^R`` the right context.
+
+Cell steps are *fused*: the whole gate computation (two matmuls, one
+sigmoid/tanh pass over the concatenated pre-activations, and the state
+update) runs in NumPy and records a single graph node per step, instead of
+the ~15 elementwise/slice nodes per step of the naive composition.
 """
 
 from __future__ import annotations
@@ -14,6 +19,381 @@ import numpy as np
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, ensure_tensor
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+def lstm_step(x: Tensor, hc: Tensor, w_ih: Tensor, w_hh: Tensor,
+              bias: Tensor, hidden_dim: int) -> Tensor:
+    """One fused LSTM step.
+
+    Parameters
+    ----------
+    x:
+        ``(B, input_dim)`` input at this timestep.
+    hc:
+        ``(B, 2*hidden_dim)`` concatenated ``[h, c]`` previous state.
+    w_ih, w_hh, bias:
+        Fused gate parameters in ``(i, f, g, o)`` order.
+
+    Returns
+    -------
+    Tensor
+        ``(B, 2*hidden_dim)`` concatenated ``[h_new, c_new]``.  Feeding the
+        result straight back into the next step keeps the recurrence at one
+        graph node per timestep; use :func:`narrow` to read ``h`` or ``c``.
+    """
+    d = hidden_dim
+    x, hc = ensure_tensor(x), ensure_tensor(hc)
+    x_data, hc_data = x.data, hc.data
+    h, c = hc_data[:, :d], hc_data[:, d:]
+    gates = x_data @ w_ih.data
+    gates += h @ w_hh.data
+    gates += bias.data
+    # One activation array; sigmoid runs in-place over the contiguous
+    # (i, f) block and the o block, tanh over g — no per-gate temporaries.
+    acts = np.empty_like(gates)
+    for sl in (slice(0, 2 * d), slice(3 * d, 4 * d)):
+        a = acts[:, sl]                    # sigmoid as 0.5 * (1 + tanh(x/2))
+        np.multiply(gates[:, sl], 0.5, out=a)
+        np.tanh(a, out=a)
+        a += 1.0
+        a *= 0.5
+    np.tanh(gates[:, 2 * d:3 * d], out=acts[:, 2 * d:3 * d])
+    i, f = acts[:, :d], acts[:, d:2 * d]
+    g, o = acts[:, 2 * d:3 * d], acts[:, 3 * d:]
+    out_data = np.empty_like(hc_data)
+    c_new = out_data[:, d:]
+    np.multiply(f, c, out=c_new)
+    c_new += i * g
+    tanh_c = np.tanh(c_new)
+    np.multiply(o, tanh_c, out=out_data[:, :d])
+
+    def backward(grad):
+        gh, gc_out = grad[:, :d], grad[:, d:]
+        # d loss / d c_new, built in-place from the tanh derivative.
+        g_c = np.multiply(tanh_c, tanh_c)
+        np.subtract(1.0, g_c, out=g_c)
+        g_c *= gh
+        g_c *= o
+        g_c += gc_out
+        # Gate pre-activation grads, written into `gates` (its forward
+        # values are no longer needed) — allocation-free.  One full-width
+        # square gives every activation derivative: sigmoid' = a - a² on
+        # the (i, f) and o blocks, tanh' = 1 - a² on the g block.
+        da = gates
+        np.multiply(acts, acts, out=da)
+        np.subtract(acts[:, :2 * d], da[:, :2 * d], out=da[:, :2 * d])
+        np.subtract(1.0, da[:, 2 * d:3 * d], out=da[:, 2 * d:3 * d])
+        np.subtract(acts[:, 3 * d:], da[:, 3 * d:], out=da[:, 3 * d:])
+        da_i, da_f = da[:, :d], da[:, d:2 * d]
+        da_g, da_o = da[:, 2 * d:3 * d], da[:, 3 * d:]
+        da_i *= g
+        da_i *= g_c
+        da_f *= c
+        da_f *= g_c
+        da_g *= i
+        da_g *= g_c
+        da_o *= gh
+        da_o *= tanh_c
+        g_x = da @ w_ih.data.T
+        g_hc = np.empty_like(hc_data)
+        g_hc[:, :d] = da @ w_hh.data.T
+        np.multiply(g_c, f, out=g_hc[:, d:])
+        g_wih = x_data.T @ da
+        g_whh = h.T @ da
+        g_bias = da.sum(axis=0)
+        return (g_x, g_hc, g_wih, g_whh, g_bias)
+
+    return Tensor._make(out_data, (x, hc, w_ih, w_hh, bias), backward)
+
+
+def gru_step(x: Tensor, h: Tensor, w_ih: Tensor, w_hh: Tensor,
+             b_ih: Tensor, b_hh: Tensor, hidden_dim: int) -> Tensor:
+    """One fused GRU step: ``(B, input_dim), (B, d) -> (B, d)``.
+
+    Gate order matches :class:`GRUCell`: update (z), reset (r),
+    candidate (n).
+    """
+    d = hidden_dim
+    x, h = ensure_tensor(x), ensure_tensor(h)
+    x_data, h_data = x.data, h.data
+    gi = x_data @ w_ih.data + b_ih.data
+    gh = h_data @ w_hh.data + b_hh.data
+    z = _sigmoid(gi[:, :d] + gh[:, :d])
+    r = _sigmoid(gi[:, d:2 * d] + gh[:, d:2 * d])
+    gh_n = gh[:, 2 * d:]
+    n = np.tanh(gi[:, 2 * d:] + r * gh_n)
+    out_data = (1.0 - z) * n + z * h_data
+
+    def backward(grad):
+        g_z = grad * (h_data - n)
+        g_n = grad * (1.0 - z)
+        da_n = g_n * (1.0 - n ** 2)
+        g_r = da_n * gh_n
+        da_z = g_z * z * (1.0 - z)
+        da_r = g_r * r * (1.0 - r)
+        d_gi = np.concatenate([da_z, da_r, da_n], axis=1)
+        d_gh = np.concatenate([da_z, da_r, da_n * r], axis=1)
+        g_x = d_gi @ w_ih.data.T
+        g_h = d_gh @ w_hh.data.T + grad * z
+        g_wih = x_data.T @ d_gi
+        g_whh = h_data.T @ d_gh
+        return (g_x, g_h, g_wih, g_whh, d_gi.sum(axis=0), d_gh.sum(axis=0))
+
+    return Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+
+
+def lstm_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, bias: Tensor,
+                  hidden_dim: int, hc0: Optional[Tensor] = None) -> Tensor:
+    """The full LSTM recurrence as a *single* graph node.
+
+    The input projection ``x @ w_ih + bias`` for every timestep runs as one
+    ``(B*L, input_dim) @ (input_dim, 4d)`` matmul before the loop, so each
+    step costs one ``h @ w_hh`` matmul plus in-place gate math; backward is
+    hand-written BPTT with the weight gradients accumulated through two big
+    matmuls over the whole sequence.  Compared to one fused node per step
+    this removes the per-step graph bookkeeping *and* halves the per-step
+    matmul count.
+
+    Returns ``(B, L+1, d)``: ``[:, :L]`` are the hidden states, ``[:, L]``
+    is the final cell state (slice with basic indexing to read them).
+    """
+    d = hidden_dim
+    x = ensure_tensor(x)
+    x_data = x.data
+    batch, length, in_dim = x_data.shape
+    # Internally the gate columns are permuted to (i, f, o, g) so the three
+    # sigmoids run as ONE contiguous block per step; weight gradients are
+    # permuted back before returning.  Sigmoid itself is computed as
+    # 0.5 * (1 + tanh(x / 2)) — an exact identity that needs no overflow
+    # clip and four ufunc passes instead of ten.
+    perm = np.concatenate([np.arange(0, 2 * d), np.arange(3 * d, 4 * d),
+                           np.arange(2 * d, 3 * d)])
+    w_ih_p = np.ascontiguousarray(w_ih.data[:, perm])
+    w_hh_p = np.ascontiguousarray(w_hh.data[:, perm])
+    # Time-major (L, B, ...) buffers: every per-step slice below is one
+    # contiguous block, where batch-major views would stride by the whole
+    # sequence width on every row (a large-L cache killer).
+    x_tm = np.ascontiguousarray(x_data.transpose(1, 0, 2))
+    x_tm2 = x_tm.reshape(length * batch, in_dim)
+    xp = x_tm2 @ w_ih_p
+    xp += bias.data[perm]
+    xp = xp.reshape(length, batch, 4 * d)
+    dtype = xp.dtype
+    acts = np.empty((length, batch, 4 * d), dtype=dtype)
+    tanh_cs = np.empty((length, batch, d), dtype=dtype)
+    # hs[t] / cs[t] hold the state *entering* step t.
+    hs = np.empty((length + 1, batch, d), dtype=dtype)
+    cs = np.empty((length + 1, batch, d), dtype=dtype)
+    if hc0 is not None:
+        hc0 = ensure_tensor(hc0)
+        hs[0] = hc0.data[:, :d]
+        cs[0] = hc0.data[:, d:]
+    else:
+        hs[0] = 0.0
+        cs[0] = 0.0
+    for t in range(length):
+        gates = hs[t] @ w_hh_p
+        gates += xp[t]
+        a = acts[t]
+        s = a[:, :3 * d]                              # sigmoid(i, f, o)
+        np.multiply(gates[:, :3 * d], 0.5, out=s)
+        np.tanh(s, out=s)
+        s += 1.0
+        s *= 0.5
+        np.tanh(gates[:, 3 * d:], out=a[:, 3 * d:])   # tanh(g)
+        i, f = a[:, :d], a[:, d:2 * d]
+        o, g = a[:, 2 * d:3 * d], a[:, 3 * d:]
+        c_new = cs[t + 1]
+        np.multiply(f, cs[t], out=c_new)
+        c_new += i * g
+        tc = tanh_cs[t]
+        np.tanh(c_new, out=tc)
+        np.multiply(o, tc, out=hs[t + 1])
+    out = np.empty((batch, length + 1, d), dtype=dtype)
+    out[:, :length] = hs[1:].transpose(1, 0, 2)
+    out[:, length] = cs[length]
+
+    def backward(grad):
+        g_hs = np.ascontiguousarray(grad[:, :length].transpose(1, 0, 2))
+        gc = np.array(grad[:, length], dtype=dtype)
+        gh_carry = np.zeros((batch, d), dtype=dtype)
+        da_all = np.empty((length, batch, 4 * d), dtype=dtype)
+        scratch = np.empty((batch, d), dtype=dtype)
+        for t in range(length - 1, -1, -1):
+            a = acts[t]
+            i, f = a[:, :d], a[:, d:2 * d]
+            o, g = a[:, 2 * d:3 * d], a[:, 3 * d:]
+            tc = tanh_cs[t]
+            gh = gh_carry
+            gh += g_hs[t]
+            np.multiply(tc, tc, out=scratch)          # dL/dc_t via tanh'
+            np.subtract(1.0, scratch, out=scratch)
+            scratch *= gh
+            scratch *= o
+            gc += scratch
+            da = da_all[t]
+            s = da[:, :3 * d]                         # sigmoid' for i, f, o
+            np.subtract(1.0, a[:, :3 * d], out=s)
+            s *= a[:, :3 * d]
+            s_i, s_f, s_o = da[:, :d], da[:, d:2 * d], da[:, 2 * d:3 * d]
+            s_i *= g                                  # d/d a_i
+            s_i *= gc
+            s_f *= cs[t]                              # d/d a_f
+            s_f *= gc
+            s_o *= gh                                 # d/d a_o
+            s_o *= tc
+            s = da[:, 3 * d:]                         # d/d a_g
+            np.multiply(g, g, out=s)
+            np.subtract(1.0, s, out=s)
+            s *= i
+            s *= gc
+            gh_carry = da @ w_hh_p.T
+            gc *= f                                   # dL/dc_{t-1}
+        da2 = da_all.reshape(length * batch, 4 * d)
+        g_x = np.ascontiguousarray(
+            (da2 @ w_ih_p.T).reshape(length, batch, in_dim).transpose(1, 0, 2))
+        g_wih_p = x_tm2.T @ da2
+        g_whh_p = hs[:length].reshape(length * batch, d).T @ da2
+        g_bias_p = da2.sum(axis=0)
+        # Undo the (i, f, o, g) column permutation on the weight grads.
+        g_wih = np.empty_like(g_wih_p)
+        g_wih[:, perm] = g_wih_p
+        g_whh = np.empty_like(g_whh_p)
+        g_whh[:, perm] = g_whh_p
+        g_bias = np.empty_like(g_bias_p)
+        g_bias[perm] = g_bias_p
+        if hc0 is None:
+            return (g_x, g_wih, g_whh, g_bias)
+        g_hc0 = np.concatenate([gh_carry, gc], axis=1)
+        return (g_x, g_wih, g_whh, g_bias, g_hc0)
+
+    parents = ((x, w_ih, w_hh, bias) if hc0 is None
+               else (x, w_ih, w_hh, bias, hc0))
+    return Tensor._make(out, parents, backward)
+
+
+def gru_sequence(x: Tensor, w_ih: Tensor, w_hh: Tensor, b_ih: Tensor,
+                 b_hh: Tensor, hidden_dim: int,
+                 h0: Optional[Tensor] = None) -> Tensor:
+    """The full GRU recurrence as a single graph node; returns ``(B, L, d)``
+    hidden states (``[:, -1]`` is the final state).
+
+    Mirrors :func:`lstm_sequence`: the input projection runs as one big
+    matmul up front, and backward is hand-written BPTT.
+    """
+    d = hidden_dim
+    x = ensure_tensor(x)
+    x_data = x.data
+    batch, length, in_dim = x_data.shape
+    w_ih_d, w_hh_d = w_ih.data, w_hh.data
+    # Time-major buffers for contiguous per-step slices (see lstm_sequence).
+    x_tm = np.ascontiguousarray(x_data.transpose(1, 0, 2))
+    x_tm2 = x_tm.reshape(length * batch, in_dim)
+    gi = x_tm2 @ w_ih_d
+    gi += b_ih.data
+    gi = gi.reshape(length, batch, 3 * d)
+    dtype = gi.dtype
+    acts = np.empty((length, batch, 3 * d), dtype=dtype)  # z, r, n
+    gh_ns = np.empty((length, batch, d), dtype=dtype)
+    hs = np.empty((length + 1, batch, d), dtype=dtype)
+    if h0 is not None:
+        h0 = ensure_tensor(h0)
+        hs[0] = h0.data
+    else:
+        hs[0] = 0.0
+    for t in range(length):
+        gh = hs[t] @ w_hh_d
+        gh += b_hh.data
+        a = acts[t]
+        zr = a[:, :2 * d]
+        np.add(gi[t, :, :2 * d], gh[:, :2 * d], out=zr)
+        zr *= 0.5                                     # sigmoid via tanh
+        np.tanh(zr, out=zr)
+        zr += 1.0
+        zr *= 0.5
+        z, r = a[:, :d], a[:, d:2 * d]
+        gh_n = gh_ns[t]
+        gh_n[:] = gh[:, 2 * d:]
+        n = a[:, 2 * d:]
+        np.multiply(r, gh_n, out=n)
+        n += gi[t, :, 2 * d:]
+        np.tanh(n, out=n)
+        h_new = hs[t + 1]
+        np.subtract(hs[t], n, out=h_new)
+        h_new *= z
+        h_new += n
+    out = np.ascontiguousarray(hs[1:].transpose(1, 0, 2))
+
+    def backward(grad):
+        grad_tm = np.ascontiguousarray(grad.transpose(1, 0, 2))
+        gh_carry = np.zeros((batch, d), dtype=dtype)
+        d_gi_all = np.empty((length, batch, 3 * d), dtype=dtype)
+        d_gh_all = np.empty((length, batch, 3 * d), dtype=dtype)
+        for t in range(length - 1, -1, -1):
+            a = acts[t]
+            z, r, n = a[:, :d], a[:, d:2 * d], a[:, 2 * d:]
+            gh = gh_carry
+            gh += grad_tm[t]
+            d_gi, d_gh = d_gi_all[t], d_gh_all[t]
+            da_n = d_gi[:, 2 * d:]
+            np.multiply(n, n, out=da_n)               # (1 - n^2) (1 - z) gh
+            np.subtract(1.0, da_n, out=da_n)
+            np.subtract(1.0, z, out=d_gh[:, 2 * d:])  # scratch for (1 - z)
+            da_n *= d_gh[:, 2 * d:]
+            da_n *= gh
+            da_z = d_gi[:, :d]                        # gh (h - n) z (1 - z)
+            np.subtract(hs[t], n, out=da_z)
+            da_z *= gh
+            da_z *= z
+            np.subtract(1.0, z, out=d_gh[:, :d])      # scratch for (1 - z)
+            da_z *= d_gh[:, :d]
+            da_r = d_gi[:, d:2 * d]                   # da_n gh_n r (1 - r)
+            np.subtract(1.0, r, out=da_r)
+            da_r *= r
+            da_r *= gh_ns[t]
+            da_r *= da_n
+            d_gh[:, :d] = da_z
+            d_gh[:, d:2 * d] = da_r
+            np.multiply(da_n, r, out=d_gh[:, 2 * d:])
+            gh_carry = d_gh @ w_hh_d.T
+            gh *= z                                   # carry dL/dh_{t-1}
+            gh_carry += gh
+        d_gi2 = d_gi_all.reshape(length * batch, 3 * d)
+        d_gh2 = d_gh_all.reshape(length * batch, 3 * d)
+        g_x = np.ascontiguousarray(
+            (d_gi2 @ w_ih_d.T).reshape(length, batch, in_dim)
+            .transpose(1, 0, 2))
+        g_wih = x_tm2.T @ d_gi2
+        g_whh = hs[:length].reshape(length * batch, d).T @ d_gh2
+        g_bih = d_gi2.sum(axis=0)
+        g_bhh = d_gh2.sum(axis=0)
+        if h0 is None:
+            return (g_x, g_wih, g_whh, g_bih, g_bhh)
+        return (g_x, g_wih, g_whh, g_bih, g_bhh, gh_carry)
+
+    parents = ((x, w_ih, w_hh, b_ih, b_hh) if h0 is None
+               else (x, w_ih, w_hh, b_ih, b_hh, h0))
+    return Tensor._make(out, parents, backward)
+
+
+def narrow(t: Tensor, start: int, stop: int) -> Tensor:
+    """Columns ``[start:stop)`` of a 2-D tensor with an allocation-light
+    backward (zero-fill + view assignment, no ``np.add.at``)."""
+    t = ensure_tensor(t)
+    out_data = t.data[:, start:stop]
+    shape = t.shape
+    dtype = t.dtype
+
+    def backward(grad):
+        full = np.zeros(shape, dtype=dtype)
+        full[:, start:stop] = grad
+        return (full,)
+
+    return Tensor._make(out_data, (t,), backward)
 
 
 class GRUCell(Module):
@@ -31,13 +411,8 @@ class GRUCell(Module):
         self.b_hh = Parameter(init.zeros((3 * hidden_dim,)))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        d = self.hidden_dim
-        gi = x @ self.w_ih + self.b_ih
-        gh = h @ self.w_hh + self.b_hh
-        z = (gi[:, :d] + gh[:, :d]).sigmoid()
-        r = (gi[:, d:2 * d] + gh[:, d:2 * d]).sigmoid()
-        n = (gi[:, 2 * d:] + r * gh[:, 2 * d:]).tanh()
-        return (1.0 - z) * n + z * h
+        return gru_step(x, h, self.w_ih, self.w_hh, self.b_ih, self.b_hh,
+                        self.hidden_dim)
 
 
 class LSTMCell(Module):
@@ -54,17 +429,17 @@ class LSTMCell(Module):
         # Forget-gate bias of 1.0 is the standard trick for gradient flow.
         self.bias.data[hidden_dim:2 * hidden_dim] = 1.0
 
+    def step_fused(self, x: Tensor, hc: Tensor) -> Tensor:
+        """Fused-state step: ``(B, 2d) -> (B, 2d)`` (``[h, c]`` packed)."""
+        return lstm_step(x, hc, self.w_ih, self.w_hh, self.bias,
+                         self.hidden_dim)
+
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
         h, c = state
+        hc = self.step_fused(x, Tensor.concat([ensure_tensor(h),
+                                               ensure_tensor(c)], axis=1))
         d = self.hidden_dim
-        gates = x @ self.w_ih + h @ self.w_hh + self.bias
-        i = gates[:, :d].sigmoid()
-        f = gates[:, d:2 * d].sigmoid()
-        g = gates[:, 2 * d:3 * d].tanh()
-        o = gates[:, 3 * d:].sigmoid()
-        c_new = f * c + i * g
-        h_new = o * c_new.tanh()
-        return h_new, c_new
+        return narrow(hc, 0, d), narrow(hc, d, 2 * d)
 
 
 class GRU(Module):
@@ -79,13 +454,10 @@ class GRU(Module):
     def forward(self, x: Tensor, h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
         """Return ``(outputs, last_hidden)``; outputs is (B, L, H)."""
         x = ensure_tensor(x)
-        batch, length, _ = x.shape
-        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim)))
-        outputs = []
-        for t in range(length):
-            h = self.cell(x[:, t, :], h)
-            outputs.append(h)
-        return Tensor.stack(outputs, axis=1), h
+        cell = self.cell
+        outputs = gru_sequence(x, cell.w_ih, cell.w_hh, cell.b_ih, cell.b_hh,
+                               self.hidden_dim, h0)
+        return outputs, outputs[:, -1, :]
 
 
 class LSTM(Module):
@@ -101,16 +473,17 @@ class LSTM(Module):
                 state: Optional[Tuple[Tensor, Tensor]] = None
                 ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
         x = ensure_tensor(x)
-        batch, length, _ = x.shape
-        if state is None:
-            zeros = np.zeros((batch, self.hidden_dim))
-            state = (Tensor(zeros), Tensor(zeros.copy()))
-        h, c = state
-        outputs = []
-        for t in range(length):
-            h, c = self.cell(x[:, t, :], (h, c))
-            outputs.append(h)
-        return Tensor.stack(outputs, axis=1), (h, c)
+        length = x.shape[1]
+        d = self.hidden_dim
+        hc0 = None
+        if state is not None:
+            hc0 = Tensor.concat([ensure_tensor(state[0]),
+                                 ensure_tensor(state[1])], axis=1)
+        cell = self.cell
+        packed = lstm_sequence(x, cell.w_ih, cell.w_hh, cell.bias, d, hc0)
+        # packed is (B, L+1, d): hidden states then the final cell state.
+        return packed[:, :length, :], (packed[:, length - 1, :],
+                                       packed[:, length, :])
 
 
 class BiLSTM(Module):

@@ -100,7 +100,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents",
+                 "name", "_grad_buf")
 
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
@@ -113,6 +114,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self.name = name
+        self._grad_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -215,19 +217,38 @@ class Tensor:
                 if id(parent) not in visited and parent.requires_grad:
                     stack.append((parent, False))
 
+        # `grads` maps node id -> accumulated gradient array.  `owned` marks
+        # entries whose array this loop allocated itself; only those may be
+        # mutated in place.  Arrays returned by backward closures are
+        # *borrowed* (a closure may hand the same array, or a view of the
+        # incoming grad, to several parents), so the first contribution is
+        # stored by reference and an owned accumulator is only allocated when
+        # a second contribution arrives — after which further fan-in
+        # accumulates with in-place ``+=`` instead of fresh allocations.
         grads: dict[int, np.ndarray] = {id(self): np.asarray(grad)}
+        owned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
             if node._backward is None:
-                # Leaf: accumulate into .grad
-                if node.grad is None:
-                    node.grad = node_grad.copy()
-                else:
-                    node.grad = node.grad + node_grad
+                self._accumulate_leaf(node, node_grad)
                 continue
-            node._backward_into(node_grad, grads)
+            contributions = node._backward(node_grad)
+            if contributions is None:
+                continue
+            for parent, contrib in zip(node._parents, contributions):
+                if contrib is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                existing = grads.get(key)
+                if existing is None:
+                    grads[key] = contrib
+                elif key in owned:
+                    existing += contrib
+                else:
+                    grads[key] = existing + contrib
+                    owned.add(key)
             # Leaf accumulation for non-leaf nodes the user holds onto is not
             # needed; intermediate grads live only in `grads`.
 
@@ -236,20 +257,25 @@ class Tensor:
             node._backward = None
             node._parents = ()
 
-    def _backward_into(self, grad: np.ndarray,
-                       grads: dict[int, np.ndarray]) -> None:
-        """Invoke the node's backward closure, routing parent grads."""
-        contributions = self._backward(grad)
-        if contributions is None:
-            return
-        for parent, contrib in zip(self._parents, contributions):
-            if contrib is None or not parent.requires_grad:
-                continue
-            key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + contrib
+    @staticmethod
+    def _accumulate_leaf(node: "Tensor", node_grad: np.ndarray) -> None:
+        """Accumulate a leaf gradient, reusing the persistent buffer.
+
+        Leaves (parameters in particular) receive a gradient every training
+        step; keeping one buffer per leaf and copying into it avoids one
+        array allocation per parameter per backward.
+        """
+        if node.grad is None:
+            buf = node._grad_buf
+            if (buf is not None and buf.shape == node_grad.shape
+                    and buf.dtype == node_grad.dtype):
+                np.copyto(buf, node_grad)
+                node.grad = buf
             else:
-                grads[key] = contrib
+                node.grad = node_grad.copy()
+                node._grad_buf = node.grad
+        else:
+            node.grad += node_grad
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -569,10 +595,20 @@ class Tensor:
         out_data = self.data[index]
         shape = self.shape
         dtype = self.dtype
+        # Basic indexing (ints/slices) maps every output element to a
+        # distinct input element, so the backward can scatter with a plain
+        # (fast) view-assignment; ``np.add.at`` is only needed for advanced
+        # indices, where duplicates must accumulate.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, np.integer, slice)) or p is None
+                    or p is Ellipsis for p in parts)
 
         def backward(grad):
             full = np.zeros(shape, dtype=dtype)
-            np.add.at(full, index, grad)
+            if basic:
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             return (full,)
 
         return Tensor._make(out_data, (self,), backward)

@@ -35,6 +35,9 @@ class TrainConfig:
     eval_metric: str = "HR@20"
     seed: int = 0
     verbose: bool = False
+    #: record per-op substrate timings (see :mod:`repro.nn.profiler`);
+    #: zero overhead when False.
+    profile: bool = False
 
 
 @dataclass
@@ -47,6 +50,10 @@ class TrainResult:
     history: List[Dict[str, float]] = field(default_factory=list)
     train_seconds_per_epoch: float = 0.0
     stopped_early: bool = False
+    #: per-op profiler statistics (populated when ``config.profile``).
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: rendered profiler table (populated when ``config.profile``).
+    profile_table: str = ""
 
 
 class Trainer:
@@ -74,6 +81,17 @@ class Trainer:
                                    max_len=split.max_len)
 
     def fit(self) -> TrainResult:
+        if self.config.profile:
+            from ..nn.profiler import profiler
+            profiler.reset()
+            with profiler.profile():
+                result = self._fit()
+            result.profile = profiler.as_dict()
+            result.profile_table = profiler.summary()
+            return result
+        return self._fit()
+
+    def _fit(self) -> TrainResult:
         config = self.config
         loader = DataLoader(self.split.train, batch_size=config.batch_size,
                             max_len=self.split.max_len, seed=config.seed)

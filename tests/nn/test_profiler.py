@@ -1,0 +1,86 @@
+"""Tests for the substrate profiler and its Trainer integration."""
+
+import numpy as np
+
+from repro.nn import Tensor, profiler
+from repro.nn import functional as F
+from repro.nn import layers, tensor as tensor_mod
+
+
+class TestProfiler:
+    def test_records_forward_and_backward(self):
+        profiler.reset()
+        with profiler.profile():
+            x = Tensor(np.random.default_rng(0).normal(size=(4, 5)),
+                       requires_grad=True)
+            loss = F.cross_entropy(x, np.zeros(4, dtype=np.int64))
+            loss.backward()
+        stats = profiler.as_dict()
+        assert "fused.cross_entropy" in stats
+        ce = stats["fused.cross_entropy"]
+        assert ce["forward_calls"] == 1
+        assert ce["backward_calls"] == 1
+        assert ce["forward_seconds"] >= 0.0
+        assert ce["nodes"] >= 1
+
+    def test_disable_restores_originals(self):
+        # Zero-overhead-when-off contract: after disable, the module
+        # attributes are the original functions, not wrapper shims.
+        original_softmax = F.softmax
+        original_matmul = tensor_mod.Tensor.matmul
+        with profiler.profile():
+            assert F.softmax is not original_softmax
+        assert F.softmax is original_softmax
+        assert tensor_mod.Tensor.matmul is original_matmul
+        assert layers.Linear.forward.__qualname__.startswith("Linear.")
+
+    def test_reset_clears_stats(self):
+        profiler.reset()
+        with profiler.profile():
+            Tensor(np.ones((2, 2)), requires_grad=True).sum().backward()
+        assert profiler.as_dict()
+        profiler.reset()
+        assert profiler.as_dict() == {}
+
+    def test_summary_is_table(self):
+        profiler.reset()
+        with profiler.profile():
+            (Tensor(np.ones((3, 3)), requires_grad=True)
+             @ Tensor(np.ones((3, 3)))).sum().backward()
+        text = profiler.summary()
+        assert "op" in text and "fwd ms" in text
+        assert "matmul" in text
+
+    def test_double_enable_is_idempotent(self):
+        original_softmax = F.softmax
+        with profiler.profile():
+            wrapped = F.softmax
+            profiler.enable()  # no-op: must not double-wrap
+            assert F.softmax is wrapped
+        assert F.softmax is original_softmax
+
+
+class TestTrainerProfileFlag:
+    def _tiny_run(self, profile):
+        from repro.data import generate, leave_one_out_split
+        from repro.models import GRU4Rec
+        from repro.train import TrainConfig, Trainer
+
+        split = leave_one_out_split(generate("beauty", seed=0, scale=0.1),
+                                    max_len=10)
+        model = GRU4Rec(num_items=split.num_items, dim=8, max_len=10,
+                        rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=32, profile=profile)
+        return Trainer(model, split, config).fit()
+
+    def test_profile_true_populates_result(self):
+        result = self._tiny_run(profile=True)
+        assert result.profile, "TrainResult.profile should be populated"
+        assert result.profile_table
+        assert any(stats["forward_calls"] > 0
+                   for stats in result.profile.values())
+
+    def test_profile_false_leaves_result_empty(self):
+        result = self._tiny_run(profile=False)
+        assert result.profile is None
+        assert result.profile_table == ""
