@@ -26,6 +26,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis.report import finish, write_json_report  # noqa: E402
 from repro.nn import (GRU, LSTM, LayerNorm, LSTMCell, Tensor,  # noqa: E402
                       reference, scaled_dot_product_attention)
 from repro.nn import functional as F  # noqa: E402
@@ -327,17 +328,15 @@ def main() -> int:
                     line += f"  (baseline {ref:.3f}s, {ref / seconds:.2f}x)"
                 print(line)
 
-    args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"\nresults written to {args.json}")
+    write_json_report(args.json, report)
 
-    if failures:
-        print(f"FAIL: fused slower than unfused for: {', '.join(failures)}",
-              file=sys.stderr)
-        return 1
     met = sum(1 for r in report["micro"].values() if r["meets_target"])
-    print(f"OK: all fused ops at least break even; "
-          f"{met}/{len(report['micro'])} exceed {TARGET_SPEEDUP}x")
-    return 0
+    return finish(
+        ok=not failures,
+        ok_message=(f"all fused ops at least break even; "
+                    f"{met}/{len(report['micro'])} exceed {TARGET_SPEEDUP}x"),
+        fail_message=(f"fused slower than unfused for: "
+                      f"{', '.join(failures)}"))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Static framework lint gate: enforce ``repro`` invariants before they train.
+
+Runs the AST checker in :mod:`repro.analysis.lint` over the source tree
+(seeded RNG discipline, fused-op parity oracles, no_grad in eval paths,
+Parameter registration), prints a human summary, writes a
+machine-readable report to ``LINT_report.json``, and exits non-zero on
+any violation.  Runnable locally and in CI alongside tier-1 tests:
+
+    PYTHONPATH=src python scripts/static_check.py [--rules name ...]
+
+``--src-root``/``--tests-root`` point the checker at another tree (used
+by the test-suite to lint deliberately-broken fixtures); ``--json``
+changes the report path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint import RULES, run_lint  # noqa: E402
+from repro.analysis.report import finish, write_json_report  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src-root", type=Path,
+                        default=REPO_ROOT / "src" / "repro",
+                        help="package root to lint (the directory "
+                             "containing nn/, eval/, ...)")
+    parser.add_argument("--tests-root", type=Path,
+                        default=REPO_ROOT / "tests",
+                        help="tests directory (for fused-op coverage "
+                             "checks); pass a non-existent path to skip")
+    parser.add_argument("--rules", nargs="*", default=None,
+                        choices=sorted(RULES), metavar="RULE",
+                        help=f"subset of rules to run "
+                             f"(default: all of {sorted(RULES)})")
+    parser.add_argument("--json", type=Path,
+                        default=REPO_ROOT / "LINT_report.json")
+    args = parser.parse_args()
+
+    tests_root = args.tests_root if args.tests_root.is_dir() else None
+    violations = run_lint(args.src_root, tests_root=tests_root,
+                          rules=args.rules)
+
+    rules_run = args.rules if args.rules is not None else sorted(RULES)
+    print(f"static check over {args.src_root} "
+          f"({len(rules_run)} rules: {', '.join(rules_run)})")
+    for v in violations:
+        print(f"  {v}")
+
+    report = {
+        "src_root": str(args.src_root),
+        "rules": list(rules_run),
+        "violations": [v.as_dict() for v in violations],
+    }
+    write_json_report(args.json, report)
+
+    by_rule = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    detail = ", ".join(f"{rule}={count}"
+                       for rule, count in sorted(by_rule.items()))
+    return finish(
+        ok=not violations,
+        ok_message=f"no violations across {len(rules_run)} rules",
+        fail_message=f"{len(violations)} lint violations ({detail})")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""``repro.analysis`` — dataset analysis and static framework checks.
+
+Two halves:
+
+* :mod:`repro.analysis.datasets` — the original dataset/relation-graph
+  statistics (re-exported here so ``from repro.analysis import
+  gini_coefficient`` keeps working);
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.report` — the
+  AST-based framework linter behind ``scripts/static_check.py`` and the
+  report helpers it shares with ``scripts/perf_smoke.py``.
+"""
+
+from .datasets import (GraphReport, compare_datasets, gini_coefficient,
+                       graph_report, length_histogram, noise_report,
+                       popularity_report, short_sequence_fraction)
+from .lint import RULES, Project, Rule, Violation, run_lint
+from .report import finish, write_json_report
+
+__all__ = [
+    "GraphReport", "compare_datasets", "gini_coefficient", "graph_report",
+    "length_histogram", "noise_report", "popularity_report",
+    "short_sequence_fraction",
+    "RULES", "Project", "Rule", "Violation", "run_lint",
+    "finish", "write_json_report",
+]

@@ -14,8 +14,8 @@ from typing import Dict, List, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-from .data.dataset import InteractionDataset
-from .graph.multi_relation import MultiRelationGraph
+from ..data.dataset import InteractionDataset
+from ..graph.multi_relation import MultiRelationGraph
 
 
 def length_histogram(dataset: InteractionDataset,

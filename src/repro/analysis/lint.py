@@ -1,0 +1,365 @@
+"""AST-based static lint enforcing ``repro`` framework invariants.
+
+The framework replaces PyTorch with a hand-written substrate, so the
+invariants PyTorch enforces mechanically (seeded RNG plumbing, autograd
+parity oracles, inference under ``no_grad``, parameter registration) have
+to be enforced here — before a violation trains a model wrong.  Four
+rules ship today:
+
+``unseeded-rng``
+    No direct ``np.random.*`` sampling and no zero-argument
+    ``np.random.default_rng()`` anywhere under ``src/repro`` except the
+    seeded-RNG helper module :mod:`repro.nn.rng`.  Seeded
+    ``default_rng(seed)`` calls are fine.
+
+``fused-oracle``
+    Every public fused kernel (a module-level function in
+    ``nn/functional.py`` / ``nn/attention.py`` / ``nn/rnn.py`` that
+    builds a graph node via ``Tensor._make``) must have a parity oracle
+    in ``nn/reference.py`` and be exercised in
+    ``tests/nn/test_fused_ops.py``.
+
+``eval-no-grad``
+    Classes in ``src/repro/eval`` that invoke model forward passes
+    (``forward`` / ``forward_batch`` / ``batch_forward``) must contain a
+    ``with no_grad():`` block — scoring must never build autograd graphs.
+
+``bare-parameter``
+    Inside (transitive) ``Module`` subclasses, trainable state must be
+    registered through :class:`repro.nn.module.Parameter`; assigning a
+    bare ``Tensor(..., requires_grad=True)`` (or ``zeros``/``ones``/
+    ``randn``) to ``self`` hides it from ``parameters()`` and the
+    optimizer.
+
+To add a rule: write a function taking a :class:`Project` and returning
+a list of :class:`Violation`, and decorate it with ``@rule(name,
+description)``.  ``scripts/static_check.py`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+#: Module (relative to the package root) allowed to create unseeded RNGs.
+RNG_ALLOWLIST = {"nn/rng.py"}
+
+#: Modules whose module-level ``Tensor._make`` callers are fused kernels.
+FUSED_MODULES = ("nn/functional.py", "nn/attention.py", "nn/rnn.py")
+REFERENCE_MODULE = "nn/reference.py"
+FUSED_TEST_FILE = Path("nn") / "test_fused_ops.py"
+
+#: Fused ops whose oracle does not follow the ``<name>_unfused`` pattern
+#: (sequence kernels are validated against their step oracles).
+ORACLE_EXCEPTIONS = {
+    "scaled_dot_product_attention": "attention_unfused",
+    "lstm_sequence": "lstm_step_unfused",
+    "gru_sequence": "gru_step_unfused",
+}
+
+#: ``np.random`` attributes that are types/constructors, not sampling.
+_RANDOM_TYPE_ATTRS = {"Generator", "BitGenerator", "SeedSequence", "PCG64",
+                      "RandomState"}
+
+_FORWARD_METHODS = {"forward", "forward_batch", "batch_forward"}
+_TENSOR_FACTORIES = {"Tensor", "zeros", "ones", "randn"}
+
+
+@dataclass
+class Violation:
+    """One lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Project:
+    """Parsed view of the tree under lint.
+
+    ``package_root`` is the directory of the ``repro`` package (the one
+    containing ``nn/``, ``eval/``, ...); ``tests_root`` is the ``tests``
+    directory, or None when linting a source-only tree.
+    """
+
+    def __init__(self, package_root: Path,
+                 tests_root: Optional[Path] = None) -> None:
+        self.package_root = Path(package_root)
+        self.tests_root = Path(tests_root) if tests_root else None
+        self.modules: Dict[str, ast.Module] = {}
+        self.parse_errors: List[Violation] = []
+        for path in sorted(self.package_root.rglob("*.py")):
+            rel = path.relative_to(self.package_root).as_posix()
+            try:
+                self.modules[rel] = ast.parse(path.read_text(),
+                                              filename=str(path))
+            except SyntaxError as exc:
+                self.parse_errors.append(Violation(
+                    rule="parse-error", path=self.display_path(rel),
+                    line=exc.lineno or 0, message=str(exc)))
+
+    def display_path(self, rel: str) -> str:
+        return (self.package_root / rel).as_posix()
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+@dataclass
+class Rule:
+    name: str
+    description: str
+    check: Callable[[Project], List[Violation]]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(name: str, description: str):
+    def register(fn: Callable[[Project], List[Violation]]):
+        RULES[name] = Rule(name=name, description=description, check=fn)
+        return fn
+    return register
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name for ``a.b.c`` chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return _attr_chain(node.func)
+
+
+def _module_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+
+
+def _calls_tensor_make(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is not None and name.endswith("Tensor._make"):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+@rule("unseeded-rng",
+      "no direct np.random sampling / unseeded default_rng() outside "
+      "the seeded helper module repro.nn.rng")
+def check_unseeded_rng(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if rel in RNG_ALLOWLIST:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_name(node)
+            if chain is None:
+                continue
+            for prefix in ("np.random.", "numpy.random."):
+                if chain.startswith(prefix):
+                    attr = chain[len(prefix):]
+                    break
+            else:
+                continue
+            if attr in _RANDOM_TYPE_ATTRS or "." in attr:
+                continue
+            if attr == "default_rng":
+                if node.args or node.keywords:
+                    continue  # seeded — fine
+                message = ("unseeded np.random.default_rng(); use "
+                           "repro.nn.rng.resolve_rng(rng) or pass a seed")
+            else:
+                message = (f"direct np.random.{attr}() call; thread an "
+                           f"explicit Generator (repro.nn.rng) instead")
+            violations.append(Violation(
+                rule="unseeded-rng", path=project.display_path(rel),
+                line=node.lineno, message=message))
+    return violations
+
+
+@rule("fused-oracle",
+      "every public fused kernel needs a parity oracle in nn/reference.py "
+      "and coverage in tests/nn/test_fused_ops.py")
+def check_fused_oracle(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    reference = project.modules.get(REFERENCE_MODULE)
+    oracle_names: Set[str] = (
+        {fn.name for fn in _module_functions(reference)}
+        if reference is not None else set())
+    test_text = ""
+    test_path = (project.tests_root / FUSED_TEST_FILE
+                 if project.tests_root else None)
+    if test_path is not None and test_path.exists():
+        test_text = test_path.read_text()
+    for rel in FUSED_MODULES:
+        tree = project.modules.get(rel)
+        if tree is None:
+            continue
+        for fn in _module_functions(tree):
+            if fn.name.startswith("_") or not _calls_tensor_make(fn):
+                continue
+            oracle = ORACLE_EXCEPTIONS.get(fn.name, f"{fn.name}_unfused")
+            if oracle not in oracle_names:
+                violations.append(Violation(
+                    rule="fused-oracle", path=project.display_path(rel),
+                    line=fn.lineno,
+                    message=(f"fused op {fn.name!r} has no parity oracle "
+                             f"{oracle!r} in {REFERENCE_MODULE}")))
+            if test_path is not None and fn.name not in test_text:
+                violations.append(Violation(
+                    rule="fused-oracle", path=project.display_path(rel),
+                    line=fn.lineno,
+                    message=(f"fused op {fn.name!r} is not exercised in "
+                             f"{FUSED_TEST_FILE.as_posix()}")))
+    return violations
+
+
+@rule("eval-no-grad",
+      "eval/scoring classes that run model forward passes must use "
+      "a no_grad() block")
+def check_eval_no_grad(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if not rel.startswith("eval/"):
+            continue
+        for cls in (n for n in tree.body if isinstance(n, ast.ClassDef)):
+            runs_forward = False
+            has_no_grad = False
+            for node in ast.walk(cls):
+                if isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    if name is not None and \
+                            name.split(".")[-1] in _FORWARD_METHODS:
+                        runs_forward = True
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        ctx = item.context_expr
+                        if isinstance(ctx, ast.Call):
+                            ctx_name = _call_name(ctx)
+                            if ctx_name is not None and \
+                                    ctx_name.split(".")[-1] == "no_grad":
+                                has_no_grad = True
+            if runs_forward and not has_no_grad:
+                violations.append(Violation(
+                    rule="eval-no-grad", path=project.display_path(rel),
+                    line=cls.lineno,
+                    message=(f"class {cls.name!r} runs model forward "
+                             f"passes without a no_grad() block")))
+    return violations
+
+
+@rule("bare-parameter",
+      "Module subclasses must register trainable tensors via Parameter, "
+      "not bare requires_grad=True attributes")
+def check_bare_parameter(project: Project) -> List[Violation]:
+    # Map class name -> base-class names across the whole package so
+    # transitive Module subclasses (e.g. SequentialRecommender children)
+    # are covered.
+    bases: Dict[str, List[str]] = {}
+    class_nodes: Dict[str, List[tuple]] = {}
+    for rel, tree in project.modules.items():
+        for cls in (n for n in ast.walk(tree)
+                    if isinstance(n, ast.ClassDef)):
+            names = []
+            for base in cls.bases:
+                base_name = (_attr_chain(base)
+                             or getattr(base, "id", None))
+                if base_name is not None:
+                    names.append(base_name.split(".")[-1])
+            bases.setdefault(cls.name, names)
+            class_nodes.setdefault(cls.name, []).append((rel, cls))
+
+    def is_module_subclass(name: str, seen: Optional[Set[str]] = None
+                           ) -> bool:
+        if name == "Module":
+            return True
+        seen = seen or set()
+        if name in seen:
+            return False
+        seen.add(name)
+        return any(is_module_subclass(b, seen)
+                   for b in bases.get(name, ()))
+
+    violations: List[Violation] = []
+    for name, nodes in class_nodes.items():
+        if name == "Parameter" or not is_module_subclass(name):
+            continue
+        for rel, cls in nodes:
+            for node in ast.walk(cls):
+                if not (isinstance(node, ast.Assign)
+                        and isinstance(node.value, ast.Call)):
+                    continue
+                targets = [t for t in node.targets
+                           if isinstance(t, ast.Attribute)
+                           and isinstance(t.value, ast.Name)
+                           and t.value.id == "self"]
+                if not targets:
+                    continue
+                call_name = _call_name(node.value)
+                if call_name is None or \
+                        call_name.split(".")[-1] not in _TENSOR_FACTORIES:
+                    continue
+                grad_kw = any(
+                    kw.arg == "requires_grad"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.value.keywords)
+                if grad_kw:
+                    violations.append(Violation(
+                        rule="bare-parameter",
+                        path=project.display_path(rel),
+                        line=node.lineno,
+                        message=(f"self.{targets[0].attr} in Module "
+                                 f"subclass {name!r} is a bare trainable "
+                                 f"{call_name.split('.')[-1]}; register "
+                                 f"it as a Parameter")))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_lint(package_root: Path, tests_root: Optional[Path] = None,
+             rules: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Run the selected rules (default: all) over a source tree.
+
+    Returns all violations sorted by path/line.
+    """
+    project = Project(package_root, tests_root=tests_root)
+    selected = list(rules) if rules is not None else list(RULES)
+    unknown = [name for name in selected if name not in RULES]
+    if unknown:
+        raise ValueError(f"unknown lint rules: {unknown}; "
+                         f"available: {sorted(RULES)}")
+    violations = list(project.parse_errors)
+    for name in selected:
+        violations.extend(RULES[name].check(project))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))

@@ -1,0 +1,36 @@
+"""Shared runner/report helpers for the repo's check scripts.
+
+``scripts/perf_smoke.py`` (the fused-kernel perf gate) and
+``scripts/static_check.py`` (the framework linter) both follow the same
+contract: print a human-readable table, write a machine-readable JSON
+report next to the repo root, and exit non-zero on failure.  This module
+is the single implementation of that contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+
+def write_json_report(path: Path, payload: Dict[str, Any]) -> Path:
+    """Write ``payload`` as deterministic, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nresults written to {path}")
+    return path
+
+
+def finish(ok: bool, ok_message: str, fail_message: str) -> int:
+    """Print the final gate line and return the process exit status.
+
+    Failure goes to stderr so CI logs surface it even when stdout is
+    swallowed.
+    """
+    if not ok:
+        print(f"FAIL: {fail_message}", file=sys.stderr)
+        return 1
+    print(f"OK: {ok_message}")
+    return 0

@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a checkpoint (.npz) after training")
     train.add_argument("--profile", action="store_true",
                        help="print per-op substrate timings after training")
+    train.add_argument("--sanitize", action="store_true",
+                       help="train under the autograd sanitizer (version "
+                            "counters, NaN/Inf and broadcast-grad checks, "
+                            "dead-gradient report)")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -139,9 +143,19 @@ def cmd_train(args) -> int:
                                  batch_size=args.batch_size,
                                  learning_rate=args.lr, seed=args.seed,
                                  verbose=True,
-                                 profile=args.profile)).fit()
+                                 profile=args.profile,
+                                 sanitize=args.sanitize)).fit()
     if args.profile and result.profile_table:
         print(result.profile_table)
+    if args.sanitize:
+        report = result.sanitizer_report or []
+        if report:
+            print(f"sanitizer: {len(report)} anomalies")
+            for anomaly in report:
+                print(f"  [{anomaly['kind']}] op={anomaly['op']} "
+                      f"{anomaly['detail']}")
+        else:
+            print("sanitizer: clean run (no anomalies recorded)")
     metrics = Evaluator(split.test, max_len=args.max_len).evaluate(model)
     print("test:", {k: round(v, 4) for k, v in metrics.items()})
     if args.save:

@@ -27,6 +27,7 @@ import numpy as np
 from ..nn import (BiLSTM, Module, TemperatureSchedule, Tensor,
                   gumbel_log_logits, gumbel_softmax)
 from ..nn import functional as F
+from ..nn.rng import resolve_rng
 
 
 class InconsistencyScorer(Module):
@@ -35,7 +36,7 @@ class InconsistencyScorer(Module):
     def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.dim = dim
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.context_encoder = BiLSTM(dim, dim, rng=self.rng)
 
     def context(self, states: Tensor) -> Tuple[Tensor, Tensor]:
@@ -117,7 +118,7 @@ class SelfAugmentation(Module):
         super().__init__()
         self.dim = dim
         self.length_threshold = length_threshold
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.scorer = InconsistencyScorer(dim, rng=self.rng)
         self.temperature = TemperatureSchedule(initial_tau=initial_tau)
 

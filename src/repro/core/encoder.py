@@ -24,6 +24,7 @@ from ..nn import Embedding, Linear, Module, Tensor
 from ..nn import functional as F
 from ..nn.module import Parameter
 from .sparse_ops import row_normalize, sparse_matmul
+from ..nn.rng import resolve_rng
 
 
 class PairConv(Module):
@@ -36,7 +37,7 @@ class PairConv(Module):
 
     def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.w_agg = Parameter(np.full(1, 0.5) + rng.normal(0, 0.01, 1))
         self.w_self = Parameter(np.full(1, 0.5) + rng.normal(0, 0.01, 1))
         self.bias = Parameter(np.zeros(dim))
@@ -59,7 +60,7 @@ class GlobalRelationEncoder(Module):
         self.dim = dim
         self.num_users = graph.num_users
         self.num_items = graph.num_items
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
         # Eq. 1: embedding look-up tables (id 0 = padding).
         self.item_embedding = Embedding(graph.num_items + 1, dim,

@@ -25,6 +25,7 @@ from ..denoise.hsd import NoiseGate, _standardize
 from ..nn import Linear, Module, TemperatureSchedule, Tensor, sparsemax
 from ..nn.gumbel import gumbel_sigmoid
 from ..nn.module import Parameter
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -43,7 +44,7 @@ class SparseAttentionGate(Module):
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.dim = dim
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.query_proj = Linear(dim, dim, bias=False, rng=self.rng)
         self.key_proj = Linear(dim, dim, bias=False, rng=self.rng)
         self.virtual_target = Parameter(self.rng.normal(0, 0.1, size=(dim,)))
@@ -91,7 +92,7 @@ class ThresholdGate(Module):
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.dim = dim
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.scale = Parameter(np.array([1.0]))
         self.bias = Parameter(np.array([1.0]))
         self.temperature = TemperatureSchedule(initial_tau=1.0)

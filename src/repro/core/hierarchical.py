@@ -22,6 +22,7 @@ import numpy as np
 
 from ..nn import Module, TemperatureSchedule, Tensor
 from .augmentation import InconsistencyScorer
+from ..nn.rng import resolve_rng
 
 
 @dataclass
@@ -52,7 +53,7 @@ class HierarchicalDenoising(Module):
             raise ValueError("rounds must be >= 0")
         self.dim = dim
         self.rounds = rounds
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.refiner = InconsistencyScorer(dim, rng=self.rng)   # Θ_hdm
         # Eq. 14: any intra-sequence denoiser serves as f_den.
         from .gates import GATES

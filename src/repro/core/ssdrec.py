@@ -37,6 +37,7 @@ from ..nn import functional as F
 from .augmentation import SelfAugmentation
 from .encoder import GlobalRelationEncoder
 from .hierarchical import HierarchicalDenoising
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -87,7 +88,7 @@ class SSDRec(SequenceDenoiser):
         cfg = self.config
         self.num_items = dataset.num_items
         self.num_users = dataset.num_users
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
         if cfg.use_stage1:
             graph = graph or build_multi_relation_graph(dataset, graph_config)

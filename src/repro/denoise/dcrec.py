@@ -25,6 +25,7 @@ from ..models.sasrec import SASRec
 from ..nn import Linear, Tensor
 from ..nn import functional as F
 from .base import SequenceDenoiser
+from ..nn.rng import resolve_rng
 
 
 class DCRec(SequenceDenoiser):
@@ -43,7 +44,7 @@ class DCRec(SequenceDenoiser):
         self.max_len = max_len
         self.contrastive_weight = contrastive_weight
         self.temperature = temperature
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.backbone = SASRec(num_items=num_items, dim=dim, max_len=max_len,
                                num_layers=num_layers, dropout=dropout,
                                rng=self.rng)

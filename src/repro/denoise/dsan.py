@@ -20,6 +20,7 @@ from ..nn import (Dropout, Embedding, Linear, PositionalEmbedding, Tensor,
 from ..nn import functional as F
 from ..nn.module import Parameter
 from .base import SequenceDenoiser
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -36,7 +37,7 @@ class DSAN(SequenceDenoiser):
         self.num_items = num_items
         self.dim = dim
         self.max_len = max_len
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.item_embedding = Embedding(num_items + 1, dim,
                                         padding_idx=PAD_ID, rng=self.rng)
         self.position_embedding = PositionalEmbedding(max_len + 4, dim,

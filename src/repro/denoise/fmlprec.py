@@ -24,6 +24,7 @@ from ..nn import functional as F
 from ..nn.module import Parameter
 from ..nn.tensor import ensure_tensor
 from .base import SequenceDenoiser
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -70,7 +71,7 @@ class FilterBlock(Module):
     def __init__(self, length: int, dim: int, dropout: float = 0.1,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         # Near-identity init: delta kernel plus small noise, so early
         # training behaves like a plain MLP block.
         kernel = rng.normal(0.0, 0.02, size=(length, dim))
@@ -100,7 +101,7 @@ class FMLPRec(SequenceDenoiser):
         self.num_items = num_items
         self.dim = dim
         self.max_len = max_len
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.item_embedding = Embedding(num_items + 1, dim,
                                         padding_idx=PAD_ID, rng=self.rng)
         self.position_embedding = PositionalEmbedding(max_len + 4, dim,

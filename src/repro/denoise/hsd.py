@@ -30,6 +30,7 @@ from ..nn import functional as F
 from ..nn.gumbel import gumbel_sigmoid
 from ..nn.module import Parameter
 from .base import SequenceDenoiser
+from ..nn.rng import resolve_rng
 
 
 class NoiseGate(Module):
@@ -50,7 +51,7 @@ class NoiseGate(Module):
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.dim = dim
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.context_gru = GRU(dim, dim, rng=self.rng)
         self.seq_score = Linear(dim, 1, rng=self.rng)
         self.interest_proj = Linear(dim, dim, bias=False, rng=self.rng)
@@ -150,7 +151,7 @@ class HSD(SequenceDenoiser):
         self.num_items = num_items
         self.dim = dim
         self.max_len = max_len
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.backbone = backbone_cls(num_items=num_items, dim=dim,
                                      max_len=max_len, rng=self.rng)
         self.gate = NoiseGate(dim, dropout=dropout, rng=self.rng)

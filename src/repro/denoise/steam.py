@@ -21,6 +21,7 @@ from ..nn import (Dropout, Embedding, Linear, PositionalEmbedding, Tensor,
                   TransformerEncoder, no_grad)
 from ..nn import functional as F
 from .base import SequenceDenoiser
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -44,7 +45,7 @@ class STEAM(SequenceDenoiser):
         self.corrupt_delete = corrupt_delete
         self.corrupt_insert = corrupt_insert
         self.correction_weight = correction_weight
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.item_embedding = Embedding(num_items + 1, dim,
                                         padding_idx=PAD_ID, rng=self.rng)
         self.position_embedding = PositionalEmbedding(max_len + 8, dim,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 import numpy as np
+from ..nn.rng import resolve_rng
 
 
 def ranks_from_scores(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
@@ -95,7 +96,7 @@ def sampled_ranks(scores: np.ndarray, targets: np.ndarray,
         negatives (e.g. the user's history).  The padding column 0 is
         always excluded.
     """
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     scores = np.asarray(scores, dtype=np.float64)
     targets = np.asarray(targets, dtype=np.int64)
     n, v = scores.shape

@@ -24,6 +24,7 @@ from ..data.batching import Batch
 from ..data.dataset import PAD_ID
 from ..nn import Embedding, Module, Tensor
 from ..nn import functional as F
+from ..nn.rng import resolve_rng
 
 _NEG_INF = np.finfo(np.float64).min / 4
 
@@ -54,7 +55,7 @@ class SequentialRecommender(Module):
         self.num_items = num_items
         self.dim = dim
         self.max_len = max_len
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.item_embedding = Embedding(num_items + 1, dim,
                                         padding_idx=PAD_ID, rng=self.rng)
 

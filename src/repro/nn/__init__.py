@@ -17,8 +17,10 @@ from .layers import (Conv1d, Dropout, Embedding, FeedForward, LayerNorm,
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, clip_grad_norm
 from .profiler import Profiler, profiler
+from .rng import default_generator, resolve_rng, set_global_seed
 from .rnn import (GRU, LSTM, BiLSTM, GRUCell, LSTMCell, gru_sequence,
                   gru_step, lstm_sequence, lstm_step)
+from .sanitizer import Sanitizer, SanitizerError, sanitizer
 from .schedulers import (CosineAnnealingLR, ExponentialLR, LRScheduler,
                          ReduceOnPlateau, StepLR, WarmupLR)
 from .tensor import Tensor, arange, ensure_tensor, no_grad, ones, randn, zeros
@@ -34,6 +36,8 @@ __all__ = [
     "scaled_dot_product_attention", "lstm_step", "gru_step",
     "lstm_sequence", "gru_sequence",
     "Profiler", "profiler", "reference",
+    "Sanitizer", "SanitizerError", "sanitizer",
+    "set_global_seed", "default_generator", "resolve_rng",
     "gumbel_softmax", "gumbel_sigmoid", "gumbel_log_logits",
     "TemperatureSchedule",
     "SGD", "Adam", "clip_grad_norm",

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from .tensor import Tensor, ensure_tensor
+from .rng import resolve_rng
 
 
 def relu(x: Tensor) -> Tensor:
@@ -205,7 +206,7 @@ def dropout(x: Tensor, p: float, training: bool,
         return ensure_tensor(x)
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     x = ensure_tensor(x)
     mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
     return x * Tensor(mask)

@@ -19,12 +19,13 @@ import numpy as np
 
 from . import functional as F
 from .tensor import Tensor, ensure_tensor
+from .rng import resolve_rng
 
 
 def sample_gumbel(shape, rng: Optional[np.random.Generator] = None,
                   eps: float = 1e-20) -> np.ndarray:
     """Draw i.i.d. samples from Gumbel(0, 1)."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     uniform = rng.random(shape)
     return -np.log(-np.log(uniform + eps) + eps)
 
@@ -84,7 +85,7 @@ def gumbel_sigmoid(logits: Tensor, tau: float = 1.0, hard: bool = True,
     if deterministic:
         noisy = logits / tau
     else:
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         uniform = np.clip(rng.random(logits.shape), 1e-12, 1 - 1e-12)
         noise = np.log(uniform) - np.log1p(-uniform)
         noisy = (logits + Tensor(noise)) / tau

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from .rng import resolve_rng
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -26,7 +27,7 @@ def xavier_uniform(shape: Tuple[int, ...],
                    rng: Optional[np.random.Generator] = None,
                    gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier uniform initialization U(-a, a), a = gain*sqrt(6/(fi+fo))."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     fan_in, fan_out = _fan_in_out(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-limit, limit, size=shape)
@@ -36,7 +37,7 @@ def xavier_normal(shape: Tuple[int, ...],
                   rng: Optional[np.random.Generator] = None,
                   gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier normal initialization N(0, gain^2 * 2/(fi+fo))."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
     return rng.normal(0.0, std, size=shape)
@@ -45,7 +46,7 @@ def xavier_normal(shape: Tuple[int, ...],
 def normal(shape: Tuple[int, ...], std: float = 0.02,
            rng: Optional[np.random.Generator] = None) -> np.ndarray:
     """Plain normal initialization (BERT-style)."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     return rng.normal(0.0, std, size=shape)
 
 
@@ -58,7 +59,7 @@ def orthogonal(shape: Tuple[int, ...],
                rng: Optional[np.random.Generator] = None,
                gain: float = 1.0) -> np.ndarray:
     """Orthogonal initialization, standard for recurrent weight matrices."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     if len(shape) < 2:
         raise ValueError("orthogonal init requires at least 2 dimensions")
     rows, cols = shape[0], int(np.prod(shape[1:]))

@@ -14,6 +14,7 @@ from . import functional as F
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, ensure_tensor
+from .rng import resolve_rng
 
 
 class Linear(Module):
@@ -64,6 +65,7 @@ class Embedding(Module):
         """Re-zero the padding row (call after each optimizer step)."""
         if self.padding_idx is not None:
             self.weight.data[self.padding_idx] = 0.0
+            self.weight.bump_version()
 
 
 class Dropout(Module):
@@ -72,7 +74,7 @@ class Dropout(Module):
     def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self.rng)

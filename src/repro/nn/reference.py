@@ -122,3 +122,38 @@ def layer_norm_unfused(x: Tensor, gamma: Tensor, beta: Tensor,
     var = x.var(axis=-1, keepdims=True)
     normed = (x - mu) / (var + eps).sqrt()
     return normed * gamma + beta
+
+
+def sparsemax_unfused(x: Tensor, axis: int = -1) -> Tensor:
+    """Sparsemax as a Tensor composition over a data-computed support.
+
+    The support set and its size are discrete (locally constant in the
+    input), so they are computed in NumPy; the projection itself —
+    ``(z - tau) * support`` with ``tau = (sum of z on the support - 1) /
+    |support|`` — is expressed in differentiable Tensor ops, which yields
+    exactly the sparsemax Jacobian ``S (I - 1/|S|)`` on the support.
+    """
+    x = ensure_tensor(x)
+    if axis != -1:
+        raise ValueError("sparsemax currently supports axis=-1 only")
+    z_data = np.maximum(x.data - x.data.max(axis=-1, keepdims=True), -1e9)
+    k = z_data.shape[-1]
+    z_sorted = np.sort(z_data, axis=-1)[..., ::-1]
+    z_cumsum = np.cumsum(z_sorted, axis=-1)
+    ks = np.arange(1, k + 1)
+    support_sizes = (z_sorted * ks > (z_cumsum - 1.0)).sum(
+        axis=-1, keepdims=True)
+    idx = np.clip(support_sizes - 1, 0, k - 1)
+    tau_data = (np.take_along_axis(z_cumsum, idx, axis=-1)
+                - 1.0) / support_sizes
+    support = (z_data - tau_data > 0).astype(z_data.dtype)
+    z = x - x.data.max(axis=-1, keepdims=True)  # shift is a constant
+    on_support = z * support
+    tau = (on_support.sum(axis=-1, keepdims=True) - 1.0) \
+        * (1.0 / support_sizes)
+    return (z - tau) * support
+
+
+def narrow_unfused(t: Tensor, start: int, stop: int) -> Tensor:
+    """Column slice through the generic ``__getitem__`` gather path."""
+    return ensure_tensor(t)[:, start:stop]

@@ -393,7 +393,9 @@ def narrow(t: Tensor, start: int, stop: int) -> Tensor:
         full[:, start:stop] = grad
         return (full,)
 
-    return Tensor._make(out_data, (t,), backward)
+    out = Tensor._make(out_data, (t,), backward)
+    out._version = t._version  # view: shares the source's mutation counter
+    return out
 
 
 class GRUCell(Module):

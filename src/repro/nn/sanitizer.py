@@ -1,0 +1,266 @@
+"""Runtime autograd sanitizer for the ``repro.nn`` substrate.
+
+The fused kernels introduced by the performance layer keep hand-written
+backward closures over *saved* NumPy arrays and mutate buffers in place —
+exactly the class of code where a stale saved tensor or a silently
+broadcast gradient produces a model that trains, but trains wrong.  When
+enabled, the sanitizer instruments graph construction to catch four
+failure classes at the moment they happen, with provenance:
+
+* **saved-tensor corruption** — every graph node records the version
+  counters (:class:`repro.nn.tensor._Version`) of the tensors it saved
+  for backward; if one was mutated in place before its backward ran, the
+  backward raises :class:`SanitizerError` naming the op and the stack
+  frame that created the node;
+* **non-finite forward outputs** — every node's output is checked for
+  NaN/Inf at creation;
+* **non-finite or silently-broadcast gradients** — every backward
+  closure's incoming gradient and produced contributions are checked for
+  NaN/Inf, and each contribution's shape must equal its parent's shape
+  (a mismatched shape would silently broadcast during accumulation);
+* **dead gradients** — :meth:`Sanitizer.watch_dead_grads` tracks, step
+  over step, parameters that never receive a gradient (unused-parameter
+  detection); :meth:`Sanitizer.finalize_dead_grads` turns persistent
+  offenders into recorded anomalies.
+
+The instrumentation is installed by monkeypatching ``Tensor._make`` (the
+single choke point through which every graph node is created — the same
+pattern as :mod:`repro.nn.profiler`) and fully removed on
+:meth:`Sanitizer.disable`: when the sanitizer is off, the original
+``_make`` runs and graph construction pays zero extra cost.
+
+Usage::
+
+    from repro.nn.sanitizer import sanitizer
+
+    with sanitizer.watch():
+        loss = model.loss(batch)
+        loss.backward()
+
+or via ``TrainConfig(sanitize=True)`` / ``python -m repro.cli train
+--sanitize``.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class SanitizerError(RuntimeError):
+    """Raised when the sanitizer detects an autograd invariant violation."""
+
+
+@dataclass
+class Anomaly:
+    """One recorded invariant violation."""
+
+    kind: str    # saved-tensor-modified | non-finite-forward | ...
+    op: str      # function that created the offending graph node
+    site: str    # "file:line in caller" provenance of the node
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "op": self.op, "site": self.site,
+                "detail": self.detail}
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] op={self.op} at {self.site}: {self.detail}"
+
+
+def _format_frame(frame) -> str:
+    code = frame.f_code
+    return f"{code.co_filename}:{frame.f_lineno} in {code.co_name}"
+
+
+def _nonfinite(array) -> bool:
+    arr = np.asarray(array)
+    return (np.issubdtype(arr.dtype, np.floating)
+            and not np.isfinite(arr).all())
+
+
+class Sanitizer:
+    """Anomaly detection over the autograd graph (off by default).
+
+    Attributes
+    ----------
+    check_versions, check_nan, check_broadcast:
+        Toggles for the three hard checks; all default to True.  Hard
+        checks *raise* :class:`SanitizerError` (and record the anomaly);
+        dead-gradient detection only records.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.check_versions = True
+        self.check_nan = True
+        self.check_broadcast = True
+        self.anomalies: List[Anomaly] = []
+        self._original_make = None
+        self._never_had_grad: Optional[Set[str]] = None
+        self._dead_steps = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle (profiler-style monkeypatching)
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Install the graph-construction checks (idempotent)."""
+        if self.enabled:
+            return
+        self._original_make = Tensor.__dict__["_make"].__func__
+        Tensor._make = staticmethod(self._build_checked_make())
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Remove the checks, restoring the original ``Tensor._make``."""
+        if not self.enabled:
+            return
+        Tensor._make = staticmethod(self._original_make)
+        self._original_make = None
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Clear recorded anomalies and dead-gradient tracking state."""
+        self.anomalies = []
+        self._never_had_grad = None
+        self._dead_steps = 0
+
+    @contextmanager
+    def watch(self):
+        """Enable for the duration of a ``with`` block."""
+        self.enable()
+        try:
+            yield self
+        finally:
+            self.disable()
+
+    # ------------------------------------------------------------------
+    # Instrumented graph construction
+    # ------------------------------------------------------------------
+    def _raise(self, kind: str, op: str, site: str, detail: str) -> None:
+        anomaly = Anomaly(kind=kind, op=op, site=site, detail=detail)
+        self.anomalies.append(anomaly)
+        raise SanitizerError(str(anomaly))
+
+    def _build_checked_make(self):
+        original = self._original_make
+        sanitizer = self
+
+        def make_checked(data, parents, backward):
+            out = original(data, parents, backward)
+            # Provenance: the frame that called Tensor._make is the op
+            # (softmax, scaled_dot_product_attention, __add__, ...); its
+            # caller is the user code that invoked the op.
+            op_frame = sys._getframe(1)
+            op = op_frame.f_code.co_name
+            caller = op_frame.f_back
+            site = _format_frame(caller if caller is not None else op_frame)
+            if sanitizer.check_nan and _nonfinite(out.data):
+                sanitizer._raise(
+                    "non-finite-forward", op, site,
+                    f"forward output of shape {out.data.shape} contains "
+                    f"NaN/Inf")
+            if out._backward is not None:
+                out._backward = sanitizer._wrap_backward(
+                    out._backward, out._parents, op, site)
+            return out
+
+        return make_checked
+
+    def _wrap_backward(self, inner, parents: Tuple[Tensor, ...],
+                       op: str, site: str):
+        saved = tuple(p._version.value for p in parents)
+        sanitizer = self
+
+        def checked_backward(grad):
+            if sanitizer.check_versions:
+                for i, (p, v) in enumerate(zip(parents, saved)):
+                    if p._version.value != v:
+                        sanitizer._raise(
+                            "saved-tensor-modified", op, site,
+                            f"input #{i} (shape {p.data.shape}) saved at "
+                            f"version {v} was mutated in place to version "
+                            f"{p._version.value} before its backward ran; "
+                            f"its saved values are stale")
+            if sanitizer.check_nan and _nonfinite(grad):
+                sanitizer._raise(
+                    "non-finite-grad", op, site,
+                    "incoming gradient contains NaN/Inf")
+            contributions = inner(grad)
+            if contributions is not None:
+                for i, (p, g) in enumerate(zip(parents, contributions)):
+                    if g is None or not p.requires_grad:
+                        continue
+                    if (sanitizer.check_broadcast
+                            and np.shape(g) != p.data.shape):
+                        sanitizer._raise(
+                            "broadcast-grad", op, site,
+                            f"gradient for input #{i} has shape "
+                            f"{np.shape(g)} but the input has shape "
+                            f"{p.data.shape}; accumulation would silently "
+                            f"broadcast")
+                    if sanitizer.check_nan and _nonfinite(g):
+                        sanitizer._raise(
+                            "non-finite-grad", op, site,
+                            f"gradient produced for input #{i} contains "
+                            f"NaN/Inf")
+            return contributions
+
+        return checked_backward
+
+    # ------------------------------------------------------------------
+    # Dead-gradient / unused-parameter detection
+    # ------------------------------------------------------------------
+    def watch_dead_grads(self, named_params: Iterable[Tuple[str, Tensor]]
+                         ) -> List[str]:
+        """Record which parameters have no gradient after a backward step.
+
+        Returns the names dead *this* step; across calls the sanitizer
+        keeps the intersection, so a parameter is only reported by
+        :meth:`finalize_dead_grads` if it never received a gradient.
+        """
+        dead = {name for name, p in named_params if p.grad is None}
+        if self._never_had_grad is None:
+            self._never_had_grad = set(dead)
+        else:
+            self._never_had_grad &= dead
+        self._dead_steps += 1
+        return sorted(dead)
+
+    def finalize_dead_grads(self) -> List[str]:
+        """Convert never-got-a-gradient parameters into recorded anomalies."""
+        dead = sorted(self._never_had_grad or ())
+        for name in dead:
+            self.anomalies.append(Anomaly(
+                kind="dead-grad", op="optimizer-step", site="",
+                detail=f"parameter {name!r} received no gradient in any of "
+                       f"{self._dead_steps} observed steps (unused "
+                       f"parameter or dropped gradient)"))
+        self._never_had_grad = None
+        self._dead_steps = 0
+        return dead
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> List[Dict[str, str]]:
+        """Machine-readable list of recorded anomalies."""
+        return [a.as_dict() for a in self.anomalies]
+
+    def summary(self) -> str:
+        """Human-readable anomaly listing."""
+        if not self.anomalies:
+            return "sanitizer: clean run (no anomalies recorded)"
+        lines = [f"sanitizer: {len(self.anomalies)} anomalies"]
+        lines.extend(f"  {a}" for a in self.anomalies)
+        return "\n".join(lines)
+
+
+#: Module-level singleton used by Trainer and the CLI.
+sanitizer = Sanitizer()

@@ -23,9 +23,36 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from .rng import resolve_rng
+
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
+
+
+class _Version:
+    """Shared mutation counter for tensors aliasing the same storage.
+
+    Mirrors PyTorch's per-storage version counter: every in-place
+    mutation bumps it, and the sanitizer (:mod:`repro.nn.sanitizer`)
+    compares the value recorded when a graph node saved a tensor for
+    backward against the value at backward time.  Views created through
+    the official aliasing ops (:meth:`Tensor.detach`, basic
+    ``__getitem__`` slicing, :func:`repro.nn.rnn.narrow`) share the
+    counter object; copies (:meth:`Tensor.clone`, :meth:`Tensor.copy`)
+    get a fresh one.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+    def __repr__(self) -> str:
+        return f"_Version({self.value})"
 
 
 class no_grad:
@@ -100,21 +127,90 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents",
-                 "name", "_grad_buf")
+    __slots__ = ("_data", "requires_grad", "grad", "_backward", "_parents",
+                 "name", "_grad_buf", "_version")
 
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(self, data: Arrayable, requires_grad: bool = False, name: str = ""):
-        self.data = _as_array(data)
-        if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
-            self.data = self.data.astype(np.float64)
+        self._version = _Version()
+        self._data = _as_array(data)
+        if requires_grad and not np.issubdtype(self._data.dtype, np.floating):
+            self._data = self._data.astype(np.float64)
         self.requires_grad = requires_grad and _grad_enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self.name = name
         self._grad_buf: Optional[np.ndarray] = None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying array.  Rebinding it counts as a mutation."""
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value if isinstance(value, np.ndarray) else _as_array(value)
+        self._version.bump()
+
+    # ------------------------------------------------------------------
+    # Versioning / in-place mutation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Current value of the storage mutation counter."""
+        return self._version.value
+
+    def bump_version(self) -> None:
+        """Record an out-of-band in-place mutation of :attr:`data`.
+
+        Call this after mutating the array returned by :meth:`numpy`
+        (or :attr:`data`) directly with NumPy, so the sanitizer's
+        saved-tensor checks stay sound.  The in-place methods below call
+        it automatically.
+        """
+        self._version.bump()
+
+    def add_(self, other: Arrayable) -> "Tensor":
+        """In-place ``self += other`` on the data (no autograd record)."""
+        self._data += _as_array(other)
+        self._version.bump()
+        return self
+
+    def sub_(self, other: Arrayable) -> "Tensor":
+        """In-place ``self -= other`` on the data (no autograd record)."""
+        self._data -= _as_array(other)
+        self._version.bump()
+        return self
+
+    def mul_(self, other: Arrayable) -> "Tensor":
+        """In-place ``self *= other`` on the data (no autograd record)."""
+        self._data *= _as_array(other)
+        self._version.bump()
+        return self
+
+    def copy_(self, other: Arrayable) -> "Tensor":
+        """Copy ``other``'s values into this tensor's storage."""
+        np.copyto(self._data, _as_array(other))
+        self._version.bump()
+        return self
+
+    def fill_(self, value: float) -> "Tensor":
+        """Fill the storage with a scalar value."""
+        self._data.fill(value)
+        self._version.bump()
+        return self
+
+    def zero_(self) -> "Tensor":
+        """Zero the storage in place."""
+        return self.fill_(0.0)
+
+    def masked_fill_(self, mask: np.ndarray, value: float) -> "Tensor":
+        """In-place variant of :meth:`masked_fill` (no autograd record)."""
+        np.copyto(self._data, value, where=_as_array(mask).astype(bool))
+        self._version.bump()
+        return self
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -155,12 +251,32 @@ class Tensor:
         return self.data.item()
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a new tensor sharing data but cut from the graph.
+
+        The detached view aliases this tensor's storage, so it shares the
+        version counter: mutating either through the in-place API is
+        visible to the sanitizer's saved-tensor checks on both.
+        """
+        out = Tensor(self._data, requires_grad=False)
+        out._version = self._version
+        return out
+
+    def clone(self) -> "Tensor":
+        """Return a differentiable copy with its own storage.
+
+        Unlike :meth:`detach`, the clone participates in the graph
+        (gradients flow straight through) and — because its storage is
+        fresh — carries a *fresh* version counter: mutating the clone in
+        place never invalidates graphs that saved the original.
+        """
+        def backward(grad):
+            return (grad,)
+
+        return Tensor._make(self._data.copy(), (self,), backward)
 
     def copy(self) -> "Tensor":
-        """Return a leaf tensor with copied data."""
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        """Return a leaf tensor with copied data (fresh version counter)."""
+        return Tensor(self._data.copy(), requires_grad=self.requires_grad)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -611,7 +727,12 @@ class Tensor:
                 np.add.at(full, index, grad)
             return (full,)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if basic:
+            # Basic indexing returns a view of this tensor's storage, so
+            # the slice shares the version counter (like detach()).
+            out._version = self._version
+        return out
 
     def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
         """Gather rows along ``axis`` (duplicate indices accumulate grads)."""
@@ -691,7 +812,7 @@ def ones(*shape, requires_grad: bool = False) -> Tensor:
 def randn(*shape, rng: Optional[np.random.Generator] = None,
           scale: float = 1.0, requires_grad: bool = False) -> Tensor:
     """Tensor of normal noise with standard deviation ``scale``."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
 
 

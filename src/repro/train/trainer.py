@@ -38,6 +38,10 @@ class TrainConfig:
     #: record per-op substrate timings (see :mod:`repro.nn.profiler`);
     #: zero overhead when False.
     profile: bool = False
+    #: run under the autograd sanitizer (see :mod:`repro.nn.sanitizer`):
+    #: saved-tensor version checks, NaN/Inf and broadcast-grad detection,
+    #: dead-gradient tracking; zero overhead when False.
+    sanitize: bool = False
 
 
 @dataclass
@@ -54,6 +58,12 @@ class TrainResult:
     profile: Optional[Dict[str, Dict[str, float]]] = None
     #: rendered profiler table (populated when ``config.profile``).
     profile_table: str = ""
+    #: recorded sanitizer anomalies (populated when ``config.sanitize``;
+    #: empty list means the run was clean).
+    sanitizer_report: Optional[List[Dict[str, str]]] = None
+    #: parameters that never received a gradient across the whole run
+    #: (populated when ``config.sanitize``).
+    dead_parameters: List[str] = field(default_factory=list)
 
 
 class Trainer:
@@ -81,6 +91,17 @@ class Trainer:
                                    max_len=split.max_len)
 
     def fit(self) -> TrainResult:
+        if self.config.sanitize:
+            from ..nn.sanitizer import sanitizer
+            sanitizer.reset()
+            with sanitizer.watch():
+                result = self._fit_profiled()
+            result.dead_parameters = sanitizer.finalize_dead_grads()
+            result.sanitizer_report = sanitizer.report()
+            return result
+        return self._fit_profiled()
+
+    def _fit_profiled(self) -> TrainResult:
         if self.config.profile:
             from ..nn.profiler import profiler
             profiler.reset()
@@ -153,6 +174,9 @@ class Trainer:
             self.optimizer.zero_grad()
             loss = self.loss_fn(batch)
             loss.backward()
+            if self.config.sanitize:
+                from ..nn.sanitizer import sanitizer
+                sanitizer.watch_dead_grads(self.model.named_parameters())
             if self.config.grad_clip:
                 clip_grad_norm(self.model.parameters(), self.config.grad_clip)
             self.optimizer.step()

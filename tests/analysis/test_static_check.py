@@ -1,0 +1,207 @@
+"""Tests for the AST-based framework linter and its CLI gate.
+
+Includes the tier-1 smoke test that executes the linter on the live
+source tree (must be clean), seeded-violation fixtures for every rule,
+and subprocess checks of ``scripts/static_check.py`` exit codes.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Violation, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+SCRIPT = REPO_ROOT / "scripts" / "static_check.py"
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    """Materialize a {relpath: source} mini package tree."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+class TestLiveTree:
+    def test_live_tree_is_clean(self):
+        violations = run_lint(PACKAGE_ROOT, tests_root=REPO_ROOT / "tests")
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_all_rules_registered(self):
+        assert set(RULES) == {"unseeded-rng", "fused-oracle",
+                              "eval-no-grad", "bare-parameter"}
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            run_lint(PACKAGE_ROOT, rules=["no-such-rule"])
+
+
+class TestUnseededRngRule:
+    def test_flags_unseeded_and_direct_sampling(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"models/bad.py": """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng()
+                noise = np.random.rand(3)
+                return rng, noise
+        """})
+        violations = run_lint(root, rules=["unseeded-rng"])
+        assert [v.line for v in violations] == [5, 6]
+        assert all(v.rule == "unseeded-rng" for v in violations)
+
+    def test_allows_seeded_types_and_helper_module(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "models/good.py": """
+                import numpy as np
+
+                def sample(rng: np.random.Generator, seed: int):
+                    return np.random.default_rng(seed).normal()
+            """,
+            "nn/rng.py": """
+                import numpy as np
+
+                def default_generator():
+                    return np.random.default_rng()
+            """,
+        })
+        assert run_lint(root, rules=["unseeded-rng"]) == []
+
+
+class TestFusedOracleRule:
+    FUSED = """
+        from .tensor import Tensor
+
+        def my_kernel(x):
+            return Tensor._make(x.data, (x,), lambda g: (g,))
+
+        def _private_kernel(x):
+            return Tensor._make(x.data, (x,), lambda g: (g,))
+    """
+
+    def test_flags_missing_oracle_and_test(self, tmp_path):
+        root = write_tree(tmp_path / "repro",
+                          {"nn/functional.py": self.FUSED,
+                           "nn/reference.py": "\n"})
+        tests = write_tree(tmp_path / "tests",
+                           {"nn/test_fused_ops.py": "\n"})
+        violations = run_lint(root, tests_root=tests,
+                              rules=["fused-oracle"])
+        messages = [v.message for v in violations]
+        assert len(violations) == 2  # private kernel is exempt
+        assert any("my_kernel_unfused" in m for m in messages)
+        assert any("not exercised" in m for m in messages)
+
+    def test_clean_when_oracle_and_test_exist(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "nn/functional.py": self.FUSED,
+            "nn/reference.py": "def my_kernel_unfused(x):\n    return x\n",
+        })
+        tests = write_tree(tmp_path / "tests", {
+            "nn/test_fused_ops.py": "def test_my_kernel():\n    pass\n"})
+        assert run_lint(root, tests_root=tests,
+                        rules=["fused-oracle"]) == []
+
+
+class TestEvalNoGradRule:
+    def test_flags_forward_without_no_grad(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"eval/scorer.py": """
+            class Scorer:
+                def score(self, model, batch):
+                    return model.forward(batch)
+        """})
+        violations = run_lint(root, rules=["eval-no-grad"])
+        assert len(violations) == 1
+        assert "Scorer" in violations[0].message
+
+    def test_clean_with_no_grad_block(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"eval/scorer.py": """
+            from ..nn import no_grad
+
+            class Scorer:
+                def score(self, model, batch):
+                    with no_grad():
+                        return model.forward_batch(batch)
+        """})
+        assert run_lint(root, rules=["eval-no-grad"]) == []
+
+
+class TestBareParameterRule:
+    def test_flags_bare_trainable_tensor_in_module(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/bad_layer.py": """
+            from .module import Module
+            from .tensor import Tensor, randn
+
+            class Base(Module):
+                pass
+
+            class BadLayer(Base):
+                def __init__(self):
+                    super().__init__()
+                    self.w = Tensor([1.0], requires_grad=True)
+                    self.v = randn((3,), requires_grad=True)
+        """})
+        violations = run_lint(root, rules=["bare-parameter"])
+        assert len(violations) == 2  # transitive Module subclass caught
+        assert all("Parameter" in v.message for v in violations)
+
+    def test_clean_with_parameter_registration(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/good_layer.py": """
+            from .module import Module, Parameter
+            from .tensor import Tensor
+
+            class GoodLayer(Module):
+                def __init__(self):
+                    super().__init__()
+                    self.w = Parameter([1.0])
+                    self.buffer = Tensor([0.0])  # non-trainable: fine
+
+            class NotAModule:
+                def __init__(self):
+                    self.w = Tensor([1.0], requires_grad=True)
+        """})
+        assert run_lint(root, rules=["bare-parameter"]) == []
+
+
+class TestStaticCheckScript:
+    def _run(self, *extra_args):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), *extra_args],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        report = tmp_path / "report.json"
+        proc = self._run("--json", str(report))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+        assert json.loads(report.read_text())["violations"] == []
+
+    def test_exit_nonzero_on_seeded_violation(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"models/bad.py": """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().normal()
+        """})
+        report = tmp_path / "report.json"
+        proc = self._run("--src-root", str(root),
+                         "--tests-root", str(tmp_path / "missing"),
+                         "--json", str(report))
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stderr
+        payload = json.loads(report.read_text())
+        assert payload["violations"][0]["rule"] == "unseeded-rng"
+
+    def test_violation_dict_round_trips(self):
+        v = Violation(rule="unseeded-rng", path="x.py", line=3,
+                      message="m")
+        assert v.as_dict() == {"rule": "unseeded-rng", "path": "x.py",
+                               "line": 3, "message": "m"}
+        assert str(v) == "x.py:3: [unseeded-rng] m"

@@ -259,6 +259,44 @@ class TestFusedVsUnfused:
         for got, want in zip(fused, unfused):
             np.testing.assert_allclose(got, want, atol=1e-9)
 
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6), st.integers(2, 9), st.integers(0, 10_000))
+    def test_sparsemax(self, rows, cols, seed):
+        from repro.nn import sparsemax
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, cols)) * 2.0
+        w = rng.normal(size=(rows, cols))
+        t = Tensor(x, requires_grad=True)
+        fused, = backward_grads(lambda: (sparsemax(t) * Tensor(w)).sum(), t)
+        unfused, = backward_grads(
+            lambda: (reference.sparsemax_unfused(t) * Tensor(w)).sum(), t)
+        np.testing.assert_allclose(sparsemax(t).data,
+                                   reference.sparsemax_unfused(t).data,
+                                   atol=1e-12)
+        np.testing.assert_allclose(fused, unfused, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6), st.integers(3, 12), st.integers(0, 10_000))
+    def test_narrow(self, rows, cols, seed):
+        from repro.nn.rnn import narrow
+
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, cols - 1))
+        stop = int(rng.integers(start + 1, cols + 1))
+        x = rng.normal(size=(rows, cols))
+        w = rng.normal(size=(rows, stop - start))
+        t = Tensor(x, requires_grad=True)
+        fused, = backward_grads(lambda: (narrow(t, start, stop)
+                                         * Tensor(w)).sum(), t)
+        unfused, = backward_grads(
+            lambda: (reference.narrow_unfused(t, start, stop)
+                     * Tensor(w)).sum(), t)
+        np.testing.assert_allclose(narrow(t, start, stop).data,
+                                   reference.narrow_unfused(
+                                       t, start, stop).data, atol=0)
+        np.testing.assert_allclose(fused, unfused, atol=1e-12)
+
 
 class TestFiniteDifferenceParity:
     """Fused gradients match central finite differences to 1e-6."""

@@ -1,0 +1,50 @@
+"""Tests for the central seeded RNG utility (repro.nn.rng)."""
+
+import numpy as np
+
+from repro.nn import rng as rng_mod
+from repro.nn import resolve_rng, set_global_seed
+
+
+class TestResolveRng:
+    def test_explicit_rng_passes_through(self):
+        rng = np.random.default_rng(7)
+        assert resolve_rng(rng) is rng
+
+    def test_fallback_is_the_global_generator(self):
+        set_global_seed(0)
+        assert resolve_rng(None) is rng_mod.default_generator()
+
+    def test_fallback_is_seeded_and_reproducible(self):
+        set_global_seed(123)
+        first = resolve_rng(None).normal(size=5)
+        set_global_seed(123)
+        second = resolve_rng(None).normal(size=5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_explicit_seed_outputs_unchanged(self):
+        # The resolve_rng rollout must not change fixed-seed behaviour of
+        # components that receive an explicit generator.
+        from repro.models import GRU4Rec
+
+        a = GRU4Rec(num_items=20, dim=8, max_len=10,
+                    rng=np.random.default_rng(0))
+        b = GRU4Rec(num_items=20, dim=8, max_len=10,
+                    rng=np.random.default_rng(0))
+        for (name, pa), (_, pb) in zip(a.named_parameters(),
+                                       b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
+
+    def test_default_construction_is_deterministic(self):
+        # With no rng passed anywhere, the global seeded fallback makes
+        # construction reproducible run-to-run (previously each call site
+        # spun up an unseeded default_rng()).
+        from repro.models import GRU4Rec
+
+        set_global_seed(0)
+        a = GRU4Rec(num_items=20, dim=8, max_len=10)
+        set_global_seed(0)
+        b = GRU4Rec(num_items=20, dim=8, max_len=10)
+        for (name, pa), (_, pb) in zip(a.named_parameters(),
+                                       b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)

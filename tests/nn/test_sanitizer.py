@@ -1,0 +1,236 @@
+"""Tests for the runtime autograd sanitizer.
+
+Covers the ISSUE's planted fused-kernel bugs — a saved tensor mutated
+before backward, a NaN emitted in forward/backward, a dropped gradient —
+plus broadcast-grad detection, zero-overhead-when-off, and the Trainer
+``sanitize=True`` integration (a clean epoch must stay clean).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (LSTMCell, GRUCell, SanitizerError, Tensor, sanitizer,
+                      scaled_dot_product_attention)
+from repro.nn import functional as F
+from repro.nn.rnn import gru_sequence, lstm_sequence
+from repro.nn.tensor import Tensor as RawTensor
+
+
+def _original_make():
+    return RawTensor.__dict__["_make"].__func__
+
+
+# ----------------------------------------------------------------------
+# Deliberately-buggy fused ops (the ISSUE's planted bugs)
+# ----------------------------------------------------------------------
+def buggy_mutates_saved(x: Tensor) -> Tensor:
+    """Fused op that corrupts its saved input before backward runs."""
+    x_data = x.data
+
+    def backward(grad):
+        return (grad * x_data,)
+
+    out = Tensor._make(x.data * x.data, (x,), backward)
+    x.mul_(2.0)  # the bug: in-place mutation after saving x_data
+    return out
+
+
+def buggy_nan_forward(x: Tensor) -> Tensor:
+    data = x.data.copy()
+    data.flat[0] = np.nan  # the bug
+    return Tensor._make(data, (x,), lambda grad: (grad,))
+
+
+def buggy_nan_backward(x: Tensor) -> Tensor:
+    def backward(grad):
+        g = grad.copy()
+        g.flat[0] = np.nan  # the bug
+        return (g,)
+
+    return Tensor._make(x.data + 1.0, (x,), backward)
+
+
+def buggy_broadcast_grad(x: Tensor) -> Tensor:
+    def backward(grad):
+        # the bug: reduced shape that would silently broadcast over rows
+        return (grad.sum(axis=0, keepdims=True),)
+
+    return Tensor._make(x.data * 3.0, (x,), backward)
+
+
+class TestPlantedBugs:
+    def setup_method(self):
+        sanitizer.reset()
+
+    def test_saved_tensor_mutation_caught(self):
+        x = Tensor(np.arange(1.0, 5.0), requires_grad=True)
+        with sanitizer.watch():
+            out = buggy_mutates_saved(x)
+            with pytest.raises(SanitizerError, match="saved-tensor-modified"):
+                out.sum().backward()
+        assert sanitizer.anomalies[0].kind == "saved-tensor-modified"
+        assert "buggy_mutates_saved" in sanitizer.anomalies[0].op
+
+    def test_nan_forward_caught_at_creation(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with sanitizer.watch():
+            with pytest.raises(SanitizerError, match="non-finite-forward"):
+                buggy_nan_forward(x)
+        assert sanitizer.anomalies[0].op == "buggy_nan_forward"
+
+    def test_nan_backward_caught(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with sanitizer.watch():
+            out = buggy_nan_backward(x)
+            with pytest.raises(SanitizerError, match="non-finite-grad"):
+                out.sum().backward()
+
+    def test_broadcast_grad_caught(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        with sanitizer.watch():
+            out = buggy_broadcast_grad(x)
+            with pytest.raises(SanitizerError, match="broadcast-grad"):
+                out.sum().backward()
+        assert "(1, 4)" in sanitizer.anomalies[0].detail
+
+    def test_dropped_grad_reported_as_dead(self):
+        used = Tensor(np.ones(3), requires_grad=True)
+        unused = Tensor(np.ones(3), requires_grad=True)
+        with sanitizer.watch():
+            (used * 2.0).sum().backward()
+            sanitizer.watch_dead_grads([("used", used), ("unused", unused)])
+        dead = sanitizer.finalize_dead_grads()
+        assert dead == ["unused"]
+        kinds = [a.kind for a in sanitizer.anomalies]
+        assert kinds == ["dead-grad"]
+        assert "unused" in sanitizer.anomalies[0].detail
+
+    def test_dead_grads_use_intersection_across_steps(self):
+        # A parameter that gets a grad in *any* step is not dead.
+        p = Tensor(np.ones(3), requires_grad=True)
+        sanitizer.watch_dead_grads([("p", p)])  # step 1: no grad yet
+        p.grad = np.ones(3)
+        sanitizer.watch_dead_grads([("p", p)])  # step 2: has grad
+        assert sanitizer.finalize_dead_grads() == []
+        assert sanitizer.anomalies == []
+
+    def test_provenance_names_creating_site(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        with sanitizer.watch():
+            out = buggy_mutates_saved(x)
+            with pytest.raises(SanitizerError) as err:
+                out.sum().backward()
+        message = str(err.value)
+        assert "buggy_mutates_saved" in message
+        assert "test_sanitizer.py" in message  # creating stack frame
+
+
+class TestFusedKernels:
+    """The sanitizer guards the real PR-1 fused kernels."""
+
+    def setup_method(self):
+        sanitizer.reset()
+
+    def test_sdpa_saved_value_mutation(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        with sanitizer.watch():
+            out = scaled_dot_product_attention(q, k, v)
+            v.mul_(2.0)
+            with pytest.raises(SanitizerError,
+                               match="scaled_dot_product_attention"):
+                out.sum().backward()
+
+    def test_lstm_sequence_weight_mutation(self):
+        rng = np.random.default_rng(1)
+        cell = LSTMCell(4, 4, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        with sanitizer.watch():
+            out = lstm_sequence(x, cell.w_ih, cell.w_hh, cell.bias, 4)
+            cell.w_hh.add_(0.1)
+            with pytest.raises(SanitizerError, match="lstm_sequence"):
+                out.sum().backward()
+
+    def test_gru_sequence_weight_mutation(self):
+        rng = np.random.default_rng(2)
+        cell = GRUCell(4, 4, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        with sanitizer.watch():
+            out = gru_sequence(x, cell.w_ih, cell.w_hh, cell.b_ih,
+                               cell.b_hh, 4)
+            cell.w_ih.fill_(0.0)
+            with pytest.raises(SanitizerError, match="gru_sequence"):
+                out.sum().backward()
+
+    def test_clean_fused_graph_passes(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        with sanitizer.watch():
+            F.cross_entropy(F.linear(x, Tensor(rng.normal(size=(6, 5)),
+                                               requires_grad=True)),
+                            np.zeros(4, dtype=np.int64)).backward()
+        assert sanitizer.anomalies == []
+
+
+class TestZeroOverheadWhenOff:
+    def test_make_restored_after_watch(self):
+        original = RawTensor.__dict__["_make"].__func__
+        with sanitizer.watch():
+            assert RawTensor.__dict__["_make"].__func__ is not original
+        assert RawTensor.__dict__["_make"].__func__ is original
+
+    def test_disabled_sanitizer_adds_no_graph_node_overhead(self):
+        # With the sanitizer off, nodes keep their raw backward closures:
+        # no version snapshots, no wrapper frames.
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = x * 2.0
+        assert out._backward.__name__ != "checked_backward"
+        with sanitizer.watch():
+            wrapped = x * 2.0
+            assert wrapped._backward.__name__ == "checked_backward"
+        after = x * 2.0
+        assert after._backward.__name__ != "checked_backward"
+
+    def test_double_enable_is_idempotent(self):
+        sanitizer.enable()
+        patched = RawTensor.__dict__["_make"].__func__
+        sanitizer.enable()
+        assert RawTensor.__dict__["_make"].__func__ is patched
+        sanitizer.disable()
+        assert RawTensor.__dict__["_make"].__func__ is _original_make()
+
+    def test_disable_restores_even_after_error(self):
+        original = _original_make()
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(SanitizerError):
+            with sanitizer.watch():
+                buggy_nan_forward(x)
+        assert RawTensor.__dict__["_make"].__func__ is original
+
+
+class TestTrainerSanitizeFlag:
+    def _tiny_run(self, sanitize):
+        from repro.data import generate, leave_one_out_split
+        from repro.models import GRU4Rec
+        from repro.train import TrainConfig, Trainer
+
+        split = leave_one_out_split(generate("ml-100k", seed=0, scale=0.1),
+                                    max_len=10)
+        model = GRU4Rec(num_items=split.num_items, dim=8, max_len=10,
+                        rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=32, sanitize=sanitize)
+        return Trainer(model, split, config).fit()
+
+    def test_sanitized_epoch_is_clean(self):
+        result = self._tiny_run(sanitize=True)
+        assert result.sanitizer_report == []
+        assert result.dead_parameters == []
+        # instrumentation must be removed after fit()
+        assert RawTensor.__dict__["_make"].__func__ is _original_make()
+
+    def test_sanitize_false_leaves_result_empty(self):
+        result = self._tiny_run(sanitize=False)
+        assert result.sanitizer_report is None
+        assert result.dead_parameters == []
