@@ -234,3 +234,53 @@ def test_micro_softmax_unfused(benchmark):
         reference.softmax_unfused(x).sum().backward()
 
     benchmark(step)
+
+
+# ---------------------------------------------------------------------------
+# Serving primitives (PR 3).  Same group convention: each pair compares a
+# fused/partial-sort implementation against the legacy composition on the
+# identical workload.
+# ---------------------------------------------------------------------------
+
+def _rank_inputs():
+    rng = np.random.default_rng(4)
+    scores = rng.normal(size=(512, 4000))
+    targets = rng.integers(1, 4000, size=512)
+    return scores, targets
+
+
+def _legacy_two_pass_ranks(scores, targets):
+    """Pre-PR3 ranks_from_scores: float64 upcast + two comparison passes."""
+    scores = np.asarray(scores, dtype=np.float64)
+    target_scores = scores[np.arange(len(targets)), targets][:, None]
+    higher = (scores > target_scores).sum(axis=1)
+    ties = (scores == target_scores).sum(axis=1) - 1
+    return higher + ties + 1
+
+
+@pytest.mark.benchmark(group="ranks-from-scores")
+def test_micro_ranks_one_pass(benchmark):
+    from repro.eval import ranks_from_scores
+
+    scores, targets = _rank_inputs()
+    benchmark(lambda: ranks_from_scores(scores, targets))
+
+
+@pytest.mark.benchmark(group="ranks-from-scores")
+def test_micro_ranks_legacy_two_pass(benchmark):
+    scores, targets = _rank_inputs()
+    benchmark(lambda: _legacy_two_pass_ranks(scores, targets))
+
+
+@pytest.mark.benchmark(group="topk")
+def test_micro_topk_argpartition(benchmark):
+    from repro.serve import topk_from_scores
+
+    scores, _ = _rank_inputs()
+    benchmark(lambda: topk_from_scores(scores, 20))
+
+
+@pytest.mark.benchmark(group="topk")
+def test_micro_topk_full_argsort(benchmark):
+    scores, _ = _rank_inputs()
+    benchmark(lambda: np.argsort(-scores, axis=1, kind="stable")[:, :20])

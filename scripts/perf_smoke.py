@@ -11,6 +11,11 @@ Runnable locally and in CI alongside tier-1 tests:
 
 ``--json`` changes the output path; ``--no-epoch`` skips the end-to-end
 epoch timing (the micro gate alone takes a few seconds).
+
+Also runs the frozen-plan serving benchmark (``repro.serve.bench``),
+writes ``BENCH_serve.json``, and fails if graph-free inference is not at
+least ``SERVE_TARGET_SPEEDUP``x faster than the ``no_grad`` Tensor path
+on the ml-100k profile.  ``--no-serve`` skips that section.
 """
 
 from __future__ import annotations
@@ -34,6 +39,14 @@ from repro.nn import functional as F  # noqa: E402
 # Speedups at or above this mark a benchmark as meeting the PR-1
 # acceptance bar; the hard *gate* is only >= 1.0 (never slower).
 TARGET_SPEEDUP = 1.5
+
+# The frozen-plan serving gate is a hard bar: graph-free inference must
+# be at least this much faster than the no_grad Tensor path on the gate
+# profile (ml-100k) for both gate models.
+SERVE_TARGET_SPEEDUP = 2.0
+SERVE_GATE_PROFILE = "ml-100k"
+SERVE_MODELS = ("SASRec", "SSDRec")
+SERVE_PROFILES = ("ml-100k", "beauty")
 
 
 def best_time(fn, rounds: int) -> float:
@@ -274,14 +287,45 @@ def time_epoch(scale: str) -> dict:
     }
 
 
+def serve_section(rounds: int) -> tuple:
+    """Frozen-plan serving benchmark + its speedup gate.
+
+    Returns ``(results, failures)``: the ``run_serve_bench`` grid and the
+    list of gate models whose frozen path missed ``SERVE_TARGET_SPEEDUP``
+    on the gate profile.
+    """
+    import os
+
+    os.environ.setdefault("REPRO_SCALE", "smoke")
+    from repro.experiments.config import SCALES
+    from repro.serve.bench import render, run_serve_bench
+
+    results = run_serve_bench(models=SERVE_MODELS, profiles=SERVE_PROFILES,
+                              scale=SCALES["smoke"], rounds=rounds,
+                              requests=64)
+    print(render(results))
+    failures = []
+    for model in SERVE_MODELS:
+        speedup = results[model][SERVE_GATE_PROFILE]["speedup"]
+        if speedup < SERVE_TARGET_SPEEDUP:
+            failures.append(
+                f"serve:{model}@{SERVE_GATE_PROFILE} "
+                f"({speedup:.2f}x < {SERVE_TARGET_SPEEDUP}x)")
+    return results, failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=15,
                         help="timing rounds per op (best-of)")
     parser.add_argument("--json", type=Path,
                         default=REPO_ROOT / "BENCH_substrate.json")
+    parser.add_argument("--serve-json", type=Path,
+                        default=REPO_ROOT / "BENCH_serve.json")
     parser.add_argument("--no-epoch", action="store_true",
                         help="skip the end-to-end epoch timing")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the frozen-plan serving benchmark/gate")
     parser.add_argument("--epoch-scale", default="smoke",
                         help="REPRO_SCALE for the epoch timing (smoke/quick)")
     parser.add_argument("--baseline-epoch-json", type=Path, default=None,
@@ -330,13 +374,24 @@ def main() -> int:
 
     write_json_report(args.json, report)
 
+    if not args.no_serve:
+        print("\nfrozen-plan serving benchmark (graph-free inference)...")
+        serve_results, serve_failures = serve_section(rounds=3)
+        write_json_report(args.serve_json, {
+            "target_speedup": SERVE_TARGET_SPEEDUP,
+            "gate_profile": SERVE_GATE_PROFILE,
+            "results": serve_results,
+        })
+        failures.extend(serve_failures)
+
     met = sum(1 for r in report["micro"].values() if r["meets_target"])
     return finish(
         ok=not failures,
         ok_message=(f"all fused ops at least break even; "
-                    f"{met}/{len(report['micro'])} exceed {TARGET_SPEEDUP}x"),
-        fail_message=(f"fused slower than unfused for: "
-                      f"{', '.join(failures)}"))
+                    f"{met}/{len(report['micro'])} exceed {TARGET_SPEEDUP}x; "
+                    f"frozen serving gate "
+                    f"{'skipped' if args.no_serve else 'passed'}"),
+        fail_message=f"perf gate failures: {', '.join(failures)}")
 
 
 if __name__ == "__main__":

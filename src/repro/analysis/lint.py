@@ -31,6 +31,13 @@ rules ship today:
     ``randn``) to ``self`` hides it from ``parameters()`` and the
     optimizer.
 
+``serve-graph-free``
+    Modules under ``src/repro/serve`` (the frozen inference engine) must
+    never construct autograd ``Tensor``s — no ``Tensor(...)`` /
+    ``ensure_tensor`` / ``Tensor._make`` calls and no imports of graph
+    factories from ``repro.nn``.  ``serve/bench.py`` is exempt: it times
+    the Tensor path as the comparison baseline.
+
 To add a rule: write a function taking a :class:`Project` and returning
 a list of :class:`Violation`, and decorate it with ``@rule(name,
 description)``.  ``scripts/static_check.py`` is the CLI entry point.
@@ -65,6 +72,14 @@ _RANDOM_TYPE_ATTRS = {"Generator", "BitGenerator", "SeedSequence", "PCG64",
 
 _FORWARD_METHODS = {"forward", "forward_batch", "batch_forward"}
 _TENSOR_FACTORIES = {"Tensor", "zeros", "ones", "randn"}
+
+#: Graph-building names serve/ modules may not import from ``repro.nn``
+#: (``no_grad``/``inference_mode`` stay allowed — they *disable* grads).
+_GRAPH_FACTORY_IMPORTS = {"Tensor", "ensure_tensor", "Parameter", "zeros",
+                          "ones", "randn", "arange"}
+
+#: serve/ modules allowed to touch the Tensor path (benchmark baseline).
+SERVE_GRAPH_FREE_EXEMPT = {"serve/bench.py"}
 
 
 @dataclass
@@ -341,6 +356,50 @@ def check_bare_parameter(project: Project) -> List[Violation]:
                                  f"subclass {name!r} is a bare trainable "
                                  f"{call_name.split('.')[-1]}; register "
                                  f"it as a Parameter")))
+    return violations
+
+
+@rule("serve-graph-free",
+      "repro.serve executor modules must never construct autograd "
+      "Tensors (bench.py exempt: it times the Tensor baseline)")
+def check_serve_graph_free(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if not rel.startswith("serve/") or rel in SERVE_GRAPH_FREE_EXEMPT:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if "nn" not in module.split("."):
+                    continue
+                for alias in node.names:
+                    if alias.name in _GRAPH_FACTORY_IMPORTS:
+                        violations.append(Violation(
+                            rule="serve-graph-free",
+                            path=project.display_path(rel),
+                            line=node.lineno,
+                            message=(f"imports graph factory "
+                                     f"{alias.name!r} from repro.nn; "
+                                     f"serve executors must stay "
+                                     f"Tensor-free")))
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name is None:
+                    continue
+                last = name.split(".")[-1]
+                if name.endswith("Tensor._make"):
+                    offender = "Tensor._make"
+                elif (last in {"Tensor", "ensure_tensor"}
+                      and not name.startswith(("np.", "numpy."))):
+                    offender = last
+                else:
+                    continue
+                violations.append(Violation(
+                    rule="serve-graph-free",
+                    path=project.display_path(rel), line=node.lineno,
+                    message=(f"{offender}() call builds an autograd "
+                             f"graph inside the frozen inference "
+                             f"engine")))
     return violations
 
 

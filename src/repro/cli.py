@@ -11,6 +11,9 @@ Commands
     Run a named paper experiment (table2..table6, fig1, fig4, fig5).
 ``explain``
     Train SSDRec briefly and print per-user three-stage traces.
+``serve-bench``
+    Benchmark frozen-plan (graph-free) inference against the ``no_grad``
+    Tensor path: evaluator speedup, request latency, batched throughput.
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
     python -m repro.cli train --model SASRec --dataset ml-100k --save out.npz
     python -m repro.cli experiment table5 --scale smoke
     python -m repro.cli explain --dataset ml-100k --users 3
+    python -m repro.cli serve-bench --models SASRec SSDRec --json bench.json
 """
 
 from __future__ import annotations
@@ -102,6 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--users", type=int, default=3)
     explain.add_argument("--epochs", type=int, default=8)
     explain.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve-bench",
+                           help="frozen-plan vs graph inference benchmark")
+    serve.add_argument("--models", nargs="+", default=["SASRec", "SSDRec"],
+                       help="model names (backbones or SSDRec)")
+    serve.add_argument("--datasets", nargs="+",
+                       default=["ml-100k", "beauty"],
+                       choices=["ml-100k", "ml-1m", "beauty", "sports",
+                                "yelp"])
+    serve.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    serve.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds per measurement (best-of)")
+    serve.add_argument("--requests", type=int, default=128,
+                       help="single-item requests for latency/throughput")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", default=None,
+                       help="also write the result grid to this path")
     return parser
 
 
@@ -196,11 +218,29 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .analysis.report import write_json_report
+    from .serve.bench import render, run_serve_bench
+
+    results = run_serve_bench(models=tuple(args.models),
+                              profiles=tuple(args.datasets),
+                              scale=SCALES[args.scale], seed=args.seed,
+                              rounds=args.rounds, requests=args.requests,
+                              k=args.k)
+    print(render(results))
+    if args.json:
+        write_json_report(args.json, {"scale": args.scale,
+                                      "results": results})
+        print(f"report written to {args.json}")
+    return 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
     "experiment": cmd_experiment,
     "explain": cmd_explain,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -11,6 +11,11 @@ from ..data.dataset import SequenceExample
 from ..nn import Tensor, no_grad
 from .metrics import metric_report, ranks_from_scores
 
+#: Default cap on users scored per matmul chunk.  Scoring all N users at
+#: once materialises an (N, V) float64 matrix; chunking keeps peak memory
+#: flat at (score_chunk, V) without measurably slowing the matmul.
+DEFAULT_SCORE_CHUNK = 4096
+
 
 class Evaluator:
     """Evaluate any model exposing ``forward(items, mask) -> logits``.
@@ -20,47 +25,117 @@ class Evaluator:
 
     Candidate scoring is vectorized: models exposing the
     ``encode``/``score`` API (every :class:`SequentialRecommender`) have
-    their per-batch sequence representations gathered first, then *one*
-    matmul against the item table scores all users at once — at small
-    model dimensions the per-batch scoring matmuls dominate eval cost.
-    Models with a custom ``forward_batch`` (e.g. SSDRec, which needs user
-    ids) or without the encode/score split fall back to per-batch scoring.
+    their per-batch sequence representations gathered first, then scored
+    against the item table in bounded chunks (``score_chunk`` rows per
+    matmul) — at small model dimensions the per-batch scoring matmuls
+    dominate eval cost.  Models with a custom ``forward_batch`` (e.g.
+    SSDRec, which needs user ids) or without the encode/score split fall
+    back to per-batch scoring.
+
+    ``fast=True`` routes ranking through a frozen forward plan
+    (:func:`repro.serve.freeze`): a pure-NumPy executor that skips
+    autograd graph construction entirely.  Ranks are identical to the
+    graph path within float tolerance (asserted by
+    ``tests/serve/test_evaluator_fast.py``); the plan is recompiled from
+    the model's current weights on every :meth:`ranks` call, so it is
+    always safe to toggle mid-training.
     """
 
     def __init__(self, examples: List[SequenceExample], batch_size: int = 256,
                  max_len: Optional[int] = None,
-                 ks: Sequence[int] = (5, 10, 20)):
+                 ks: Sequence[int] = (5, 10, 20), fast: bool = False,
+                 score_chunk: Optional[int] = DEFAULT_SCORE_CHUNK):
         if not examples:
             raise ValueError("evaluator needs at least one example")
+        if score_chunk is not None and score_chunk < 1:
+            raise ValueError("score_chunk must be >= 1 or None")
         self.loader = DataLoader(examples, batch_size=batch_size,
                                  max_len=max_len, shuffle=False)
         self.ks = tuple(ks)
+        self.fast = fast
+        self.score_chunk = score_chunk
 
     def ranks(self, model) -> np.ndarray:
         """Target ranks for every example (order matches the example list)."""
         was_training = getattr(model, "training", False)
         model.eval()
-        with no_grad():
-            batch_forward = getattr(model, "forward_batch", None)
-            encode = getattr(model, "encode", None)
-            score = getattr(model, "score", None)
-            if batch_forward is None and encode is not None and score is not None:
-                all_ranks = self._ranks_vectorized(model, encode, score)
+        try:
+            if self.fast:
+                from ..serve import freeze  # lazy: avoids an import cycle
+                all_ranks = self._ranks_plan(freeze(model))
             else:
-                all_ranks = self._ranks_per_batch(model, batch_forward)
-        if was_training:
-            model.train()
+                with no_grad():
+                    batch_forward = getattr(model, "forward_batch", None)
+                    encode = getattr(model, "encode", None)
+                    score = getattr(model, "score", None)
+                    if (batch_forward is None and encode is not None
+                            and score is not None):
+                        all_ranks = self._ranks_vectorized(model, encode,
+                                                           score)
+                    else:
+                        all_ranks = self._ranks_per_batch(model,
+                                                          batch_forward)
+        finally:
+            if was_training:
+                model.train()
         return all_ranks
 
+    def ranks_frozen(self, plan) -> np.ndarray:
+        """Rank through a pre-compiled frozen plan (no model, no re-freeze).
+
+        Unlike ``fast=True`` — which recompiles the plan from the model's
+        current weights on every call — this trusts the caller's plan.
+        Use it when weights are fixed (serving, benchmarks) to amortize
+        compilation across calls.
+        """
+        return self._ranks_plan(plan)
+
+    def _chunks(self, total: int):
+        step = self.score_chunk or total
+        for start in range(0, total, step):
+            yield start, min(start + step, total)
+
     def _ranks_vectorized(self, model, encode, score) -> np.ndarray:
-        """Encode per batch, then score every user in a single matmul."""
+        """Encode per batch, then score users in bounded matmul chunks."""
         reprs: List[np.ndarray] = []
         targets: List[np.ndarray] = []
         for batch in self.loader:
             reprs.append(encode(batch.items, batch.mask).data)
             targets.append(batch.targets)
-        scores = score(Tensor(np.concatenate(reprs, axis=0))).data
-        return ranks_from_scores(scores, np.concatenate(targets))
+        all_reprs = np.concatenate(reprs, axis=0)
+        all_targets = np.concatenate(targets)
+        ranks = np.empty(len(all_targets), dtype=np.int64)
+        for start, stop in self._chunks(len(all_targets)):
+            scores = score(Tensor(all_reprs[start:stop])).data
+            ranks[start:stop] = ranks_from_scores(scores,
+                                                  all_targets[start:stop])
+        return ranks
+
+    def _ranks_plan(self, plan) -> np.ndarray:
+        """Graph-free ranking through a frozen forward plan."""
+        if not plan.supports_encode:
+            all_ranks: List[np.ndarray] = []
+            for batch in self.loader:
+                all_ranks.append(ranks_from_scores(plan.forward_batch(batch),
+                                                   batch.targets))
+            return np.concatenate(all_ranks)
+        reprs: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for batch in self.loader:
+            reprs.append(plan.encode_batch(batch))
+            targets.append(batch.targets)
+        all_reprs = np.concatenate(reprs, axis=0)
+        all_targets = np.concatenate(targets)
+        ranks = np.empty(len(all_targets), dtype=np.int64)
+        buf: Optional[np.ndarray] = None
+        for start, stop in self._chunks(len(all_targets)):
+            block = all_reprs[start:stop]
+            if buf is None or buf.shape[0] != block.shape[0]:
+                buf = np.empty((block.shape[0], plan.vocab_size))
+            scores = plan.score(block, out=buf)
+            ranks[start:stop] = ranks_from_scores(scores,
+                                                  all_targets[start:stop])
+        return ranks
 
     def _ranks_per_batch(self, model, batch_forward) -> np.ndarray:
         all_ranks: List[np.ndarray] = []

@@ -19,14 +19,15 @@ def ranks_from_scores(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
     Ties are broken pessimistically (tied items count as ranked ahead),
     which avoids inflating metrics on degenerate constant scores.
     """
-    scores = np.asarray(scores, dtype=np.float64)
+    # One fused comparison instead of separate ``>`` and ``==`` passes:
+    # rank = #higher + #ties(excl. self) + 1 = #(scores >= target).  No
+    # dtype upcast either — comparisons are exact at any float width.
+    scores = np.asarray(scores)
     targets = np.asarray(targets, dtype=np.int64)
     if scores.ndim != 2 or targets.ndim != 1 or len(scores) != len(targets):
         raise ValueError("scores must be (N, V), targets (N,)")
     target_scores = scores[np.arange(len(targets)), targets][:, None]
-    higher = (scores > target_scores).sum(axis=1)
-    ties = (scores == target_scores).sum(axis=1) - 1
-    return higher + ties + 1
+    return (scores >= target_scores).sum(axis=1).astype(np.int64)
 
 
 def hit_ratio(ranks: np.ndarray, k: int) -> float:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core import SSDRecConfig
@@ -21,6 +21,28 @@ class PreparedDataset:
     dataset: InteractionDataset
     split: SequenceSplit
     max_len: int
+    _evaluators: Dict[Tuple[str, int], Evaluator] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def evaluator(self, subset: str = "test", batch_size: int = 256,
+                  fast: bool = False) -> Evaluator:
+        """A cached :class:`Evaluator` over one split subset.
+
+        Evaluators cache their padded batches (``DataLoader`` with
+        ``shuffle=False``); sharing one instance per ``(subset,
+        batch_size)`` across a run avoids re-padding the same examples
+        for every model trained on this dataset.  ``fast`` toggles the
+        frozen-plan path on the shared instance (safe: plans are
+        recompiled per ``ranks`` call).
+        """
+        key = (subset, batch_size)
+        ev = self._evaluators.get(key)
+        if ev is None:
+            ev = Evaluator(getattr(self.split, subset),
+                           batch_size=batch_size, max_len=self.max_len)
+            self._evaluators[key] = ev
+        ev.fast = fast
+        return ev
 
 
 def prepare(profile: str, scale: Scale, seed: int = 0,
@@ -53,13 +75,18 @@ def ssdrec_config(scale: Scale, max_len: int, **overrides) -> SSDRecConfig:
 
 def train_and_evaluate(model, prepared: PreparedDataset, scale: Scale,
                        seed: int = 0) -> Tuple[Dict[str, float], TrainResult]:
-    """Fit on the train split, early-stop on valid, report test metrics."""
+    """Fit on the train split, early-stop on valid, report test metrics.
+
+    Both evaluators come from the :class:`PreparedDataset` cache, so every
+    model trained on the same prepared dataset reuses the already-padded
+    valid/test batches instead of rebuilding them per call.
+    """
     config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
                          patience=scale.patience, seed=seed)
-    result = Trainer(model, prepared.split, config).fit()
-    evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
-                          max_len=prepared.max_len)
-    metrics = evaluator.evaluate(model)
+    valid_evaluator = prepared.evaluator("valid", scale.batch_size)
+    result = Trainer(model, prepared.split, config,
+                     evaluator=valid_evaluator).fit()
+    metrics = prepared.evaluator("test", scale.batch_size).evaluate(model)
     return metrics, result
 
 

@@ -13,7 +13,6 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..data.batching import DataLoader
-from ..eval import Evaluator
 from ..nn import Adam
 from .common import prepare
 from .config import Scale, default_scale
@@ -40,10 +39,15 @@ def time_one_epoch(model, prepared, scale: Scale) -> float:
     return time.perf_counter() - start
 
 
-def time_inference(model, prepared, scale: Scale) -> float:
-    """Wall-clock seconds for one full-ranking pass over the test set."""
-    evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
-                          max_len=prepared.max_len)
+def time_inference(model, prepared, scale: Scale,
+                   fast: bool = False) -> float:
+    """Wall-clock seconds for one full-ranking pass over the test set.
+
+    ``fast=True`` times the frozen-plan (graph-free) path instead of the
+    ``no_grad`` Tensor path; the cached evaluator is shared between both
+    so the padded test batches are built once.
+    """
+    evaluator = prepared.evaluator("test", scale.batch_size, fast=fast)
     start = time.perf_counter()
     evaluator.ranks(model)
     return time.perf_counter() - start
@@ -54,28 +58,36 @@ def run(scale: Optional[Scale] = None, seed: int = 0,
         datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
     scale = scale or default_scale()
     datasets = list(datasets or scale.datasets)
-    results: Dict[str, dict] = {"training": {}, "inference": {}}
+    results: Dict[str, dict] = {"training": {}, "inference": {},
+                                "inference_frozen": {}}
     for profile in datasets:
         prepared = prepare(profile, scale, seed=seed)
         for name in methods:
             model = build_method(name, prepared, scale, seed=seed)
             train_s = time_one_epoch(model, prepared, scale)
             infer_s = time_inference(model, prepared, scale)
+            frozen_s = time_inference(model, prepared, scale, fast=True)
             results["training"].setdefault(name, {})[profile] = train_s
             results["inference"].setdefault(name, {})[profile] = infer_s
+            results["inference_frozen"].setdefault(
+                name, {})[profile] = frozen_s
     return results
 
 
 def render(results: Dict[str, dict]) -> str:
     lines: List[str] = ["Table VI — per-epoch training / inference seconds"]
-    for mode in ("training", "inference"):
+    for mode in ("training", "inference", "inference_frozen"):
+        if not results.get(mode):
+            continue
         lines.append(f"\n[{mode}] (measured | paper GPU reference)")
         datasets = sorted({d for per in results[mode].values() for d in per})
         lines.append(f"{'method':<10}" + "".join(f"{d:>18}" for d in datasets))
         for name, per in results[mode].items():
             cells = []
             for d in datasets:
-                paper = TABLE6[mode].get(name, {}).get(d, float("nan"))
+                # the frozen mode has no paper counterpart (NaN reference)
+                paper = TABLE6.get(mode, {}).get(name, {}).get(d,
+                                                               float("nan"))
                 cells.append(f"{per[d]:>8.2f}|{paper:>8.2f}")
             lines.append(f"{name:<10}" + "".join(f"{c:>18}" for c in cells))
     return "\n".join(lines)

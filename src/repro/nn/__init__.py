@@ -14,7 +14,8 @@ from .gumbel import (TemperatureSchedule, gumbel_log_logits, gumbel_sigmoid,
                      gumbel_softmax)
 from .layers import (Conv1d, Dropout, Embedding, FeedForward, LayerNorm,
                      Linear, MaxPool1d, PositionalEmbedding)
-from .module import Module, ModuleList, Parameter, Sequential
+from .module import (Module, ModuleList, Parameter, Sequential,
+                     inference_mode)
 from .optim import SGD, Adam, clip_grad_norm
 from .profiler import Profiler, profiler
 from .rng import default_generator, resolve_rng, set_global_seed
@@ -27,7 +28,7 @@ from .tensor import Tensor, arange, ensure_tensor, no_grad, ones, randn, zeros
 
 __all__ = [
     "Tensor", "ensure_tensor", "no_grad", "zeros", "ones", "randn", "arange",
-    "Module", "ModuleList", "Parameter", "Sequential",
+    "Module", "ModuleList", "Parameter", "Sequential", "inference_mode",
     "Linear", "Embedding", "Dropout", "LayerNorm", "Conv1d", "MaxPool1d",
     "PositionalEmbedding", "FeedForward",
     "GRU", "LSTM", "BiLSTM", "GRUCell", "LSTMCell",

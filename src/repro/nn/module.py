@@ -8,11 +8,12 @@ via :meth:`Module.state_dict` and :meth:`Module.load_state_dict`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -107,6 +108,19 @@ class Module:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
+    def export_arrays(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Detached float64 copies of every parameter, by qualified name.
+
+        The weight-export hook used by frozen forward plans
+        (:func:`repro.serve.freeze`): unlike :meth:`state_dict` (whose
+        values keep each parameter's dtype for exact restore), the
+        returned arrays are normalised to contiguous float64 — ready for
+        pure-NumPy executors — and share no memory with the live
+        parameters.
+        """
+        return {f"{prefix}{name}": np.array(p.data, dtype=np.float64)
+                for name, p in self.named_parameters()}
+
     def summary(self, max_rows: int = 40) -> str:
         """Human-readable parameter table (name, shape, count)."""
         rows = [(name, p.data.shape, p.size)
@@ -121,6 +135,25 @@ class Module:
             lines.append(f"... {len(rows) - max_rows} more parameters "
                          f"({hidden:,} values)")
         return "\n".join(lines)
+
+
+@contextmanager
+def inference_mode(module: Module):
+    """Run ``module`` in eval mode with gradient tracking off.
+
+    Combines ``module.eval()`` + :func:`no_grad` and restores the
+    previous train/eval mode on exit — the standard wrapper for one-off
+    forward passes outside the training loop (checkpoint probing,
+    fallback serving plans, ad-hoc scoring).
+    """
+    was_training = module.training
+    module.eval()
+    try:
+        with no_grad():
+            yield module
+    finally:
+        if was_training:
+            module.train()
 
 
 class ModuleList(Module):

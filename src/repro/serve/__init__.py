@@ -1,0 +1,23 @@
+"""Graph-free inference engine: frozen forward plans + batched serving.
+
+``freeze(model)`` compiles a trained recommender into a pure-NumPy
+executor (no autograd graph construction — enforced by the
+``serve-graph-free`` lint rule); :class:`RecommendService` serves
+micro-batched top-K requests on top of it.  See docs/performance.md
+("Serving") for the design and ``repro.cli serve-bench`` /
+``scripts/perf_smoke.py`` for the latency/throughput numbers.
+"""
+
+from .plan import (FallbackPlan, FrozenPlan, freeze)
+from .retrieval import topk_from_scores
+from .service import Recommendation, RecommendService, ServiceStats
+
+__all__ = [
+    "FallbackPlan",
+    "FrozenPlan",
+    "freeze",
+    "topk_from_scores",
+    "Recommendation",
+    "RecommendService",
+    "ServiceStats",
+]

@@ -1,0 +1,272 @@
+"""Pure-NumPy inference kernels for frozen forward plans.
+
+Every function here mirrors one forward pass of the training substrate
+(``repro.nn``) *exactly* — same formulas, same masking sentinel, same
+in-place stable-softmax order — but operates on plain ``np.ndarray``
+inputs and never builds autograd ``Tensor`` graphs.  The ``serve-graph-free``
+lint rule (``scripts/static_check.py``) enforces that guarantee
+statically; ``tests/serve/test_frozen_parity.py`` enforces it
+numerically (<= 1e-6 against the graph path).
+
+Parity notes
+------------
+* ``sigmoid`` uses the clipped form ``1 / (1 + exp(-clip(x, -60, 60)))``
+  (``Tensor.sigmoid``); the GRU kernels use the tanh identity
+  ``0.5 * (1 + tanh(x / 2))`` exactly as ``gru_sequence`` does.
+* All masked fills use ``NEG_INF = np.finfo(np.float64).min / 4`` — the
+  sentinel shared by ``models.base``, ``nn.attention`` and
+  ``nn.functional.masked_softmax``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+NEG_INF = np.finfo(np.float64).min / 4
+
+
+# ---------------------------------------------------------------------------
+# Elementwise activations
+# ---------------------------------------------------------------------------
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Clipped logistic sigmoid, mirroring ``Tensor.sigmoid``."""
+    out = np.clip(x, -60.0, 60.0)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.reciprocal(out, out=out)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """In-place ReLU (value-identical to ``x * (x > 0)``)."""
+    return np.maximum(x, 0.0, out=x)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU, mirroring ``F.gelu``."""
+    inner = x * x
+    inner *= x
+    inner *= 0.044715
+    inner += x
+    inner *= 0.7978845608028654
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= x
+    inner *= 0.5
+    return inner
+
+
+def linear(x: np.ndarray, weight: np.ndarray,
+           bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """Affine map ``x @ W + b`` (weight is ``(in, out)`` as in ``Linear``)."""
+    out = x @ weight
+    if bias is not None:
+        out += bias
+    return out
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+               eps: float = 1e-8) -> np.ndarray:
+    """LayerNorm over the last axis, mirroring ``nn.LayerNorm``."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered ** 2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    out = centered
+    out *= inv_std
+    out *= gamma
+    out += beta
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Softmax / attention
+# ---------------------------------------------------------------------------
+
+def masked_softmax(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row softmax with invalid entries forced to probability zero.
+
+    Mirrors ``F.masked_softmax`` (axis=-1): fully-masked rows come out
+    uniform, exactly as the graph op does.
+    """
+    valid = np.broadcast_to(np.asarray(mask, dtype=bool), x.shape)
+    out = np.where(valid, x, NEG_INF)
+    out -= out.max(axis=-1, keepdims=True)
+    np.exp(out, out=out)
+    out /= out.sum(axis=-1, keepdims=True)
+    return out
+
+
+def attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+              attn_mask: Optional[np.ndarray], scale: float) -> np.ndarray:
+    """``softmax(scale * q k^T + mask) @ v`` — the eval half of
+    ``scaled_dot_product_attention``, same in-place stable softmax."""
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= scale
+    if attn_mask is not None:
+        blocked = np.broadcast_to(~np.asarray(attn_mask, dtype=bool),
+                                  scores.shape)
+        np.copyto(scores, NEG_INF, where=blocked)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return scores @ v
+
+
+def transformer_layer(x: np.ndarray, params: dict, attn_mask4: np.ndarray,
+                      num_heads: int) -> np.ndarray:
+    """One pre-norm Transformer block (MHA + residual, FFN + residual).
+
+    ``params`` holds the fused QKV projection (the three input projections
+    concatenated column-wise into one ``(d, 3d)`` matmul), the output
+    projection, both LayerNorms, and the FFN weights; see
+    ``plan._compile_transformer``.
+    """
+    batch, length, dim = x.shape
+    head_dim = dim // num_heads
+    normed = layer_norm(x, params["ln1_g"], params["ln1_b"], params["eps"])
+    qkv = normed @ params["w_qkv"]
+    qkv += params["b_qkv"]
+    qkv = qkv.reshape(batch, length, 3, num_heads, head_dim)
+    # (3, B, H, L, hd) — one transpose serves q, k and v.
+    qkv = qkv.transpose(2, 0, 3, 1, 4)
+    context = attention(qkv[0], qkv[1], qkv[2], attn_mask4,
+                        1.0 / np.sqrt(head_dim))
+    merged = np.ascontiguousarray(context.transpose(0, 2, 1, 3)).reshape(
+        batch, length, dim)
+    x = x + linear(merged, params["w_out"], params["b_out"])
+    normed = layer_norm(x, params["ln2_g"], params["ln2_b"], params["eps"])
+    hidden = linear(normed, params["w_fc1"], params["b_fc1"])
+    hidden = params["activation"](hidden)
+    x += linear(hidden, params["w_fc2"], params["b_fc2"])
+    return x
+
+
+def transformer_encoder(x: np.ndarray, attn_mask4: np.ndarray,
+                        layers: list, num_heads: int,
+                        final_gamma: np.ndarray, final_beta: np.ndarray,
+                        eps: float = 1e-8) -> np.ndarray:
+    for params in layers:
+        x = transformer_layer(x, params, attn_mask4, num_heads)
+    return layer_norm(x, final_gamma, final_beta, eps)
+
+
+# ---------------------------------------------------------------------------
+# Recurrence
+# ---------------------------------------------------------------------------
+
+def gru_forward(x: np.ndarray, w_ih: np.ndarray, w_hh: np.ndarray,
+                b_ih: np.ndarray, b_hh: np.ndarray,
+                h0: Optional[np.ndarray] = None,
+                step_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full GRU recurrence, mirroring ``gru_sequence``'s forward loop.
+
+    The input projection runs as one big matmul; each step is one
+    ``h @ w_hh`` plus in-place gate math with the sigmoid computed via
+    the tanh identity — bit-for-bit the training kernel's arithmetic.
+
+    ``step_mask`` (bool ``(B, L)``) enables *padding-free* stepping: the
+    hidden state only updates where the mask is True, so a left-padded
+    row produces exactly the states of its unpadded sequence.  This mode
+    deliberately diverges from the graph path (which steps through
+    padding) and is used only by ``RecommendService(padding="tight")``.
+    """
+    batch, length, in_dim = x.shape
+    hidden = w_hh.shape[0]
+    x_tm = np.ascontiguousarray(x.transpose(1, 0, 2))
+    gi = x_tm.reshape(length * batch, in_dim) @ w_ih
+    gi += b_ih
+    gi = gi.reshape(length, batch, 3 * hidden)
+    h = np.zeros((batch, hidden)) if h0 is None else np.array(
+        h0, dtype=np.float64)
+    out = np.empty((length, batch, hidden))
+    for t in range(length):
+        h_new = gru_step(gi[t], h, w_hh, b_hh, hidden)
+        if step_mask is not None:
+            h = np.where(step_mask[:, t][:, None], h_new, h)
+        else:
+            h = h_new
+        out[t] = h
+    return np.ascontiguousarray(out.transpose(1, 0, 2))
+
+
+def gru_step(gi: np.ndarray, h: np.ndarray, w_hh: np.ndarray,
+             b_hh: np.ndarray, hidden: int) -> np.ndarray:
+    """One GRU step from a precomputed input projection ``gi = x W_ih + b_ih``.
+
+    Gate order (z, r, n) and arithmetic match ``gru_sequence`` exactly.
+    """
+    gh = h @ w_hh
+    gh += b_hh
+    zr = gi[:, :2 * hidden] + gh[:, :2 * hidden]
+    zr *= 0.5
+    np.tanh(zr, out=zr)
+    zr += 1.0
+    zr *= 0.5
+    z, r = zr[:, :hidden], zr[:, hidden:]
+    n = gh[:, 2 * hidden:]
+    n *= r
+    n += gi[:, 2 * hidden:]
+    np.tanh(n, out=n)
+    h_new = h - n
+    h_new *= z
+    h_new += n
+    return h_new
+
+
+# ---------------------------------------------------------------------------
+# Sequence readouts
+# ---------------------------------------------------------------------------
+
+def last_state(states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Representation at each row's last valid position (``base.last_state``)."""
+    mask = np.asarray(mask, dtype=bool)
+    positions = np.where(
+        mask.any(axis=1), mask.shape[1] - 1 - mask[:, ::-1].argmax(axis=1), 0)
+    return states[np.arange(states.shape[0]), positions, :]
+
+
+def masked_mean(states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Mean over valid positions (``base.masked_mean``)."""
+    weights = np.asarray(mask, dtype=np.float64)
+    counts = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+    return (states * weights[:, :, None]).sum(axis=1) / counts
+
+
+def standardize(energy: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Z-score over each row's valid positions (``hsd._standardize``)."""
+    valid = np.asarray(mask, np.float64)
+    counts = np.maximum(np.asarray(mask, bool).sum(axis=1, keepdims=True),
+                        1).astype(np.float64)
+    mean = (energy * valid).sum(axis=1, keepdims=True) / counts
+    centered = (energy - mean) * valid
+    var = (centered * centered).sum(axis=1, keepdims=True) / counts
+    return centered / np.sqrt(var + 1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Convolution (Caser)
+# ---------------------------------------------------------------------------
+
+def conv1d_relu_pool(image: np.ndarray, weight: np.ndarray,
+                     bias: np.ndarray, kernel_size: int) -> np.ndarray:
+    """``MaxPool1d(relu(Conv1d(image)))`` over ``(B, C, L)`` in one pass.
+
+    Uses a strided window view instead of the graph path's per-offset
+    slice-and-stack, but lands on the identical ``(B, out_len, C*K)``
+    column layout (column index ``c * K + k``), so the matmul against the
+    ``(out_channels, C*K)`` weight is value-identical.
+    """
+    windows = np.lib.stride_tricks.sliding_window_view(
+        image, kernel_size, axis=2)          # (B, C, out_len, K)
+    batch, channels, out_len, _ = windows.shape
+    cols = np.ascontiguousarray(windows.transpose(0, 2, 1, 3)).reshape(
+        batch, out_len, channels * kernel_size)
+    out = cols @ weight.T
+    out += bias
+    relu(out)
+    return out.max(axis=1)

@@ -1,0 +1,569 @@
+"""Frozen forward plans: compile a trained model into a graph-free executor.
+
+``freeze(model)`` snapshots the model's weights into a plan object whose
+``encode`` / ``score`` / ``forward`` methods run pure NumPy
+(:mod:`repro.serve.executors`) with no autograd ``Tensor`` construction.
+Per-model compilers cover the whole ``encode_states``/``score`` family
+(SASRec, GRU4Rec, BERT4Rec, NARM, STAMP, Caser) plus SSDRec's
+denoise-then-encode pipeline; anything else falls back to
+:class:`FallbackPlan`, which wraps the model's own ``forward_batch``
+under ``no_grad``.
+
+Weights are *copied* at freeze time — a plan is a snapshot, so re-freeze
+after further training.  The transposed score table (``table_t``) is the
+pinned item-embedding table shared by every request of a
+:class:`~repro.serve.service.RecommendService`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import PAD_ID
+from ..nn import inference_mode, no_grad
+from . import executors as X
+
+NEG_INF = X.NEG_INF
+
+
+def _snap(param) -> np.ndarray:
+    """Copy a Parameter/Tensor's data out of the graph."""
+    return np.array(param.data, dtype=np.float64)
+
+
+def _activation(fn) -> object:
+    name = getattr(fn, "__name__", "relu")
+    return X.gelu if name == "gelu" else X.relu
+
+
+def _compile_transformer(encoder) -> dict:
+    """Compile a ``TransformerEncoder`` into fused per-layer weight dicts."""
+    layers = []
+    for layer in encoder.layers:
+        attn = layer.attention
+        w_qkv = np.concatenate(
+            [attn.q_proj.weight.data, attn.k_proj.weight.data,
+             attn.v_proj.weight.data], axis=1)
+        b_qkv = np.concatenate(
+            [attn.q_proj.bias.data, attn.k_proj.bias.data,
+             attn.v_proj.bias.data])
+        layers.append({
+            "w_qkv": np.ascontiguousarray(w_qkv),
+            "b_qkv": np.ascontiguousarray(b_qkv),
+            "w_out": _snap(attn.out_proj.weight),
+            "b_out": _snap(attn.out_proj.bias),
+            "ln1_g": _snap(layer.norm1.gamma),
+            "ln1_b": _snap(layer.norm1.beta),
+            "ln2_g": _snap(layer.norm2.gamma),
+            "ln2_b": _snap(layer.norm2.beta),
+            "eps": layer.norm1.eps,
+            "w_fc1": _snap(layer.ffn.fc1.weight),
+            "b_fc1": _snap(layer.ffn.fc1.bias),
+            "w_fc2": _snap(layer.ffn.fc2.weight),
+            "b_fc2": _snap(layer.ffn.fc2.bias),
+            "activation": _activation(layer.ffn.activation),
+        })
+    return {
+        "layers": layers,
+        "num_heads": encoder.layers[0].attention.num_heads,
+        "final_g": _snap(encoder.final_norm.gamma),
+        "final_b": _snap(encoder.final_norm.beta),
+        "eps": encoder.final_norm.eps,
+    }
+
+
+def _compile_gru(gru) -> dict:
+    cell = gru.cell
+    return {
+        "w_ih": _snap(cell.w_ih),
+        "w_hh": _snap(cell.w_hh),
+        "b_ih": _snap(cell.b_ih),
+        "b_hh": _snap(cell.b_hh),
+        "hidden": cell.hidden_dim,
+    }
+
+
+class FrozenPlan:
+    """Base plan: embedding lookup + pinned-table scoring + pad masking.
+
+    Subclasses implement :meth:`encode_states`.  All plans accept an
+    optional ``users`` argument (ignored outside SSDRec) so callers can
+    treat every plan uniformly.
+    """
+
+    model_name = "generic"
+    #: False only for :class:`FallbackPlan` (no separate encode/score).
+    supports_encode = True
+    #: True when left-padding width does not change the output (given the
+    #: zero pad-embedding row) — required for ``padding="tight"`` serving.
+    padding_invariant = False
+    #: True when the plan can extend a cached recurrent state by one item
+    #: (``padding="tight"`` mode only).
+    supports_incremental = False
+
+    def __init__(self, item_table: np.ndarray, max_len: int,
+                 masked_columns=(PAD_ID,)):
+        self.item_table = np.ascontiguousarray(item_table)
+        self.table_t = np.ascontiguousarray(self.item_table.T)
+        self.max_len = max_len
+        self.masked_columns = tuple(masked_columns)
+
+    @property
+    def dim(self) -> int:
+        return self.item_table.shape[1]
+
+    @property
+    def vocab_size(self) -> int:
+        """Scored columns, including padding (and [MASK] for BERT4Rec)."""
+        return self.item_table.shape[0]
+
+    # -- encode --------------------------------------------------------
+    def embed(self, items: np.ndarray) -> np.ndarray:
+        return self.item_table[items.reshape(-1)].reshape(
+            (*items.shape, self.dim))
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def encode(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
+               users: Optional[np.ndarray] = None) -> np.ndarray:
+        items = np.asarray(items, dtype=np.int64)
+        if mask is None:
+            mask = items != PAD_ID
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        return self.encode_states(self.embed(items), mask)
+
+    def encode_batch(self, batch) -> np.ndarray:
+        return self.encode(batch.items, batch.mask,
+                           getattr(batch, "users", None))
+
+    def encode_tight(self, items: np.ndarray,
+                     mask: Optional[np.ndarray] = None,
+                     users: Optional[np.ndarray] = None) -> np.ndarray:
+        """Padding-width-independent encode (``padding="tight"`` serving).
+
+        Only meaningful on ``padding_invariant`` plans; recurrent plans
+        override this to step through valid positions only.
+        """
+        return self.encode(items, mask, users)
+
+    # -- score ---------------------------------------------------------
+    def score(self, reprs: np.ndarray,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``(B, d) -> (B, V)`` logits against the pinned table.
+
+        ``out`` may supply a reusable ``(B, V)`` buffer (allocation-lean
+        chunked scoring in the Evaluator and the service reuse it).
+        """
+        logits = np.matmul(reprs, self.table_t, out=out)
+        for col in self.masked_columns:
+            logits[:, col] = NEG_INF
+        return logits
+
+    def forward(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
+                users: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.score(self.encode(items, mask, users))
+
+    def forward_batch(self, batch) -> np.ndarray:
+        return self.score(self.encode_batch(batch))
+
+
+class SASRecPlan(FrozenPlan):
+    model_name = "SASRec"
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len)
+        self.positions = _snap(model.position_embedding.weight)
+        self.encoder = _compile_transformer(model.encoder)
+        self._causal = {}
+
+    def _causal_mask(self, length: int) -> np.ndarray:
+        cached = self._causal.get(length)
+        if cached is None:
+            cached = np.tril(np.ones((length, length), dtype=bool))
+            self._causal[length] = cached
+        return cached
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        length = states.shape[1]
+        x = states + self.positions[:length]
+        attn = (self._causal_mask(length)[None, :, :]
+                & mask[:, None, :])[:, None]
+        enc = self.encoder
+        hidden = X.transformer_encoder(x, attn, enc["layers"],
+                                       enc["num_heads"], enc["final_g"],
+                                       enc["final_b"], enc["eps"])
+        return X.last_state(hidden, mask)
+
+
+class BERT4RecPlan(FrozenPlan):
+    model_name = "BERT4Rec"
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len,
+                         masked_columns=(PAD_ID, model.mask_token))
+        self.mask_token = model.mask_token
+        self.positions = _snap(model.position_embedding.weight)
+        self.encoder = _compile_transformer(model.encoder)
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        batch, length, dim = states.shape
+        extended = np.empty((batch, length + 1, dim))
+        extended[:, :length] = states
+        extended[:, length] = self.item_table[self.mask_token]
+        ext_mask = np.concatenate(
+            [mask, np.ones((batch, 1), dtype=bool)], axis=1)
+        x = extended + self.positions[:length + 1]
+        attn = ext_mask[:, None, None, :]  # bidirectional, pad-masked
+        enc = self.encoder
+        hidden = X.transformer_encoder(x, attn, enc["layers"],
+                                       enc["num_heads"], enc["final_g"],
+                                       enc["final_b"], enc["eps"])
+        return hidden[:, -1, :]
+
+
+class GRU4RecPlan(FrozenPlan):
+    model_name = "GRU4Rec"
+    padding_invariant = True       # with step-masked ("tight") stepping
+    supports_incremental = True
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len)
+        self.grus = [_compile_gru(gru) for gru in model.layers]
+        self.w_out = _snap(model.output_proj.weight)
+        self.b_out = _snap(model.output_proj.bias)
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray,
+                      tight: bool = False) -> np.ndarray:
+        hidden = states
+        step_mask = mask if tight else None
+        for p in self.grus:
+            hidden = X.gru_forward(hidden, p["w_ih"], p["w_hh"], p["b_ih"],
+                                   p["b_hh"], step_mask=step_mask)
+        return X.linear(X.last_state(hidden, mask), self.w_out, self.b_out)
+
+    def encode_tight(self, items: np.ndarray,
+                     mask: Optional[np.ndarray] = None,
+                     users: Optional[np.ndarray] = None) -> np.ndarray:
+        items = np.asarray(items, dtype=np.int64)
+        mask = (items != PAD_ID if mask is None
+                else np.asarray(mask, dtype=bool))
+        return self.encode_states(self.embed(items), mask, tight=True)
+
+    def encode_tight_with_state(self, items: np.ndarray,
+                                mask: Optional[np.ndarray] = None):
+        """Tight encode that also returns per-layer final hidden states.
+
+        The service caches these so a later append-one-item request can
+        advance the recurrence with :meth:`append_item` instead of
+        re-encoding.  With left padding and step-masked updates the last
+        column holds each layer's final state.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        mask = (items != PAD_ID if mask is None
+                else np.asarray(mask, dtype=bool))
+        hidden = self.embed(items)
+        finals = []
+        for p in self.grus:
+            hidden = X.gru_forward(hidden, p["w_ih"], p["w_hh"], p["b_ih"],
+                                   p["b_hh"], step_mask=mask)
+            finals.append(hidden[:, -1, :])
+        rep = X.linear(X.last_state(hidden, mask), self.w_out, self.b_out)
+        return rep, finals
+
+    # -- incremental (tight-padding) state API -------------------------
+    def init_state(self) -> list:
+        return [np.zeros((1, p["hidden"])) for p in self.grus]
+
+    def append_item(self, state: list, item: int) -> list:
+        """Advance each layer's hidden state by one item (tight stepping)."""
+        x = self.item_table[item][None, :]
+        new_state = []
+        for p, h in zip(self.grus, state):
+            gi = x @ p["w_ih"] + p["b_ih"]
+            h = X.gru_step(gi, h, p["w_hh"], p["b_hh"], p["hidden"])
+            new_state.append(h)
+            x = h
+        return new_state
+
+    def state_repr(self, state: list) -> np.ndarray:
+        return X.linear(state[-1], self.w_out, self.b_out)[0]
+
+
+class NARMPlan(FrozenPlan):
+    model_name = "NARM"
+    padding_invariant = True
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len)
+        self.gru = _compile_gru(model.gru)
+        self.w_query = _snap(model.attn_query.weight)
+        self.w_key = _snap(model.attn_key.weight)
+        self.w_energy = _snap(model.attn_energy.weight)
+        self.w_out = _snap(model.output_proj.weight)
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray,
+                      tight: bool = False) -> np.ndarray:
+        p = self.gru
+        hidden = X.gru_forward(states, p["w_ih"], p["w_hh"], p["b_ih"],
+                               p["b_hh"], step_mask=mask if tight else None)
+        final = X.last_state(hidden, mask)
+        query = (final @ self.w_query)[:, None, :]
+        keys = hidden @ self.w_key
+        energy = (X.sigmoid(query + keys) @ self.w_energy)[:, :, 0]
+        weights = X.masked_softmax(energy, mask)
+        local = (hidden * weights[:, :, None]).sum(axis=1)
+        combined = np.concatenate([final, local], axis=1)
+        return combined @ self.w_out
+
+    def encode_tight(self, items: np.ndarray,
+                     mask: Optional[np.ndarray] = None,
+                     users: Optional[np.ndarray] = None) -> np.ndarray:
+        items = np.asarray(items, dtype=np.int64)
+        mask = (items != PAD_ID if mask is None
+                else np.asarray(mask, dtype=bool))
+        return self.encode_states(self.embed(items), mask, tight=True)
+
+
+class STAMPPlan(FrozenPlan):
+    model_name = "STAMP"
+    padding_invariant = True
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len)
+        self.w1 = _snap(model.w1.weight)
+        self.w2 = _snap(model.w2.weight)
+        self.w3 = _snap(model.w3.weight)
+        self.w0 = _snap(model.w0.weight)
+        self.ws_w, self.ws_b = _snap(model.mlp_s.weight), _snap(model.mlp_s.bias)
+        self.wt_w, self.wt_b = _snap(model.mlp_t.weight), _snap(model.mlp_t.bias)
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        last = X.last_state(states, mask)
+        mean = X.masked_mean(states, mask)
+        pre = states @ self.w1
+        pre += (last @ self.w2)[:, None, :]
+        pre += (mean @ self.w3)[:, None, :]
+        energy = (X.sigmoid(pre) @ self.w0)[:, :, 0]
+        weights = X.masked_softmax(energy, mask)
+        memory = (states * weights[:, :, None]).sum(axis=1)
+        h_s = np.tanh(X.linear(memory, self.ws_w, self.ws_b))
+        h_t = np.tanh(X.linear(last, self.wt_w, self.wt_b))
+        return h_s * h_t
+
+
+class CaserPlan(FrozenPlan):
+    model_name = "Caser"
+
+    def __init__(self, model):
+        super().__init__(_snap(model.item_embedding.weight), model.max_len)
+        self.filter_heights = model.filter_heights
+        self.h_convs = [(_snap(conv.weight), _snap(conv.bias),
+                         conv.out_channels)
+                        for conv in model.h_convs]
+        self.v_width = model.v_conv.in_features
+        self.w_vert = _snap(model.v_conv.weight)
+        self.num_v_filters = model.num_v_filters
+        self.w_fc = _snap(model.fc.weight)
+        self.b_fc = _snap(model.fc.bias)
+
+    def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        batch, length, dim = states.shape
+        states = states * np.asarray(mask, np.float64)[:, :, None]
+        image = np.ascontiguousarray(states.transpose(0, 2, 1))  # (B, d, L)
+        features = []
+        for (weight, bias, out_channels), height in zip(self.h_convs,
+                                                        self.filter_heights):
+            if length < height:
+                features.append(np.zeros((batch, out_channels)))
+                continue
+            features.append(X.conv1d_relu_pool(image, weight, bias, height))
+        padded = self._fit_length(image, self.v_width)
+        vertical = X.relu(padded @ self.w_vert)           # (B, d, nv)
+        features.append(vertical.reshape(batch, dim * self.num_v_filters))
+        return X.linear(np.concatenate(features, axis=1),
+                        self.w_fc, self.b_fc)
+
+    @staticmethod
+    def _fit_length(image: np.ndarray, width: int) -> np.ndarray:
+        batch, dim, length = image.shape
+        if length == width:
+            return image
+        if length > width:
+            return image[:, :, length - width:]
+        padded = np.zeros((batch, dim, width))
+        padded[:, :, width - length:] = image
+        return padded
+
+
+class SSDRecPlan(FrozenPlan):
+    """SSDRec's evaluation pipeline, compiled once.
+
+    The stage-1 node tables are computed a single time at freeze — the
+    graph path re-runs the whole ``GlobalRelationEncoder`` on *every*
+    ``forward_batch``, so this alone removes the dominant serving cost.
+    Stage 2 (self-augmentation) is training-only and never part of the
+    plan; stage 3 compiles the ``NoiseGate`` into a deterministic
+    threshold executor at the frozen temperature.
+    """
+
+    model_name = "SSDRec"
+
+    def __init__(self, model, backbone_plan: FrozenPlan,
+                 item_table: np.ndarray, user_table: np.ndarray,
+                 gate: Optional[dict]):
+        super().__init__(item_table, model.max_len)
+        self.user_table = np.ascontiguousarray(user_table)
+        self.backbone_plan = backbone_plan
+        self.gate = gate
+
+    def sequence_states(self, items: np.ndarray, mask: np.ndarray,
+                        users: Optional[np.ndarray]) -> np.ndarray:
+        h_v = self.embed(items)
+        if users is None:
+            return h_v
+        lengths = np.maximum(mask.sum(axis=1), 1)
+        h_u = self.user_table[np.asarray(users)]
+        scaled = h_u * (1.0 / lengths[:, None].astype(np.float64))
+        valid = np.asarray(mask, np.float64)[:, :, None]
+        return h_v + scaled[:, None, :] * valid
+
+    def _gate_keep(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """NoiseGate at evaluation: deterministic threshold keep gate.
+
+        Mirrors ``HierarchicalDenoising.forward`` with no augmented
+        sequence — the guidance is the raw states/mask themselves.
+        """
+        g = self.gate
+        p = g["gru"]
+        context = X.gru_forward(states, p["w_ih"], p["w_hh"], p["b_ih"],
+                                p["b_hh"])
+        seq_energy = ((states * context) @ g["seq_w"] + g["seq_b"])[:, :, 0]
+        weights = mask.astype(np.float64)
+        denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+        interest = (states * weights[:, :, None]).sum(axis=1) / denom
+        projected = interest @ g["interest_w"]
+        user_energy = ((states * projected[:, None, :]).sum(axis=-1)
+                       * (1.0 / np.sqrt(self.dim)))
+        logits = (X.standardize(seq_energy, mask) * g["w_seq"]
+                  + X.standardize(user_energy, mask) * g["w_user"]
+                  + g["bias"])
+        soft = X.sigmoid(logits / g["tau"])
+        keep = (soft > 0.5).astype(np.float64)
+        keep *= weights
+        return keep
+
+    def encode(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
+               users: Optional[np.ndarray] = None) -> np.ndarray:
+        items = np.asarray(items, dtype=np.int64)
+        if mask is None:
+            mask = items != PAD_ID
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        states = self.sequence_states(items, mask, users)
+        final_mask = mask
+        if self.gate is not None:
+            keep = self._gate_keep(states, mask)
+            keep_mask = (keep > 0.5) & mask
+            empty = ~keep_mask.any(axis=1)
+            if empty.any():
+                keep_mask[empty] = mask[empty]
+            states = states * keep[:, :, None]
+            final_mask = keep_mask
+        return self.backbone_plan.encode_states(states, final_mask)
+
+
+class FallbackPlan(FrozenPlan):
+    """Wrap an arbitrary ``forward_batch``/``forward`` model under no_grad.
+
+    No compilation: calls hit the model's own graph path (in eval mode,
+    grads off) and unwrap the result to a plain array.  Used for models
+    outside the plan registry and for SSDRec variants the compiler does
+    not support (non-NoiseGate stage-3 gates, unknown backbones).
+    """
+
+    model_name = "fallback"
+    supports_encode = False
+
+    def __init__(self, model):
+        self.model = model
+        self.max_len = getattr(model, "max_len", None)
+        self.masked_columns = (PAD_ID,)
+
+    def _call(self, fn, *args, **kwargs) -> np.ndarray:
+        with inference_mode(self.model):
+            out = fn(*args, **kwargs)
+        return np.asarray(out.data)
+
+    def forward(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
+                users: Optional[np.ndarray] = None) -> np.ndarray:
+        try:
+            return self._call(self.model.forward, items, mask, users=users)
+        except TypeError:
+            return self._call(self.model.forward, items, mask)
+
+    def forward_batch(self, batch) -> np.ndarray:
+        fn = getattr(self.model, "forward_batch", None)
+        if fn is not None:
+            return self._call(fn, batch)
+        return self._call(self.model.forward, batch.items, batch.mask)
+
+
+def _freeze_ssdrec(model) -> FrozenPlan:
+    # Lazy import: core.ssdrec pulls in the graph package; plan.py must
+    # stay importable without it when only backbones are served.
+    from ..denoise.hsd import NoiseGate
+
+    backbone_plan = _compile_backbone(model.backbone)
+    if backbone_plan is None:
+        return FallbackPlan(model)
+    gate = None
+    if model.denoising is not None:
+        denoiser = model.denoising.denoiser
+        if type(denoiser) is not NoiseGate:
+            return FallbackPlan(model)
+        gate = {
+            "gru": _compile_gru(denoiser.context_gru),
+            "seq_w": _snap(denoiser.seq_score.weight),
+            "seq_b": _snap(denoiser.seq_score.bias),
+            "interest_w": _snap(denoiser.interest_proj.weight),
+            "w_seq": float(denoiser.signal_weights.data[0]),
+            "w_user": float(denoiser.signal_weights.data[1]),
+            "bias": float(denoiser.keep_bias.data[0]),
+            "tau": float(denoiser.temperature.tau),
+        }
+    with no_grad():
+        item_table, user_table = model.node_tables()
+    return SSDRecPlan(model, backbone_plan, _snap(item_table),
+                      _snap(user_table), gate)
+
+
+def _compile_backbone(model) -> Optional[FrozenPlan]:
+    plan_cls = _REGISTRY.get(type(model).__name__)
+    return plan_cls(model) if plan_cls is not None else None
+
+
+_REGISTRY = {
+    "SASRec": SASRecPlan,
+    "BERT4Rec": BERT4RecPlan,
+    "GRU4Rec": GRU4RecPlan,
+    "NARM": NARMPlan,
+    "STAMP": STAMPPlan,
+    "Caser": CaserPlan,
+}
+
+
+def freeze(model) -> FrozenPlan:
+    """Compile ``model`` into a frozen forward plan.
+
+    Exact-type dispatch: subclasses that override ``encode_states`` would
+    silently diverge from the compiled executor, so anything not in the
+    registry (by exact class name) gets the :class:`FallbackPlan`.
+    """
+    if type(model).__name__ == "SSDRec":
+        return _freeze_ssdrec(model)
+    plan = _compile_backbone(model)
+    return plan if plan is not None else FallbackPlan(model)

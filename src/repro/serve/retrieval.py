@@ -1,0 +1,67 @@
+"""Top-K retrieval from score matrices via partial sort.
+
+``topk_from_scores`` replaces a full ``argsort`` over the vocabulary with
+``np.argpartition`` (O(V) selection instead of O(V log V) sorting) and
+then orders only the K selected entries.  Tie handling is deterministic
+and matches the exact-tie semantics of
+:func:`repro.eval.metrics.ranks_from_scores`: items are ordered by
+``(-score, index)``, so among equal scores the *lowest ids* win — the
+same total order under which ``ranks_from_scores`` counts every tied
+competitor against an item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def topk_from_scores(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` entries per row, best first.
+
+    Parameters
+    ----------
+    scores:
+        ``(N, V)`` (or ``(V,)``) score matrix; higher is better.
+    k:
+        Number of items to return per row (clamped to ``V``).
+
+    Returns
+    -------
+    np.ndarray
+        ``(N, k)`` integer indices (``(k,)`` for a 1-D input), ordered by
+        descending score with ascending-index tie-breaks.
+    """
+    scores = np.asarray(scores)
+    squeeze = scores.ndim == 1
+    if squeeze:
+        scores = scores[None]
+    if scores.ndim != 2:
+        raise ValueError("scores must be (N, V) or (V,)")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rows, vocab = scores.shape
+    k = min(k, vocab)
+
+    if k >= vocab:
+        top = _ordered(scores, np.broadcast_to(np.arange(vocab),
+                                               scores.shape))
+    else:
+        part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        top = _ordered(np.take_along_axis(scores, part, axis=1), part)
+        # argpartition picks an *arbitrary* subset of entries tied at the
+        # k-th score; the deterministic order wants the lowest indices of
+        # the boundary tie group.  Re-rank only the affected rows.
+        kth = np.take_along_axis(
+            scores, top[:, -1:], axis=1)              # (N, 1) boundary score
+        outside = (scores == kth).sum(axis=1) > (
+            np.take_along_axis(scores, top, axis=1) == kth).sum(axis=1)
+        for row in np.nonzero(outside)[0]:
+            order = np.lexsort((np.arange(vocab), -scores[row]))
+            top[row] = order[:k]
+    return top[0] if squeeze else top
+
+
+def _ordered(sel_scores: np.ndarray, sel_idx: np.ndarray) -> np.ndarray:
+    """Order selected entries by (-score, index) within each row."""
+    rank = np.lexsort((sel_idx, -sel_scores), axis=-1)
+    return np.take_along_axis(sel_idx, rank, axis=1)

@@ -1,0 +1,232 @@
+"""``RecommendService``: micro-batched top-K serving on a frozen plan.
+
+Single-user requests queue up (``enqueue``) and execute as one padded
+batch (``flush``) against the plan's pinned item-embedding table.  An LRU
+user-state cache keyed by ``(user, sequence)`` makes exact repeats free
+and — for recurrent plans in ``padding="tight"`` mode — lets an
+append-one-item request advance the cached GRU state by a single step
+instead of re-encoding the whole history.
+
+Padding modes
+-------------
+``"model"`` (default)
+    Every batch is padded to the plan's ``max_len``, reproducing the
+    training/evaluation batch layout exactly — scores match the graph
+    path bit-for-bit (models with positional embeddings or unmasked
+    recurrences are sensitive to the padding width).
+``"tight"``
+    Batches pad only to the longest queued sequence and recurrent plans
+    step through valid positions only.  Padding-width invariant by
+    construction (requires ``plan.padding_invariant``) and the only mode
+    where incremental append is sound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.batching import pad_sequences
+from .plan import FrozenPlan, freeze
+from .retrieval import topk_from_scores
+
+
+@dataclass
+class Recommendation:
+    """Top-K result for one request (items best-first)."""
+
+    user: Optional[int]
+    items: np.ndarray
+    scores: np.ndarray
+    from_cache: bool = False
+    incremental: bool = False
+
+
+@dataclass
+class ServiceStats:
+    requests: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    incremental_hits: int = 0
+    full_encodes: int = 0
+    evictions: int = 0
+
+
+class RecommendService:
+    """Serve top-K recommendations from a frozen forward plan.
+
+    Parameters
+    ----------
+    model_or_plan:
+        A trained model (frozen on the spot) or an existing plan.
+    k:
+        Recommendations per request.
+    max_batch:
+        Micro-batch width: a flush executes queued requests in padded
+        batches of at most this many rows.
+    cache_size:
+        LRU capacity of the user-state cache (0 disables caching).
+    padding:
+        ``"model"`` or ``"tight"`` (see module docstring).
+    """
+
+    def __init__(self, model_or_plan, k: int = 10, max_batch: int = 64,
+                 cache_size: int = 1024, padding: str = "model"):
+        plan = (model_or_plan if isinstance(model_or_plan, FrozenPlan)
+                else freeze(model_or_plan))
+        if padding not in ("model", "tight"):
+            raise ValueError(f"padding must be 'model' or 'tight', got {padding!r}")
+        if padding == "tight" and not plan.padding_invariant:
+            raise ValueError(
+                f"{plan.model_name} is padding-width sensitive; "
+                "tight padding would change its scores — use padding='model'")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.plan = plan
+        self.k = k
+        self.max_batch = max(1, int(max_batch))
+        self.cache_size = int(cache_size)
+        self.padding = padding
+        self._incremental = (padding == "tight"
+                             and plan.supports_incremental
+                             and self.cache_size > 0)
+        self._cache: OrderedDict = OrderedDict()
+        self._pending: List[Tuple[Optional[int], tuple]] = []
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, user: Optional[int], sequence: Sequence[int]) -> int:
+        """Queue one request; returns its index in the next flush."""
+        seq = tuple(int(item) for item in sequence)
+        if not seq:
+            raise ValueError("cannot recommend from an empty sequence")
+        if self.plan.max_len is not None:
+            seq = seq[-self.plan.max_len:]
+        self._pending.append((user, seq))
+        self.stats.requests += 1
+        return len(self._pending) - 1
+
+    def recommend(self, user: Optional[int],
+                  sequence: Sequence[int]) -> Recommendation:
+        """Single-request convenience: enqueue + flush."""
+        self.enqueue(user, sequence)
+        return self.flush()[0]
+
+    def recommend_many(self, requests: Sequence[Tuple[Optional[int], Sequence[int]]]
+                       ) -> List[Recommendation]:
+        for user, sequence in requests:
+            self.enqueue(user, sequence)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> List[Recommendation]:
+        """Execute all queued requests as padded micro-batches."""
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+        if not self.plan.supports_encode:
+            return self._flush_fallback(pending)
+
+        count = len(pending)
+        reprs: List[Optional[np.ndarray]] = [None] * count
+        flags = [(False, False)] * count
+        to_encode = []
+        for i, (user, seq) in enumerate(pending):
+            key = (user, seq)
+            entry = self._cache_get(key)
+            if entry is not None:
+                reprs[i] = entry["repr"]
+                flags[i] = (True, False)
+                self.stats.cache_hits += 1
+                continue
+            if self._incremental and len(seq) > 1:
+                prev = self._cache_get((user, seq[:-1]))
+                if prev is not None and prev.get("state") is not None:
+                    state = self.plan.append_item(prev["state"], seq[-1])
+                    reprs[i] = self.plan.state_repr(state)
+                    flags[i] = (False, True)
+                    self.stats.incremental_hits += 1
+                    self._cache_put(key, reprs[i], state)
+                    continue
+            to_encode.append(i)
+
+        for start in range(0, len(to_encode), self.max_batch):
+            chunk = to_encode[start:start + self.max_batch]
+            rows, states = self._encode_chunk([pending[i] for i in chunk])
+            self.stats.batches += 1
+            self.stats.full_encodes += len(chunk)
+            for j, i in enumerate(chunk):
+                reprs[i] = rows[j]
+                state = None if states is None else [
+                    layer[j:j + 1].copy() for layer in states]
+                self._cache_put((pending[i][0], pending[i][1]),
+                                rows[j], state)
+
+        scores = self.plan.score(np.stack(reprs))
+        top = topk_from_scores(scores, self.k)
+        values = np.take_along_axis(scores, top, axis=1)
+        return [
+            Recommendation(user=pending[i][0], items=top[i],
+                           scores=values[i], from_cache=flags[i][0],
+                           incremental=flags[i][1])
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    def _encode_chunk(self, rows) -> Tuple[np.ndarray, Optional[list]]:
+        seqs = [list(seq) for _, seq in rows]
+        width = self.plan.max_len if self.padding == "model" else None
+        items, mask, _ = pad_sequences(seqs, max_len=width)
+        users = [user for user, _ in rows]
+        users_arr = (None if any(user is None for user in users)
+                     else np.asarray(users))
+        if self.padding == "tight":
+            if self._incremental:
+                return self.plan.encode_tight_with_state(items, mask)
+            return self.plan.encode_tight(items, mask, users_arr), None
+        return self.plan.encode(items, mask, users_arr), None
+
+    def _flush_fallback(self, pending) -> List[Recommendation]:
+        """No separate encode/score on fallback plans: forward per chunk."""
+        results: List[Optional[Recommendation]] = [None] * len(pending)
+        for start in range(0, len(pending), self.max_batch):
+            chunk = list(range(start, min(start + self.max_batch,
+                                          len(pending))))
+            seqs = [list(pending[i][1]) for i in chunk]
+            width = self.plan.max_len if self.padding == "model" else None
+            items, mask, _ = pad_sequences(seqs, max_len=width)
+            users = [pending[i][0] for i in chunk]
+            users_arr = (None if any(user is None for user in users)
+                         else np.asarray(users))
+            scores = self.plan.forward(items, mask, users_arr)
+            self.stats.batches += 1
+            self.stats.full_encodes += len(chunk)
+            top = topk_from_scores(scores, self.k)
+            values = np.take_along_axis(scores, top, axis=1)
+            for j, i in enumerate(chunk):
+                results[i] = Recommendation(user=pending[i][0], items=top[j],
+                                            scores=values[j])
+        return results
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Optional[dict]:
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key, rep: np.ndarray,
+                   state: Optional[list]) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = {"repr": rep, "state": state}
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -72,7 +72,8 @@ class Trainer:
     def __init__(self, model, split: SequenceSplit,
                  config: Optional[TrainConfig] = None,
                  loss_fn: Optional[Callable] = None,
-                 scheduler_factory: Optional[Callable] = None):
+                 scheduler_factory: Optional[Callable] = None,
+                 evaluator: Optional[Evaluator] = None):
         self.model = model
         self.split = split
         self.config = config or TrainConfig()
@@ -86,9 +87,11 @@ class Trainer:
         # (ReduceOnPlateau).
         self.scheduler = (scheduler_factory(self.optimizer)
                           if scheduler_factory else None)
-        self.evaluator = Evaluator(split.valid,
-                                   batch_size=self.config.batch_size,
-                                   max_len=split.max_len)
+        # Callers running many models over the same split can pass a
+        # shared validation evaluator to reuse its padded batches.
+        self.evaluator = evaluator or Evaluator(
+            split.valid, batch_size=self.config.batch_size,
+            max_len=split.max_len)
 
     def fit(self) -> TrainResult:
         if self.config.sanitize:

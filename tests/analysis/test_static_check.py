@@ -36,7 +36,8 @@ class TestLiveTree:
 
     def test_all_rules_registered(self):
         assert set(RULES) == {"unseeded-rng", "fused-oracle",
-                              "eval-no-grad", "bare-parameter"}
+                              "eval-no-grad", "bare-parameter",
+                              "serve-graph-free"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -168,6 +169,52 @@ class TestBareParameterRule:
                     self.w = Tensor([1.0], requires_grad=True)
         """})
         assert run_lint(root, rules=["bare-parameter"]) == []
+
+
+class TestServeGraphFreeRule:
+    def test_flags_tensor_calls_and_graph_imports(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/executor.py": """
+            from ..nn import Tensor, no_grad
+
+            def encode(x):
+                wrapped = Tensor(x)
+                raw = ensure_tensor(x)
+                node = Tensor._make(x, (), lambda g: ())
+                return wrapped, raw, node
+        """})
+        violations = run_lint(root, rules=["serve-graph-free"])
+        assert [v.line for v in violations] == [2, 5, 6, 7]
+        assert all(v.rule == "serve-graph-free" for v in violations)
+
+    def test_allows_numpy_and_no_grad(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/executor.py": """
+            import numpy as np
+
+            from ..nn import inference_mode, no_grad
+
+            def encode(x):
+                with no_grad():
+                    return np.zeros(3) + np.asarray(x)
+        """})
+        assert run_lint(root, rules=["serve-graph-free"]) == []
+
+    def test_bench_module_is_exempt(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/bench.py": """
+            from ..nn import Tensor
+
+            def baseline(x):
+                return Tensor(x)
+        """})
+        assert run_lint(root, rules=["serve-graph-free"]) == []
+
+    def test_other_packages_untouched(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"models/net.py": """
+            from ..nn import Tensor
+
+            def forward(x):
+                return Tensor(x)
+        """})
+        assert run_lint(root, rules=["serve-graph-free"]) == []
 
 
 class TestStaticCheckScript:

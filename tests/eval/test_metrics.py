@@ -36,6 +36,36 @@ class TestRanks:
         ranks = ranks_from_scores(scores, targets)
         assert ((ranks >= 1) & (ranks <= n_items)).all()
 
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 25), st.integers(1, 6), st.integers(0, 10**6))
+    def test_fused_pass_matches_two_pass_reference(self, n_items, rows,
+                                                   seed):
+        """The single >= comparison must equal the legacy two-pass
+        (strictly-higher + ties) formulation, ties included."""
+        rng = np.random.default_rng(seed)
+        # Integer levels force frequent exact ties.
+        scores = rng.integers(0, 4, size=(rows, n_items)).astype(np.float64)
+        targets = rng.integers(0, n_items, size=rows)
+        t = scores[np.arange(rows), targets][:, None]
+        reference = ((scores > t).sum(axis=1)
+                     + (scores == t).sum(axis=1) - 1 + 1)
+        np.testing.assert_array_equal(
+            ranks_from_scores(scores, targets), reference)
+
+    def test_float32_scores_rank_identically(self):
+        rng = np.random.default_rng(1)
+        scores64 = rng.normal(size=(6, 17))
+        targets = rng.integers(0, 17, size=6)
+        scores32 = scores64.astype(np.float32)
+        np.testing.assert_array_equal(
+            ranks_from_scores(scores32, targets),
+            ranks_from_scores(scores32.astype(np.float64), targets))
+
+    def test_returns_int64(self):
+        ranks = ranks_from_scores(np.eye(3, dtype=np.float32),
+                                  np.array([0, 1, 2]))
+        assert ranks.dtype == np.int64
+
 
 class TestMetrics:
     def test_hit_ratio(self):

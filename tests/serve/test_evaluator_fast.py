@@ -1,0 +1,85 @@
+"""Evaluator(fast=True) must rank identically to the graph path."""
+
+import numpy as np
+import pytest
+
+from repro.core import SSDRec, SSDRecConfig
+from repro.data import generate, leave_one_out_split
+from repro.eval import Evaluator
+from repro.models import GRU4Rec, SASRec, SRGNN
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    dataset = generate("beauty", seed=0, scale=0.25)
+    split = leave_one_out_split(dataset, max_len=8)
+    return dataset, split
+
+
+def fast_and_graph_ranks(model, split, **kwargs):
+    evaluator = Evaluator(split.test, batch_size=32, max_len=split.max_len,
+                          **kwargs)
+    evaluator.fast = False
+    graph = evaluator.ranks(model)
+    evaluator.fast = True
+    frozen = evaluator.ranks(model)
+    return graph, frozen
+
+
+@pytest.mark.parametrize("cls", [SASRec, GRU4Rec])
+def test_backbone_fast_ranks_identical(prepared, cls):
+    dataset, split = prepared
+    model = cls(num_items=dataset.num_items, dim=16, max_len=split.max_len,
+                rng=np.random.default_rng(0))
+    graph, frozen = fast_and_graph_ranks(model, split)
+    np.testing.assert_array_equal(graph, frozen)
+
+
+def test_ssdrec_fast_ranks_identical(prepared):
+    dataset, split = prepared
+    model = SSDRec(dataset, backbone_cls=GRU4Rec,
+                   config=SSDRecConfig(dim=16, max_len=split.max_len),
+                   rng=np.random.default_rng(1))
+    graph, frozen = fast_and_graph_ranks(model, split)
+    np.testing.assert_array_equal(graph, frozen)
+
+
+def test_fallback_fast_ranks_identical(prepared):
+    dataset, split = prepared
+    model = SRGNN(num_items=dataset.num_items, dim=16,
+                  max_len=split.max_len, rng=np.random.default_rng(2))
+    graph, frozen = fast_and_graph_ranks(model, split)
+    np.testing.assert_array_equal(graph, frozen)
+
+
+def test_fast_restores_training_mode(prepared):
+    dataset, split = prepared
+    model = SASRec(num_items=dataset.num_items, dim=16,
+                   max_len=split.max_len, rng=np.random.default_rng(3))
+    model.train()
+    Evaluator(split.test, max_len=split.max_len, fast=True).ranks(model)
+    assert model.training
+
+
+def test_chunked_ranks_identical(prepared):
+    """score_chunk must not change ranks — only peak memory."""
+    dataset, split = prepared
+    model = SASRec(num_items=dataset.num_items, dim=16,
+                   max_len=split.max_len, rng=np.random.default_rng(4))
+    whole = Evaluator(split.test, max_len=split.max_len,
+                      score_chunk=None).ranks(model)
+    for chunk in (1, 3, 7, 10_000):
+        chunked = Evaluator(split.test, max_len=split.max_len,
+                            score_chunk=chunk).ranks(model)
+        np.testing.assert_array_equal(whole, chunked)
+    fast_whole = Evaluator(split.test, max_len=split.max_len, fast=True,
+                           score_chunk=None).ranks(model)
+    fast_chunked = Evaluator(split.test, max_len=split.max_len, fast=True,
+                             score_chunk=5).ranks(model)
+    np.testing.assert_array_equal(fast_whole, fast_chunked)
+
+
+def test_invalid_score_chunk_rejected(prepared):
+    _, split = prepared
+    with pytest.raises(ValueError):
+        Evaluator(split.test, max_len=split.max_len, score_chunk=0)

@@ -1,0 +1,84 @@
+"""``topk_from_scores`` vs full sort, including adversarial tie layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import topk_from_scores
+
+
+def full_sort_topk(scores, k):
+    """Reference: full (-score, index) sort, first k columns."""
+    order = np.lexsort((np.broadcast_to(np.arange(scores.shape[1]),
+                                        scores.shape), -scores), axis=1)
+    return order[:, :k]
+
+
+class TestTopK:
+    def test_simple(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        np.testing.assert_array_equal(topk_from_scores(scores, 2), [[1, 2]])
+
+    def test_one_dimensional_input(self):
+        top = topk_from_scores(np.array([3.0, 1.0, 2.0]), 2)
+        np.testing.assert_array_equal(top, [0, 2])
+
+    def test_k_clamped_to_vocab(self):
+        scores = np.array([[2.0, 1.0, 3.0]])
+        np.testing.assert_array_equal(topk_from_scores(scores, 10),
+                                      [[2, 0, 1]])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            topk_from_scores(np.zeros((2, 3)), 0)
+        with pytest.raises(ValueError):
+            topk_from_scores(np.zeros((2, 3, 4)), 1)
+
+    def test_ties_prefer_lowest_index(self):
+        scores = np.array([[1.0, 2.0, 2.0, 2.0, 0.5]])
+        # Three-way tie at the top: ids 1, 2, 3 in ascending order.
+        np.testing.assert_array_equal(topk_from_scores(scores, 2), [[1, 2]])
+
+    def test_boundary_tie_group_larger_than_k(self):
+        # Every entry tied: top-k must be exactly the first k indices,
+        # whatever subset argpartition happened to select.
+        scores = np.full((4, 9), 7.0)
+        np.testing.assert_array_equal(
+            topk_from_scores(scores, 3),
+            np.tile(np.arange(3), (4, 1)))
+
+    def test_constant_rows_mixed_with_distinct_rows(self):
+        scores = np.array([[5.0, 5.0, 5.0, 5.0],
+                           [1.0, 4.0, 3.0, 2.0]])
+        np.testing.assert_array_equal(topk_from_scores(scores, 2),
+                                      [[0, 1], [1, 2]])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 8), st.integers(0, 10**6),
+           st.integers(1, 5))
+    def test_matches_full_sort_with_heavy_ties(self, vocab, rows, seed,
+                                               levels):
+        rng = np.random.default_rng(seed)
+        # Few distinct levels => many exact ties, the adversarial case.
+        scores = rng.integers(0, levels, size=(rows, vocab)).astype(float)
+        k = int(rng.integers(1, vocab + 1))
+        np.testing.assert_array_equal(topk_from_scores(scores, k),
+                                      full_sort_topk(scores, k))
+
+    def test_membership_matches_tie_semantics(self):
+        """An item is in the top-k iff fewer than k items precede it under
+        the (-score, ascending index) total order — the same order under
+        which ``ranks_from_scores`` counts tied competitors."""
+        rng = np.random.default_rng(0)
+        scores = rng.integers(0, 4, size=(5, 12)).astype(float)
+        k = 6
+        top = topk_from_scores(scores, k)
+        for row in range(scores.shape[0]):
+            returned = set(top[row].tolist())
+            for item in range(scores.shape[1]):
+                s = scores[row, item]
+                ahead = ((scores[row] > s).sum()
+                         + ((scores[row] == s)
+                            & (np.arange(scores.shape[1]) < item)).sum())
+                assert (item in returned) == (ahead < k)

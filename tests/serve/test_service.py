@@ -1,0 +1,181 @@
+"""RecommendService: micro-batching, LRU cache, incremental append."""
+
+import numpy as np
+import pytest
+
+from repro.models import GRU4Rec, SASRec, SRGNN
+from repro.serve import RecommendService, freeze
+
+DIM = 16
+MAX_LEN = 10
+NUM_ITEMS = 40
+
+
+@pytest.fixture(scope="module")
+def gru_plan():
+    model = GRU4Rec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                    rng=np.random.default_rng(0))
+    return freeze(model)
+
+
+@pytest.fixture(scope="module")
+def sasrec_plan():
+    model = SASRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                   rng=np.random.default_rng(1))
+    return freeze(model)
+
+
+def random_requests(rng, count, min_len=1, max_len=MAX_LEN):
+    return [(int(rng.integers(1, 100)),
+             list(rng.integers(1, NUM_ITEMS + 1,
+                               size=rng.integers(min_len, max_len + 1))))
+            for _ in range(count)]
+
+
+class TestBatchingEquivalence:
+    def test_batched_equals_single(self, sasrec_plan):
+        rng = np.random.default_rng(2)
+        requests = random_requests(rng, 9)
+        batched = RecommendService(sasrec_plan, k=5, cache_size=0,
+                                   max_batch=4)
+        single = RecommendService(sasrec_plan, k=5, cache_size=0)
+        many = batched.recommend_many(requests)
+        assert batched.stats.batches == 3  # ceil(9 / 4)
+        for req, rec in zip(requests, many):
+            alone = single.recommend(*req)
+            np.testing.assert_array_equal(rec.items, alone.items)
+            np.testing.assert_allclose(rec.scores, alone.scores, atol=1e-9)
+
+    def test_matches_graph_model_topk(self):
+        from repro.data.batching import pad_sequences
+        from repro.nn import no_grad
+        from repro.serve import topk_from_scores
+
+        model = SASRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                       rng=np.random.default_rng(3))
+        service = RecommendService(model, k=5)   # freezes internally
+        seq = [3, 7, 9, 2]
+        rec = service.recommend(11, seq)
+        items, mask, _ = pad_sequences([seq], max_len=MAX_LEN)
+        model.eval()
+        with no_grad():
+            logits = model.forward(items, mask).data
+        np.testing.assert_array_equal(rec.items,
+                                      topk_from_scores(logits, 5)[0])
+
+    def test_fallback_plan_served(self):
+        model = SRGNN(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(4))
+        service = RecommendService(model, k=4)
+        recs = service.recommend_many(random_requests(
+            np.random.default_rng(5), 5, min_len=2))
+        assert len(recs) == 5
+        assert all(len(r.items) == 4 for r in recs)
+
+    def test_rejects_empty_sequence(self, gru_plan):
+        with pytest.raises(ValueError):
+            RecommendService(gru_plan).enqueue(1, [])
+
+
+class TestCache:
+    def test_exact_repeat_hits_cache(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5)
+        first = service.recommend(1, [2, 3, 4])
+        again = service.recommend(1, [2, 3, 4])
+        assert not first.from_cache and again.from_cache
+        assert service.stats.cache_hits == 1
+        assert service.stats.full_encodes == 1
+        np.testing.assert_array_equal(first.items, again.items)
+
+    def test_same_sequence_different_user_misses(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5)
+        service.recommend(1, [2, 3, 4])
+        other = service.recommend(2, [2, 3, 4])
+        assert not other.from_cache
+
+    def test_divergent_sequence_misses(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5)
+        service.recommend(1, [2, 3, 4])
+        diverged = service.recommend(1, [2, 3, 5])
+        assert not diverged.from_cache and not diverged.incremental
+        assert service.stats.full_encodes == 2
+
+    def test_lru_eviction(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5, cache_size=2)
+        service.recommend(1, [2])
+        service.recommend(2, [3])
+        service.recommend(1, [2])        # refresh user 1 -> user 2 is LRU
+        service.recommend(3, [4])        # evicts user 2
+        assert service.stats.evictions == 1
+        assert service.recommend(1, [2]).from_cache
+        assert not service.recommend(2, [3]).from_cache
+
+    def test_cache_disabled(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5, cache_size=0)
+        service.recommend(1, [2, 3])
+        assert not service.recommend(1, [2, 3]).from_cache
+        assert service.stats.cache_hits == 0
+
+
+class TestIncrementalAppend:
+    def test_append_one_item_is_incremental_and_exact(self, gru_plan):
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        seq = [3, 7, 9]
+        service.recommend(1, seq)
+        extended = service.recommend(1, seq + [2])
+        assert extended.incremental
+        assert service.stats.incremental_hits == 1
+
+        fresh = RecommendService(gru_plan, k=5, padding="tight",
+                                 cache_size=0)
+        full = fresh.recommend(1, seq + [2])
+        assert not full.incremental
+        np.testing.assert_array_equal(extended.items, full.items)
+        np.testing.assert_allclose(extended.scores, full.scores, atol=1e-9)
+
+    def test_chained_appends(self, gru_plan):
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        seq = [4, 8]
+        service.recommend(2, seq)
+        for item in (1, 5, 9):
+            seq = seq + [item]
+            assert service.recommend(2, seq).incremental
+        assert service.stats.incremental_hits == 3
+
+    def test_divergence_forces_full_encode(self, gru_plan):
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        service.recommend(1, [3, 7])
+        rec = service.recommend(1, [3, 8, 2])  # prefix [3, 8] not cached
+        assert not rec.incremental
+        assert service.stats.incremental_hits == 0
+
+    def test_window_slide_misses_incremental(self, gru_plan):
+        """Appending past max_len shifts the window: the truncated prior
+        sequence is no longer the cached key, so no stale state is used."""
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        seq = list(range(1, MAX_LEN + 1))       # exactly max_len items
+        service.recommend(1, seq)
+        slid = service.recommend(1, seq + [11])  # window drops seq[0]
+        assert not slid.incremental
+        fresh = RecommendService(gru_plan, k=5, padding="tight",
+                                 cache_size=0)
+        expected = fresh.recommend(1, seq + [11])
+        np.testing.assert_allclose(slid.scores, expected.scores, atol=1e-9)
+
+    def test_tight_requires_padding_invariant_plan(self, sasrec_plan):
+        with pytest.raises(ValueError):
+            RecommendService(sasrec_plan, padding="tight")
+
+    def test_tight_results_independent_of_queue_width(self, gru_plan):
+        """Step-masked tight encoding must give a short sequence the same
+        scores whether it is batched alone (no padding) or alongside a
+        long sequence (heavy left padding)."""
+        short = (1, [3, 7])
+        long = (2, list(range(1, MAX_LEN + 1)))
+        alone = RecommendService(gru_plan, k=5, padding="tight",
+                                 cache_size=0).recommend(*short)
+        padded = RecommendService(gru_plan, k=5, padding="tight",
+                                  cache_size=0).recommend_many(
+            [short, long])[0]
+        np.testing.assert_array_equal(alone.items, padded.items)
+        np.testing.assert_allclose(alone.scores, padded.scores, atol=1e-12)
