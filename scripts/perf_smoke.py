@@ -16,6 +16,12 @@ Also runs the frozen-plan serving benchmark (``repro.serve.bench``),
 writes ``BENCH_serve.json``, and fails if graph-free inference is not at
 least ``SERVE_TARGET_SPEEDUP``x faster than the ``no_grad`` Tensor path
 on the ml-100k profile.  ``--no-serve`` skips that section.
+
+Finally, the run-store section (``repro.runs``) trains one smoke-scale
+run into a throwaway cache, replays the same spec, and fails unless the
+replay is a pure cache hit with bitwise-identical metrics.  The cold vs
+cached timings and hit/miss counts land in the report under
+``runstore``.  ``--no-runstore`` skips it.
 """
 
 from __future__ import annotations
@@ -314,6 +320,61 @@ def serve_section(rounds: int) -> tuple:
     return results, failures
 
 
+def runstore_section() -> tuple:
+    """Cold-vs-cached run-store timing + cache-correctness gate.
+
+    Returns ``(report_dict, failures)``.  Fails if the replay misses the
+    cache or returns different metrics than the cold run.
+    """
+    import os
+    import tempfile
+
+    from repro.runs import RunStore, run_spec
+    from repro.registry import model_spec
+
+    os.environ.setdefault("REPRO_SCALE", "smoke")
+    from repro.experiments.config import SCALES
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="runstore-bench-") as root:
+        store = RunStore(root)
+        spec = run_spec("beauty", SCALES["smoke"], model_spec("GRU4Rec"))
+
+        start = time.perf_counter()
+        cold = store.run(spec)
+        cold_s = time.perf_counter() - start
+        cold_stats = store.stats()
+
+        store.reset_stats()
+        start = time.perf_counter()
+        cached = store.run(spec)
+        cached_s = time.perf_counter() - start
+        cached_stats = store.stats()
+
+        if cold.cached or cold_stats["misses"] != 1:
+            failures.append("runstore:cold-run-was-not-a-miss")
+        if not cached.cached or cached_stats["hits"] != 1 \
+                or cached_stats["misses"] != 0:
+            failures.append("runstore:replay-was-not-a-hit")
+        if cached.test_metrics != cold.test_metrics:
+            failures.append("runstore:cached-metrics-differ")
+
+        speedup = cold_s / max(cached_s, 1e-9)
+        print(f"  run {spec.content_hash()}: cold {cold_s:.2f}s "
+              f"(train+persist), cached {cached_s*1e3:.1f}ms, "
+              f"{speedup:.0f}x; hits={cached_stats['hits']} "
+              f"misses={cold_stats['misses']}")
+        report = {
+            "run": spec.content_hash(),
+            "cold_seconds": round(cold_s, 4),
+            "cached_seconds": round(cached_s, 6),
+            "speedup": round(speedup, 1),
+            "cold_stats": cold_stats,
+            "cached_stats": cached_stats,
+        }
+    return report, failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=15,
@@ -326,6 +387,8 @@ def main() -> int:
                         help="skip the end-to-end epoch timing")
     parser.add_argument("--no-serve", action="store_true",
                         help="skip the frozen-plan serving benchmark/gate")
+    parser.add_argument("--no-runstore", action="store_true",
+                        help="skip the run-store cold/cached benchmark/gate")
     parser.add_argument("--epoch-scale", default="smoke",
                         help="REPRO_SCALE for the epoch timing (smoke/quick)")
     parser.add_argument("--baseline-epoch-json", type=Path, default=None,
@@ -383,6 +446,13 @@ def main() -> int:
             "results": serve_results,
         })
         failures.extend(serve_failures)
+
+    if not args.no_runstore:
+        print("\nrun-store cache benchmark (cold train vs cached replay)...")
+        runstore_report, runstore_failures = runstore_section()
+        report["runstore"] = runstore_report
+        failures.extend(runstore_failures)
+        write_json_report(args.json, report)
 
     met = sum(1 for r in report["micro"].values() if r["meets_target"])
     return finish(

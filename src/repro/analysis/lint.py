@@ -38,6 +38,14 @@ rules ship today:
     factories from ``repro.nn``.  ``serve/bench.py`` is exempt: it times
     the Tensor path as the comparison baseline.
 
+``experiments-via-registry``
+    Experiment runners (``src/repro/experiments``) must construct models
+    through :func:`repro.registry.build` — no direct backbone/denoiser/
+    SSDRec class calls and no ``BACKBONES[...](...)``-style registry
+    subscript calls.  Direct construction bypasses the declarative
+    :class:`~repro.registry.ModelSpec`, so the run would be invisible to
+    the content-addressed run cache.
+
 To add a rule: write a function taking a :class:`Project` and returning
 a list of :class:`Violation`, and decorate it with ``@rule(name,
 description)``.  ``scripts/static_check.py`` is the CLI entry point.
@@ -80,6 +88,18 @@ _GRAPH_FACTORY_IMPORTS = {"Tensor", "ensure_tensor", "Parameter", "zeros",
 
 #: serve/ modules allowed to touch the Tensor path (benchmark baseline).
 SERVE_GRAPH_FREE_EXEMPT = {"serve/bench.py"}
+
+#: Model class names experiment runners may not instantiate directly
+#: (static mirror of BACKBONES + EXTENSION_BACKBONES + DENOISERS +
+#: SSDRec — lint parses source without importing it).
+MODEL_CLASS_NAMES = frozenset({
+    "GRU4Rec", "NARM", "STAMP", "Caser", "SASRec", "BERT4Rec", "SRGNN",
+    "DSAN", "FMLPRec", "HSD", "STEAM", "DCRec", "SSDRec",
+})
+
+#: Registry-dict names whose subscript-calls are also direct construction.
+MODEL_REGISTRY_DICTS = frozenset({"BACKBONES", "EXTENSION_BACKBONES",
+                                  "DENOISERS", "MODELS"})
 
 
 @dataclass
@@ -400,6 +420,40 @@ def check_serve_graph_free(project: Project) -> List[Violation]:
                     message=(f"{offender}() call builds an autograd "
                              f"graph inside the frozen inference "
                              f"engine")))
+    return violations
+
+
+@rule("experiments-via-registry",
+      "experiment runners must build models via repro.registry.build, "
+      "not by calling model classes directly")
+def check_experiments_via_registry(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if not rel.startswith("experiments/"):
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is not None and name.split(".")[-1] in MODEL_CLASS_NAMES:
+                violations.append(Violation(
+                    rule="experiments-via-registry",
+                    path=project.display_path(rel), line=node.lineno,
+                    message=(f"direct {name.split('.')[-1]}(...) "
+                             f"construction in an experiment runner; go "
+                             f"through repro.registry.build so the run "
+                             f"is cacheable")))
+            elif isinstance(node.func, ast.Subscript):
+                base = (_attr_chain(node.func.value)
+                        or getattr(node.func.value, "id", None))
+                if base is not None and \
+                        base.split(".")[-1] in MODEL_REGISTRY_DICTS:
+                    violations.append(Violation(
+                        rule="experiments-via-registry",
+                        path=project.display_path(rel), line=node.lineno,
+                        message=(f"{base}[...](...) subscript "
+                                 f"construction in an experiment runner; "
+                                 f"go through repro.registry.build")))
     return violations
 
 

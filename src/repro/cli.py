@@ -6,7 +6,10 @@ Commands
     Print the Table II statistics of all synthetic datasets.
 ``train``
     Train one model (a backbone, a denoiser, or SSDRec) on one dataset
-    profile and report test metrics; optionally save a checkpoint.
+    profile and report test metrics; optionally save a checkpoint.  Runs
+    go through the content-addressed run store (``benchmarks/runs/``), so
+    repeating a command restores the cached result instead of retraining
+    (disable with ``--no-cache``).
 ``experiment``
     Run a named paper experiment (table2..table6, fig1, fig4, fig5).
 ``explain``
@@ -30,23 +33,18 @@ Examples
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 from typing import Optional
 
-import numpy as np
-
-from .core import SSDRec
-from .data import generate, leave_one_out_split
-from .denoise import DENOISERS
-from .eval import Evaluator
+from .data import generate
 from .experiments import SCALES
 from .experiments import (ext_noise_sweep, fig1_oup, fig4_case_study,
                           fig5_tau, significance_runs, table2_datasets,
                           table3_backbones, table4_denoisers,
                           table5_ablation, table6_efficiency)
-from .experiments.common import prepare, ssdrec_config
-from .models import BACKBONES
-from .train import TrainConfig, Trainer, save_checkpoint
+from .registry import available_models, model_spec
+from .runs import default_store, run_spec
 
 EXPERIMENTS = {
     "table2": table2_datasets,
@@ -61,10 +59,6 @@ EXPERIMENTS = {
     "noise-sweep": ext_noise_sweep,
 }
 
-MODELS = dict(BACKBONES)
-MODELS.update(DENOISERS)
-MODELS["SSDRec"] = SSDRec
-
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -74,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="print dataset statistics (Table II)")
 
     train = sub.add_parser("train", help="train one model on one dataset")
-    train.add_argument("--model", required=True, choices=sorted(MODELS))
+    train.add_argument("--model", required=True,
+                       choices=list(available_models()))
     train.add_argument("--dataset", default="beauty",
                        choices=["ml-100k", "ml-1m", "beauty", "sports",
                                 "yelp"])
@@ -88,12 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic dataset size multiplier")
     train.add_argument("--save", default=None,
                        help="write a checkpoint (.npz) after training")
+    train.add_argument("--no-cache", action="store_true",
+                       help="retrain even if this run is already in the "
+                            "run store")
     train.add_argument("--profile", action="store_true",
-                       help="print per-op substrate timings after training")
+                       help="print per-op substrate timings after training "
+                            "(implies --no-cache)")
     train.add_argument("--sanitize", action="store_true",
                        help="train under the autograd sanitizer (version "
                             "counters, NaN/Inf and broadcast-grad checks, "
-                            "dead-gradient report)")
+                            "dead-gradient report; implies --no-cache)")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -116,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["ml-100k", "ml-1m", "beauty", "sports",
                                 "yelp"])
     serve.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    serve.add_argument("--trained", action="store_true",
+                       help="benchmark trained weights restored from the "
+                            "run store (training on first use) instead of "
+                            "random initialisation")
     serve.add_argument("--rounds", type=int, default=3,
                        help="timing rounds per measurement (best-of)")
     serve.add_argument("--requests", type=int, default=128,
@@ -140,33 +143,22 @@ def cmd_datasets(_args) -> int:
 
 
 def cmd_train(args) -> int:
-    dataset = generate(args.dataset, seed=args.seed, scale=args.scale)
-    split = leave_one_out_split(dataset, max_len=args.max_len,
-                                augment_prefixes=True)
-    rng = np.random.default_rng(args.seed)
-    if args.model == "SSDRec":
-        from .experiments.config import SCALES as ALL_SCALES
-        scale = ALL_SCALES["quick"]
-        model = SSDRec(dataset,
-                       config=ssdrec_config(scale, args.max_len,
-                                            dim=args.dim),
-                       rng=rng)
-    else:
-        cls = MODELS[args.model]
-        kwargs = dict(num_items=dataset.num_items, dim=args.dim,
-                      max_len=args.max_len, rng=rng)
-        if args.model == "DCRec":
-            kwargs["dataset"] = dataset
-        model = cls(**kwargs)
-    print(f"training {args.model} on {dataset.name} "
-          f"({model.num_parameters():,} parameters)")
-    result = Trainer(model, split,
-                     TrainConfig(epochs=args.epochs,
-                                 batch_size=args.batch_size,
-                                 learning_rate=args.lr, seed=args.seed,
-                                 verbose=True,
-                                 profile=args.profile,
-                                 sanitize=args.sanitize)).fit()
+    store = default_store()
+    spec = run_spec(
+        args.dataset, "quick", model_spec(args.model, dim=args.dim),
+        train={"epochs": args.epochs, "batch_size": args.batch_size,
+               "learning_rate": args.lr},
+        seed=args.seed, dataset_scale=args.scale, max_len=args.max_len)
+    # Profiling/sanitizing only produce output on a fresh training run.
+    force = args.no_cache or args.profile or args.sanitize
+    print(f"training {args.model} on {args.dataset} "
+          f"(run {spec.content_hash()})")
+    outcome = store.run(spec, force=force, verbose=True,
+                        profile=args.profile, sanitize=args.sanitize)
+    if outcome.cached:
+        print(f"restored cached run from {outcome.checkpoint.parent}")
+    print(f"{args.model}: {outcome.num_parameters:,} parameters")
+    result = outcome.result
     if args.profile and result.profile_table:
         print(result.profile_table)
     if args.sanitize:
@@ -178,34 +170,30 @@ def cmd_train(args) -> int:
                       f"{anomaly['detail']}")
         else:
             print("sanitizer: clean run (no anomalies recorded)")
-    metrics = Evaluator(split.test, max_len=args.max_len).evaluate(model)
-    print("test:", {k: round(v, 4) for k, v in metrics.items()})
+    print("test:", {k: round(v, 4) for k, v in outcome.test_metrics.items()})
     if args.save:
-        path = save_checkpoint(model, args.save,
-                               metadata={"model": args.model,
-                                         "dataset": dataset.name,
-                                         "best_epoch": result.best_epoch})
-        print(f"checkpoint written to {path}")
+        shutil.copyfile(outcome.checkpoint, args.save)
+        print(f"checkpoint written to {args.save}")
     return 0
 
 
 def cmd_experiment(args) -> int:
     module = EXPERIMENTS[args.name]
     scale = SCALES[args.scale]
-    result = module.run(scale, seed=args.seed)
+    import inspect
+    kwargs = ({"seed": args.seed}
+              if "seed" in inspect.signature(module.run).parameters else {})
+    result = module.run(scale, **kwargs)
     print(module.render(result))
     return 0
 
 
 def cmd_explain(args) -> int:
-    scale = SCALES["quick"]
-    prepared = prepare(args.dataset, scale, seed=args.seed)
-    model = SSDRec(prepared.dataset,
-                   config=ssdrec_config(scale, prepared.max_len),
-                   rng=np.random.default_rng(args.seed))
-    Trainer(model, prepared.split,
-            TrainConfig(epochs=args.epochs, batch_size=scale.batch_size,
-                        seed=args.seed)).fit()
+    store = default_store()
+    spec = run_spec(args.dataset, "quick", model_spec("SSDRec"),
+                    train={"epochs": args.epochs}, seed=args.seed)
+    model = store.load_model(spec)
+    prepared = store.prepared(spec)
     lengths = [(len(s), u) for u, s in enumerate(prepared.dataset.sequences)
                if s]
     for _, user in sorted(lengths, reverse=True)[:args.users]:
@@ -226,7 +214,7 @@ def cmd_serve_bench(args) -> int:
                               profiles=tuple(args.datasets),
                               scale=SCALES[args.scale], seed=args.seed,
                               rounds=args.rounds, requests=args.requests,
-                              k=args.k)
+                              k=args.k, trained=args.trained)
     print(render(results))
     if args.json:
         write_json_report(args.json, {"scale": args.scale,

@@ -55,12 +55,17 @@ class Evaluator:
         self.fast = fast
         self.score_chunk = score_chunk
 
-    def ranks(self, model) -> np.ndarray:
-        """Target ranks for every example (order matches the example list)."""
+    def ranks(self, model, fast: Optional[bool] = None) -> np.ndarray:
+        """Target ranks for every example (order matches the example list).
+
+        ``fast`` overrides the instance default for this call only, so
+        callers sharing a cached evaluator can pick the frozen-plan path
+        without mutating state other callers observe.
+        """
         was_training = getattr(model, "training", False)
         model.eval()
         try:
-            if self.fast:
+            if self.fast if fast is None else fast:
                 from ..serve import freeze  # lazy: avoids an import cycle
                 all_ranks = self._ranks_plan(freeze(model))
             else:
@@ -148,6 +153,6 @@ class Evaluator:
             all_ranks.append(ranks_from_scores(scores, batch.targets))
         return np.concatenate(all_ranks)
 
-    def evaluate(self, model) -> Dict[str, float]:
+    def evaluate(self, model, fast: Optional[bool] = None) -> Dict[str, float]:
         """Full metric block (HR/N@K + MRR) on the held-out examples."""
-        return metric_report(self.ranks(model), self.ks)
+        return metric_report(self.ranks(model, fast=fast), self.ks)

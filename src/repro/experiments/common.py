@@ -9,6 +9,7 @@ from ..core import SSDRecConfig
 from ..data import (InteractionDataset, SequenceSplit, generate,
                     leave_one_out_split)
 from ..eval import Evaluator
+from ..registry import ssdrec_default_config
 from ..train import TrainConfig, Trainer, TrainResult
 from .config import Scale, max_len_for
 
@@ -24,16 +25,17 @@ class PreparedDataset:
     _evaluators: Dict[Tuple[str, int], Evaluator] = field(
         default_factory=dict, repr=False, compare=False)
 
-    def evaluator(self, subset: str = "test", batch_size: int = 256,
-                  fast: bool = False) -> Evaluator:
+    def evaluator(self, subset: str = "test",
+                  batch_size: int = 256) -> Evaluator:
         """A cached :class:`Evaluator` over one split subset.
 
         Evaluators cache their padded batches (``DataLoader`` with
         ``shuffle=False``); sharing one instance per ``(subset,
         batch_size)`` across a run avoids re-padding the same examples
-        for every model trained on this dataset.  ``fast`` toggles the
-        frozen-plan path on the shared instance (safe: plans are
-        recompiled per ``ranks`` call).
+        for every model trained on this dataset.  Callers wanting the
+        frozen-plan path pass ``fast=True`` to :meth:`Evaluator.ranks` /
+        :meth:`Evaluator.evaluate` per call — the shared instance is
+        never mutated.
         """
         key = (subset, batch_size)
         ev = self._evaluators.get(key)
@@ -41,7 +43,6 @@ class PreparedDataset:
             ev = Evaluator(getattr(self.split, subset),
                            batch_size=batch_size, max_len=self.max_len)
             self._evaluators[key] = ev
-        ev.fast = fast
         return ev
 
 
@@ -59,18 +60,11 @@ def prepare(profile: str, scale: Scale, seed: int = 0,
 def ssdrec_config(scale: Scale, max_len: int, **overrides) -> SSDRecConfig:
     """Experiment-default SSDRec configuration.
 
-    Follows the paper's guidance: self-augmentation targets *short*
-    sequences (threshold ~2/3 of the cap) and the drop-rate prior sits at
-    the low end of the reported 23-39% dropped-interaction range.
+    Thin alias for :func:`repro.registry.ssdrec_default_config`, kept so
+    existing callers (and docs) keep one import site inside the
+    experiment layer.
     """
-    defaults = dict(
-        dim=scale.dim,
-        max_len=max_len,
-        augment_threshold=max(6, int(round(max_len * 0.65))),
-        target_drop_rate=0.2,
-    )
-    defaults.update(overrides)
-    return SSDRecConfig(**defaults)
+    return ssdrec_default_config(scale, max_len, **overrides)
 
 
 def train_and_evaluate(model, prepared: PreparedDataset, scale: Scale,

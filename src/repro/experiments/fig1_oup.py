@@ -8,53 +8,37 @@ sequences, train each explicit denoiser on the noisy data, then measure
 
 The paper shows HSD and STEAM both suffer OUPs; SSDRec's self-augmentation
 is designed to reduce both ratios.
+
+Noise injection is part of the :class:`~repro.runs.RunSpec`
+(``noise_inject``), so each noisy training run is cached like any other
+and the noise bookkeeping is recovered from the store's dataset cache.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..core import SSDRec
-from ..data import inject_noise, leave_one_out_split, score_denoising
-from ..data.synthetic import generate
-from ..denoise import HSD, STEAM
-from ..train import TrainConfig, Trainer
-from .common import ssdrec_config
-from .config import Scale, default_scale, max_len_for
+from ..data import score_denoising
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
+from .config import Scale, default_scale
 
 METHODS = ("HSD", "STEAM", "SSDRec")
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
         profile: str = "ml-100k", noise_ratio: float = 0.2,
-        methods: Sequence[str] = METHODS) -> Dict[str, dict]:
+        methods: Sequence[str] = METHODS,
+        store: Optional[RunStore] = None) -> Dict[str, dict]:
     """Train each method on noise-injected data and score OUP ratios."""
     scale = scale or default_scale()
-    clean = generate(profile, seed=seed, scale=scale.dataset_scale)
-    noisy = inject_noise(clean, ratio=noise_ratio, seed=seed)
-    max_len = max_len_for(profile, scale)
-    split = leave_one_out_split(noisy.dataset, max_len=max_len,
-                                augment_prefixes=scale.augment_prefixes)
-    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
-                         patience=scale.patience, seed=seed)
+    store = store or default_store()
     results: Dict[str, dict] = {}
     for name in methods:
-        rng = np.random.default_rng(seed)
-        if name == "HSD":
-            model = HSD(num_items=noisy.dataset.num_items, dim=scale.dim,
-                        max_len=max_len, rng=rng)
-        elif name == "STEAM":
-            model = STEAM(num_items=noisy.dataset.num_items, dim=scale.dim,
-                          max_len=max_len, rng=rng)
-        elif name == "SSDRec":
-            model = SSDRec(noisy.dataset,
-                           config=ssdrec_config(scale, max_len),
-                           rng=rng)
-        else:
-            raise KeyError(f"unknown method {name!r}")
-        Trainer(model, split, config).fit()
+        spec = run_spec(profile, scale, model_spec(name), seed=seed,
+                        noise_inject=noise_ratio)
+        model = store.load_model(spec)
+        noisy = store.noisy_dataset(spec)
         decisions = model.keep_decisions(noisy.dataset.sequences[1:])
         oup = score_denoising(noisy, decisions)
         results[name] = {

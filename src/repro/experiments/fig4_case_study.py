@@ -1,11 +1,12 @@
 """Figure 4 + Sec. IV-E — case study and dropped-interaction ratios.
 
-Trains SSDRec and HSD on the ML-100K stand-in, then traces a single user
-through the three stages: the raw sequence's score for the true next item,
-the score after self-augmentation, and the score after hierarchical
-denoising (paper: -0.96 -> -0.95 -> 0.89, vs HSD's 0.56).  Also reports
-the fraction of interactions each model drops per dataset (paper:
-24.22% / 25.10% / 26.28% / 22.96% / 39.41%).
+Restores trained SSDRec and HSD models from the shared
+:class:`~repro.runs.RunStore` (the same runs Tables IV/V report), then
+traces a single user through the three stages: the raw sequence's score
+for the true next item, the score after self-augmentation, and the score
+after hierarchical denoising (paper: -0.96 -> -0.95 -> 0.89, vs HSD's
+0.56).  Also reports the fraction of interactions each model drops per
+dataset (paper: 24.22% / 25.10% / 26.28% / 22.96% / 39.41%).
 """
 
 from __future__ import annotations
@@ -14,28 +15,23 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core import SSDRec
-from ..denoise import HSD
-from ..train import TrainConfig, Trainer
-from .common import prepare, ssdrec_config
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import CASE_STUDY, DROPPED_RATIOS
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
-        profile: str = "ml-100k", user: Optional[int] = None) -> Dict[str, object]:
+        profile: str = "ml-100k", user: Optional[int] = None,
+        store: Optional[RunStore] = None) -> Dict[str, object]:
     scale = scale or default_scale()
-    prepared = prepare(profile, scale, seed=seed)
-    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
-                         patience=scale.patience, seed=seed)
+    store = store or default_store()
 
-    ssdrec = SSDRec(prepared.dataset,
-                    config=ssdrec_config(scale, prepared.max_len),
-                    rng=np.random.default_rng(seed))
-    Trainer(ssdrec, prepared.split, config).fit()
-    hsd = HSD(num_items=prepared.dataset.num_items, dim=scale.dim,
-              max_len=prepared.max_len, rng=np.random.default_rng(seed))
-    Trainer(hsd, prepared.split, config).fit()
+    ssdrec_spec = run_spec(profile, scale, model_spec("SSDRec"), seed=seed)
+    hsd_spec = run_spec(profile, scale, model_spec("HSD"), seed=seed)
+    ssdrec = store.load_model(ssdrec_spec)
+    hsd = store.load_model(hsd_spec)
+    prepared = store.prepared(ssdrec_spec)
 
     # Pick a user with a reasonably long sequence (the paper's user 164
     # had 42 interactions).

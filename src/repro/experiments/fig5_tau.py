@@ -4,32 +4,32 @@ Sweeps the initial temperature over the paper's grid {1e-2 .. 1e3} and
 reports HR@20, N@20, and MRR.  The paper's qualitative finding: small
 datasets prefer smaller tau; too-low tau early in training exaggerates
 denoising and hurts.
+
+Each tau is one cached run; ``tau=1.0`` restates the SSDRecConfig
+default, so :func:`~repro.registry.model_spec` canonicalizes it away and
+that point shares its cache entry with every other runner's plain SSDRec.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..core import SSDRec
-from .common import prepare, ssdrec_config, train_and_evaluate
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import TAU_SWEEP
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
-        profile: str = "ml-100k",
-        taus: Sequence[float] = TAU_SWEEP) -> Dict[float, Dict[str, float]]:
+        profile: str = "ml-100k", taus: Sequence[float] = TAU_SWEEP,
+        store: Optional[RunStore] = None) -> Dict[float, Dict[str, float]]:
     scale = scale or default_scale()
-    prepared = prepare(profile, scale, seed=seed)
+    store = store or default_store()
     results: Dict[float, Dict[str, float]] = {}
     for tau in taus:
-        model = SSDRec(prepared.dataset,
-                       config=ssdrec_config(scale, prepared.max_len,
-                                            initial_tau=tau),
-                       rng=np.random.default_rng(seed))
-        metrics, _ = train_and_evaluate(model, prepared, scale, seed=seed)
+        spec = run_spec(profile, scale,
+                        model_spec("SSDRec", initial_tau=tau), seed=seed)
+        metrics = store.run(spec).test_metrics
         results[tau] = {k: metrics[k] for k in ("HR@20", "N@20", "MRR")}
     return results
 

@@ -9,10 +9,12 @@ without pytest-benchmark, or to regenerate a single experiment's section.
 from __future__ import annotations
 
 import argparse
+import inspect
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..runs import default_store
 from . import (ext_noise_sweep, fig1_oup, fig4_case_study, fig5_tau,
                significance_runs, table2_datasets, table3_backbones,
                table4_denoisers, table5_ablation, table6_efficiency)
@@ -47,15 +49,28 @@ def run_all(scale_name: str = "quick", only: Optional[List[str]] = None,
     if unknown:
         raise KeyError(f"unknown experiments: {sorted(unknown)}; "
                        f"options: {sorted(RUNNERS)}")
+    store = default_store()
     timings: Dict[str, float] = {}
     for name in selected:
         module, filename = RUNNERS[name]
+        store.reset_stats()
         start = time.perf_counter()
-        result = module.run(scale, seed=seed)
+        # Runner signatures differ (significance takes a seed list, table2
+        # trains nothing); forward only the kwargs each one accepts.
+        accepted = inspect.signature(module.run).parameters
+        kwargs = {key: value
+                  for key, value in (("seed", seed), ("store", store))
+                  if key in accepted}
+        result = module.run(scale, **kwargs)
         text = module.render(result)
         (results_dir / f"{filename}.txt").write_text(text + "\n")
         timings[name] = time.perf_counter() - start
-        print(f"[{name}] done in {timings[name]:.1f}s")
+        stats = store.stats()
+        cache_note = ""
+        if stats["hits"] or stats["misses"]:
+            cache_note = (f" — run store: {stats['misses']} trained, "
+                          f"{stats['hits']} cached")
+        print(f"[{name}] done in {timings[name]:.1f}s{cache_note}")
     if report_path is not None:
         Path(report_path).write_text(build_report(results_dir, scale_name))
         print(f"report written to {report_path}")

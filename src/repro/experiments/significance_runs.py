@@ -7,6 +7,12 @@ multiple seeds on the same split and runs two tests:
 * a **paired t-test on per-user reciprocal ranks** within each seed
   (the per-user comparison the paper's protocol implies), and
 * a **Welch t-test across seeds** on the aggregate metric.
+
+Every (model, seed) pair is one :class:`~repro.runs.RunSpec` with
+``data_seed=0`` — the paper's protocol pins the split while varying the
+model seed — and both tests work off the per-user rank vectors the store
+persists, so re-running the study with an extra seed retrains only the
+new seed's two models.
 """
 
 from __future__ import annotations
@@ -15,45 +21,31 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core import SSDRec
-from ..denoise import HSD
-from ..eval import Evaluator, compare_rank_lists, welch_t_test
+from ..eval import compare_rank_lists, welch_t_test
 from ..eval.metrics import hit_ratio
-from ..train import TrainConfig, Trainer
-from .common import prepare, ssdrec_config
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 
 
 def run(scale: Optional[Scale] = None, profile: str = "ml-100k",
-        seeds: Sequence[int] = (0, 1, 2),
-        baseline: str = "HSD") -> Dict[str, object]:
+        seeds: Sequence[int] = (0, 1, 2), baseline: str = "HSD",
+        store: Optional[RunStore] = None) -> Dict[str, object]:
     """Train SSDRec vs a baseline over several seeds; test significance."""
     scale = scale or default_scale()
+    store = store or default_store()
     if len(seeds) < 2:
         raise ValueError("need at least 2 seeds for cross-seed tests")
-    prepared = prepare(profile, scale, seed=0)
-    evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
-                          max_len=prepared.max_len)
     ssdrec_hr: List[float] = []
     baseline_hr: List[float] = []
     paired_pvalues: List[float] = []
     for seed in seeds:
-        config = TrainConfig(epochs=scale.epochs,
-                             batch_size=scale.batch_size,
-                             patience=scale.patience, seed=seed)
-        ours = SSDRec(prepared.dataset,
-                      config=ssdrec_config(scale, prepared.max_len),
-                      rng=np.random.default_rng(seed))
-        Trainer(ours, prepared.split, config).fit()
-        if baseline == "HSD":
-            other = HSD(num_items=prepared.dataset.num_items, dim=scale.dim,
-                        max_len=prepared.max_len,
-                        rng=np.random.default_rng(seed))
-        else:
-            raise KeyError(f"unknown baseline {baseline!r}")
-        Trainer(other, prepared.split, config).fit()
-        our_ranks = evaluator.ranks(ours)
-        their_ranks = evaluator.ranks(other)
+        our_ranks = store.run(run_spec(
+            profile, scale, model_spec("SSDRec"),
+            seed=seed, data_seed=0)).test_ranks
+        their_ranks = store.run(run_spec(
+            profile, scale, model_spec(baseline),
+            seed=seed, data_seed=0)).test_ranks
         ssdrec_hr.append(hit_ratio(our_ranks, 20))
         baseline_hr.append(hit_ratio(their_ranks, 20))
         paired_pvalues.append(compare_rank_lists(our_ranks,

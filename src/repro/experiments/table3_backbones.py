@@ -3,54 +3,51 @@
 For each dataset and each of the six mainstream sequential recommenders,
 train the plain backbone and the same backbone wrapped in SSDRec, then
 report the paper's metric block and the average relative improvement.
+All training goes through the shared :class:`~repro.runs.RunStore`, so a
+backbone already trained by another runner (Table VI, Fig. 5, the
+significance study) is restored from cache instead of retrained.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..core import SSDRec
 from ..eval import improvement
 from ..models import BACKBONES
-from .common import (PreparedDataset, prepare, ssdrec_config,
-                     train_and_evaluate)
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import TABLE3
 
 
-def run_one(backbone: str, prepared: PreparedDataset, scale: Scale,
-            seed: int = 0) -> Dict[str, Dict[str, float]]:
-    """Train one backbone w/o and w SSDRec on one prepared dataset."""
-    cls = BACKBONES[backbone]
-    plain = cls(num_items=prepared.dataset.num_items, dim=scale.dim,
-                max_len=prepared.max_len, rng=np.random.default_rng(seed))
-    without, _ = train_and_evaluate(plain, prepared, scale, seed=seed)
-
-    wrapped = SSDRec(
-        prepared.dataset, backbone_cls=cls,
-        config=ssdrec_config(scale, prepared.max_len),
-        rng=np.random.default_rng(seed))
-    with_ssdrec, _ = train_and_evaluate(wrapped, prepared, scale, seed=seed)
+def run_one(backbone: str, profile: str, scale: Scale, seed: int = 0,
+            store: Optional[RunStore] = None) -> Dict[str, Dict[str, float]]:
+    """Train (or restore) one backbone w/o and w SSDRec on one dataset."""
+    store = store or default_store()
+    without = store.run(run_spec(
+        profile, scale, model_spec(backbone), seed=seed)).test_metrics
+    with_ssdrec = store.run(run_spec(
+        profile, scale, model_spec("SSDRec", backbone=backbone),
+        seed=seed)).test_metrics
     return {"without": without, "with": with_ssdrec,
             "improvement": improvement(with_ssdrec, without)}
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
         backbones: Optional[Sequence[str]] = None,
-        datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
+        datasets: Optional[Sequence[str]] = None,
+        store: Optional[RunStore] = None) -> Dict[str, dict]:
     """Full Table III sweep at the requested scale."""
     scale = scale or default_scale()
+    store = store or default_store()
     backbones = list(backbones or BACKBONES)
     datasets = list(datasets or scale.datasets)
     results: Dict[str, dict] = {}
     for profile in datasets:
-        prepared = prepare(profile, scale, seed=seed)
         results[profile] = {}
         for backbone in backbones:
-            results[profile][backbone] = run_one(backbone, prepared, scale,
-                                                 seed=seed)
+            results[profile][backbone] = run_one(backbone, profile, scale,
+                                                 seed=seed, store=store)
     return results
 
 

@@ -1,52 +1,39 @@
-"""Table IV — SSDRec vs the state-of-the-art denoising / debiased methods."""
+"""Table IV — SSDRec vs the state-of-the-art denoising / debiased methods.
+
+Model construction goes through :mod:`repro.registry` and training
+through the shared :class:`~repro.runs.RunStore` — the plain SSDRec row
+here is the same cached run Table III's SASRec+SSDRec cell and Fig. 5's
+``tau=1.0`` point resolve to.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..core import SSDRec
-from ..denoise import DENOISERS
 from ..eval import improvement
-from .common import (PreparedDataset, prepare, ssdrec_config,
-                     train_and_evaluate)
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import TABLE4
 
 ALL_METHODS = ("DSAN", "FMLP-Rec", "HSD", "DCRec", "STEAM", "SSDRec")
 
 
-def build_method(name: str, prepared: PreparedDataset, scale: Scale,
-                 seed: int = 0):
-    """Instantiate one Table IV method on a prepared dataset."""
-    rng = np.random.default_rng(seed)
-    if name == "SSDRec":
-        return SSDRec(prepared.dataset,
-                      config=ssdrec_config(scale, prepared.max_len),
-                      rng=rng)
-    cls = DENOISERS[name]
-    kwargs = dict(num_items=prepared.dataset.num_items, dim=scale.dim,
-                  max_len=prepared.max_len, rng=rng)
-    if name == "DCRec":
-        kwargs["dataset"] = prepared.dataset
-    return cls(**kwargs)
-
-
 def run(scale: Optional[Scale] = None, seed: int = 0,
         methods: Sequence[str] = ALL_METHODS,
-        datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
+        datasets: Optional[Sequence[str]] = None,
+        store: Optional[RunStore] = None) -> Dict[str, dict]:
     """Train every method on every dataset; report metrics + improvement."""
     scale = scale or default_scale()
+    store = store or default_store()
     datasets = list(datasets or scale.datasets)
     results: Dict[str, dict] = {}
     for profile in datasets:
-        prepared = prepare(profile, scale, seed=seed)
         per_method: Dict[str, Dict[str, float]] = {}
         for name in methods:
-            model = build_method(name, prepared, scale, seed=seed)
-            metrics, _ = train_and_evaluate(model, prepared, scale, seed=seed)
-            per_method[name] = metrics
+            outcome = store.run(run_spec(profile, scale, model_spec(name),
+                                         seed=seed))
+            per_method[name] = outcome.test_metrics
         if "SSDRec" in per_method and len(per_method) > 1:
             best_baseline = max(
                 (m for n, m in per_method.items() if n != "SSDRec"),

@@ -11,6 +11,11 @@ Variants follow the paper exactly:
 
 Plus extension ablations for design choices called out in DESIGN.md:
 Gumbel hard vs soft selection and the number of Eq.-13 refinement rounds.
+
+Each variant is one :class:`~repro.runs.RunSpec`; the store keeps the
+test rank vector of every run, so this table's custom metric block
+(MRR@10/MRR@20 on top of the standard columns) is computed from cached
+ranks without reloading or re-evaluating any model.
 """
 
 from __future__ import annotations
@@ -19,14 +24,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core import SSDRec
-from ..denoise import HSD
-from ..eval import Evaluator
 from ..eval.metrics import hit_ratio, mrr, ndcg
-from .common import PreparedDataset, prepare, ssdrec_config
+from ..registry import ModelSpec, model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import TABLE5
-from ..train import TrainConfig, Trainer
 
 TABLE5_METRICS = ("HR@10", "HR@20", "N@10", "N@20", "MRR@10", "MRR@20")
 
@@ -39,71 +41,45 @@ def _table5_metrics(ranks: np.ndarray) -> Dict[str, float]:
     }
 
 
-def _variants(prepared: PreparedDataset, scale: Scale, seed: int) -> Dict[str, object]:
-    def cfg(**kw):
-        return ssdrec_config(scale, prepared.max_len, **kw)
-
-    rng = lambda: np.random.default_rng(seed)  # noqa: E731 - fresh per model
+def _variants() -> Dict[str, ModelSpec]:
     return {
-        "w/o SSDRec-1": SSDRec(prepared.dataset, config=cfg(use_stage1=False),
-                               rng=rng()),
-        "w/o SSDRec-2": SSDRec(prepared.dataset, config=cfg(use_stage2=False),
-                               rng=rng()),
-        "w/o SSDRec-3": SSDRec(prepared.dataset, config=cfg(use_stage3=False),
-                               rng=rng()),
-        "HSD": HSD(num_items=prepared.dataset.num_items, dim=scale.dim,
-                   max_len=prepared.max_len, rng=rng()),
-        "SSDRec": SSDRec(prepared.dataset, config=cfg(), rng=rng()),
+        "w/o SSDRec-1": model_spec("SSDRec", use_stage1=False),
+        "w/o SSDRec-2": model_spec("SSDRec", use_stage2=False),
+        "w/o SSDRec-3": model_spec("SSDRec", use_stage3=False),
+        "HSD": model_spec("HSD"),
+        "SSDRec": model_spec("SSDRec"),
+    }
+
+
+def _extension_variants() -> Dict[str, ModelSpec]:
+    """Design-choice ablations beyond the paper's table."""
+    return {
+        "rounds=0 (no Eq.13 refinement)": model_spec("SSDRec",
+                                                     denoise_rounds=0),
+        "rounds=3": model_spec("SSDRec", denoise_rounds=3),
+        "augment only short (thr=8)": model_spec("SSDRec",
+                                                 augment_threshold=8),
+        "no drop penalty": model_spec("SSDRec", drop_penalty=0.0),
+        "f_den=sparse-attention": model_spec(
+            "SSDRec", denoise_gate="sparse-attention"),
+        "f_den=threshold": model_spec("SSDRec", denoise_gate="threshold"),
     }
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
-        profile: str = "ml-100k",
-        include_extensions: bool = False) -> Dict[str, Dict[str, float]]:
+        profile: str = "ml-100k", include_extensions: bool = False,
+        store: Optional[RunStore] = None) -> Dict[str, Dict[str, float]]:
     """Train all ablation variants and report Table V's metric block."""
     scale = scale or default_scale()
-    prepared = prepare(profile, scale, seed=seed)
-    variants = _variants(prepared, scale, seed)
+    store = store or default_store()
+    variants = _variants()
     if include_extensions:
-        variants.update(_extension_variants(prepared, scale, seed))
-    config = TrainConfig(epochs=scale.epochs, batch_size=scale.batch_size,
-                         patience=scale.patience, seed=seed)
+        variants.update(_extension_variants())
     results: Dict[str, Dict[str, float]] = {}
-    for name, model in variants.items():
-        Trainer(model, prepared.split, config).fit()
-        evaluator = Evaluator(prepared.split.test,
-                              batch_size=scale.batch_size,
-                              max_len=prepared.max_len)
-        results[name] = _table5_metrics(evaluator.ranks(model))
+    for name, spec in variants.items():
+        outcome = store.run(run_spec(profile, scale, spec, seed=seed))
+        results[name] = _table5_metrics(outcome.test_ranks)
     return results
-
-
-def _extension_variants(prepared: PreparedDataset, scale: Scale,
-                        seed: int) -> Dict[str, object]:
-    """Design-choice ablations beyond the paper's table."""
-    def cfg(**kw):
-        return ssdrec_config(scale, prepared.max_len, **kw)
-
-    return {
-        "rounds=0 (no Eq.13 refinement)": SSDRec(
-            prepared.dataset, config=cfg(denoise_rounds=0),
-            rng=np.random.default_rng(seed)),
-        "rounds=3": SSDRec(
-            prepared.dataset, config=cfg(denoise_rounds=3),
-            rng=np.random.default_rng(seed)),
-        "augment only short (thr=8)": SSDRec(
-            prepared.dataset, config=cfg(augment_threshold=8),
-            rng=np.random.default_rng(seed)),
-        "no drop penalty": SSDRec(
-            prepared.dataset, config=cfg(drop_penalty=0.0),
-            rng=np.random.default_rng(seed)),
-        "f_den=sparse-attention": SSDRec(
-            prepared.dataset, config=cfg(denoise_gate="sparse-attention"),
-            rng=np.random.default_rng(seed)),
-        "f_den=threshold": SSDRec(
-            prepared.dataset, config=cfg(denoise_gate="threshold"),
-            rng=np.random.default_rng(seed)),
-    }
 
 
 def render(results: Dict[str, Dict[str, float]]) -> str:

@@ -5,6 +5,11 @@ inference pass of HSD, STEAM, DCRec, and SSDRec on every dataset.  The
 paper's absolute numbers come from a GPU workstation; the comparison of
 interest is *relative* cost (SSDRec trains slower than HSD but infers
 comparably, STEAM infers slowly, DCRec is light).
+
+Models are restored from the shared :class:`~repro.runs.RunStore`
+(trained on first use, cached thereafter) — the same runs Table IV
+reports metrics for — so the timing pass costs one epoch + two ranking
+passes per method instead of a full training run.
 """
 
 from __future__ import annotations
@@ -14,10 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 from ..data.batching import DataLoader
 from ..nn import Adam
-from .common import prepare
+from ..registry import model_spec
+from ..runs import RunStore, default_store, run_spec
 from .config import Scale, default_scale
 from .paper_numbers import TABLE6
-from .table4_denoisers import build_method
 
 METHODS = ("HSD", "STEAM", "DCRec", "SSDRec")
 
@@ -45,25 +50,28 @@ def time_inference(model, prepared, scale: Scale,
 
     ``fast=True`` times the frozen-plan (graph-free) path instead of the
     ``no_grad`` Tensor path; the cached evaluator is shared between both
-    so the padded test batches are built once.
+    (``fast`` is per-call) so the padded test batches are built once.
     """
-    evaluator = prepared.evaluator("test", scale.batch_size, fast=fast)
+    evaluator = prepared.evaluator("test", scale.batch_size)
     start = time.perf_counter()
-    evaluator.ranks(model)
+    evaluator.ranks(model, fast=fast)
     return time.perf_counter() - start
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0,
         methods: Sequence[str] = METHODS,
-        datasets: Optional[Sequence[str]] = None) -> Dict[str, dict]:
+        datasets: Optional[Sequence[str]] = None,
+        store: Optional[RunStore] = None) -> Dict[str, dict]:
     scale = scale or default_scale()
-    datasets = list(datasets or scale.datasets)
+    store = store or default_store()
     results: Dict[str, dict] = {"training": {}, "inference": {},
                                 "inference_frozen": {}}
+    datasets = list(datasets or scale.datasets)
     for profile in datasets:
-        prepared = prepare(profile, scale, seed=seed)
         for name in methods:
-            model = build_method(name, prepared, scale, seed=seed)
+            spec = run_spec(profile, scale, model_spec(name), seed=seed)
+            model = store.load_model(spec)
+            prepared = store.prepared(spec)
             train_s = time_one_epoch(model, prepared, scale)
             infer_s = time_inference(model, prepared, scale)
             frozen_s = time_inference(model, prepared, scale, fast=True)

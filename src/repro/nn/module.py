@@ -88,7 +88,12 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Restore parameter values from :meth:`state_dict` output."""
+        """Restore parameter values from :meth:`state_dict` output.
+
+        All names and shapes are validated before any parameter is
+        written, so a mismatched state dict never leaves the module
+        half-restored.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -97,12 +102,12 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}")
         for name, value in state.items():
-            param = own[name]
-            if param.data.shape != value.shape:
+            if own[name].data.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
-                    f"{param.data.shape} vs {value.shape}")
-            param.data = value.copy()
+                    f"{own[name].data.shape} vs {value.shape}")
+        for name, value in state.items():
+            own[name].data = value.copy()
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

@@ -1,0 +1,197 @@
+"""Declarative model registry: one construction path for every model.
+
+Historically model construction was duplicated across three dispatch
+sites (the CLI's ``MODELS`` dict, ``serve/bench.build_model``, and
+``table4_denoisers.build_method``), each with its own special-casing for
+SSDRec and DCRec.  This module replaces all of them with a single
+hashable :class:`ModelSpec` and one :func:`build` function that knows how
+to instantiate
+
+* every backbone in :data:`repro.models.BACKBONES` (and the extension
+  backbones),
+* every denoiser in :data:`repro.denoise.DENOISERS` (threading the
+  dataset into DCRec's co-occurrence graph), and
+* SSDRec itself — optionally wrapped around any backbone
+  (``ModelSpec`` kwarg ``backbone="GRU4Rec"``) and with any
+  :class:`~repro.core.ssdrec.SSDRecConfig` field override.
+
+Because a :class:`ModelSpec` is canonical (kwargs sorted, defaults
+stripped) and JSON-serializable, it doubles as the model half of a
+:class:`repro.runs.RunSpec` content hash — two call sites asking for the
+same model produce byte-identical spec hashes and therefore share one
+cached training run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from .core import SSDRec, SSDRecConfig
+from .denoise import DENOISERS
+from .models import BACKBONES, EXTENSION_BACKBONES, SASRec
+
+SSDREC_NAME = "SSDRec"
+
+#: SSDRecConfig fields whose experiment defaults are *computed* from the
+#: scale (see :func:`ssdrec_default_config`); explicit kwargs for these
+#: are always significant and never stripped during canonicalization.
+_SSDREC_COMPUTED_FIELDS = {"dim", "max_len", "augment_threshold",
+                           "target_drop_rate"}
+
+
+def model_classes() -> Dict[str, Type]:
+    """Flat ``name -> class`` map of every single-class model."""
+    classes: Dict[str, Type] = dict(BACKBONES)
+    classes.update(EXTENSION_BACKBONES)
+    classes.update(DENOISERS)
+    return classes
+
+
+def available_models() -> Tuple[str, ...]:
+    """Every name :func:`build` accepts (backbones, denoisers, SSDRec)."""
+    return tuple(sorted(list(model_classes()) + [SSDREC_NAME]))
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Declarative, hashable description of one model.
+
+    ``kwargs`` is a canonical (sorted) tuple of ``(name, value)`` pairs;
+    build it through :func:`model_spec` rather than by hand so that
+    equivalent requests compare and hash equal.
+    """
+
+    name: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def kwargs_dict(self) -> Dict[str, object]:
+        return dict(self.kwargs)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kwargs": self.kwargs_dict()}
+
+    def content_hash(self) -> str:
+        """Stable cross-process digest of the spec's JSON form."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        if not self.kwargs:
+            return self.name
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"{self.name}({inner})"
+
+
+def model_spec(name: str, **kwargs) -> ModelSpec:
+    """Canonical :class:`ModelSpec` factory (the spelling to use).
+
+    Validates the model name and kwarg values (must be JSON scalars so
+    the spec can be content-hashed), sorts kwargs, and strips those that
+    restate a default — ``backbone="SASRec"`` and any SSDRecConfig field
+    set to its dataclass default — so equivalent specs hash identically
+    and share cached runs.
+    """
+    if name != SSDREC_NAME and name not in model_classes():
+        raise KeyError(f"unknown model {name!r}; "
+                       f"options: {', '.join(available_models())}")
+    for key, value in kwargs.items():
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            raise TypeError(
+                f"ModelSpec kwarg {key}={value!r} is not a JSON scalar; "
+                f"specs must stay declarative and content-hashable")
+    if name == SSDREC_NAME:
+        config_defaults = {f.name: f.default for f in fields(SSDRecConfig)}
+        if kwargs.get("backbone") == "SASRec":
+            del kwargs["backbone"]
+        kwargs = {
+            key: value for key, value in kwargs.items()
+            if key in _SSDREC_COMPUTED_FIELDS
+            or key not in config_defaults
+            or value != config_defaults[key]}
+        unknown = set(kwargs) - set(config_defaults) - {"backbone"}
+        if unknown:
+            raise KeyError(f"unknown SSDRec spec kwargs {sorted(unknown)}; "
+                           f"valid: backbone + SSDRecConfig fields")
+        backbone = kwargs.get("backbone")
+        if backbone is not None and backbone not in BACKBONES \
+                and backbone not in EXTENSION_BACKBONES:
+            raise KeyError(f"unknown SSDRec backbone {backbone!r}; "
+                           f"options: {sorted(BACKBONES)}")
+    return ModelSpec(name=name, kwargs=tuple(sorted(kwargs.items())))
+
+
+def spec_from_dict(payload: Dict[str, object]) -> ModelSpec:
+    """Inverse of :meth:`ModelSpec.as_dict` (used by the run store)."""
+    return model_spec(payload["name"], **payload.get("kwargs", {}))
+
+
+def ssdrec_default_config(scale, max_len: int, **overrides) -> SSDRecConfig:
+    """Experiment-default SSDRec configuration.
+
+    Follows the paper's guidance: self-augmentation targets *short*
+    sequences (threshold ~2/3 of the cap) and the drop-rate prior sits at
+    the low end of the reported 23-39% dropped-interaction range.
+    """
+    defaults = dict(
+        dim=scale.dim,
+        max_len=max_len,
+        augment_threshold=max(6, int(round(max_len * 0.65))),
+        target_drop_rate=0.2,
+    )
+    defaults.update(overrides)
+    return SSDRecConfig(**defaults)
+
+
+def build(spec: Union[ModelSpec, str], prepared, scale,
+          rng: Union[np.random.Generator, int, None] = None):
+    """Instantiate the model a spec describes, with fresh random weights.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`ModelSpec` (or bare model name for the no-kwargs case).
+    prepared:
+        A :class:`~repro.experiments.common.PreparedDataset` (or anything
+        exposing ``dataset`` and ``max_len``): supplies the item/user
+        universe, DCRec's co-occurrence source, and SSDRec's graph.
+    scale:
+        A :class:`~repro.experiments.config.Scale` (or anything exposing
+        ``dim``) supplying defaults the spec does not override.
+    rng:
+        A ``numpy.random.Generator``, an integer seed, or None (falls
+        back to the process-wide seeded generator).
+    """
+    from .nn.rng import resolve_rng
+
+    if isinstance(spec, str):
+        spec = model_spec(spec)
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng)
+    rng = resolve_rng(rng)
+    kwargs = spec.kwargs_dict()
+    if spec.name == SSDREC_NAME:
+        backbone_name = kwargs.pop("backbone", None)
+        classes = dict(BACKBONES)
+        classes.update(EXTENSION_BACKBONES)
+        backbone_cls = classes[backbone_name] if backbone_name else SASRec
+        max_len = kwargs.pop("max_len", prepared.max_len)
+        config = ssdrec_default_config(scale, max_len, **kwargs)
+        return SSDRec(prepared.dataset, backbone_cls=backbone_cls,
+                      config=config, rng=rng)
+    cls = model_classes()[spec.name]
+    base = dict(num_items=prepared.dataset.num_items, dim=scale.dim,
+                max_len=prepared.max_len, rng=rng)
+    if spec.name == "DCRec":
+        base["dataset"] = prepared.dataset
+    base.update(kwargs)
+    return cls(**base)
+
+
+__all__ = ["ModelSpec", "model_spec", "spec_from_dict", "build",
+           "model_classes", "available_models", "ssdrec_default_config",
+           "SSDREC_NAME"]

@@ -1,0 +1,425 @@
+"""Content-addressed store of trained runs: train once, reuse everywhere.
+
+The experiment layer re-trains the same (dataset, model, seed)
+combinations constantly — Table III, Table VI, the significance study and
+Fig. 5 all train their own SASRec/SSDRec/HSD from scratch.  This module
+gives every layer above the trainer one shared cache:
+
+* :class:`RunSpec` — a declarative description of a complete training
+  run: dataset profile, named experiment scale, :class:`ModelSpec`,
+  train-config overrides, seed(s), and optional dataset noise knobs.
+  Its canonical JSON form content-hashes to a stable hex digest.
+* :class:`RunStore` — a directory of ``<hash>/`` entries under
+  ``benchmarks/runs/`` (override with ``REPRO_RUNS_DIR``), each holding
+  the trained checkpoint (``model.npz``, the standard
+  :mod:`repro.train.checkpoint` format), the test rank vector
+  (``ranks.npy``), and train/valid/test metrics (``metrics.json``).
+  :meth:`RunStore.run` returns the cached outcome on hit and trains +
+  persists on miss; :meth:`RunStore.load_model` restores the trained
+  model itself for consumers that need more than metrics (case-study
+  traces, serving benchmarks, efficiency timings).
+
+Entry layout and invalidation rules are documented in ``docs/runs.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .registry import ModelSpec, build, model_spec
+from .train import TrainConfig, TrainResult, Trainer
+from .train.checkpoint import load_checkpoint, save_checkpoint
+
+#: Bump to invalidate every existing cache entry on a layout change.
+RUN_FORMAT_VERSION = 1
+
+#: Default store root, relative to the working directory.
+DEFAULT_RUNS_DIR = Path("benchmarks") / "runs"
+
+#: Environment variable overriding the default store root.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: TrainConfig fields a RunSpec may override.  Presentation-only fields
+#: (verbose/profile/sanitize) are deliberately absent: they do not change
+#: the trained weights, so they must not change the content hash.
+TRAIN_FIELDS = ("epochs", "batch_size", "learning_rate", "weight_decay",
+                "patience", "grad_clip", "eval_metric")
+
+_METRICS_FILE = "metrics.json"   # written last: the commit marker
+_RANKS_FILE = "ranks.npy"
+_CHECKPOINT_FILE = "model.npz"
+_SPEC_FILE = "spec.json"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one training run, hashably.
+
+    ``seed`` seeds model initialisation and the training loop;
+    ``data_seed`` (defaulting to ``seed``) seeds dataset generation, so
+    multi-seed protocols that train several models on *one* split (the
+    significance study) can pin the data while varying the model.
+    ``noise_rate`` overrides the generator's intrinsic noise;
+    ``noise_inject`` post-corrupts the clean dataset with
+    :func:`repro.data.inject_noise` (the Fig. 1 protocol).
+    """
+
+    profile: str
+    scale: str
+    model: ModelSpec
+    train: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 0
+    data_seed: Optional[int] = None
+    noise_rate: Optional[float] = None
+    noise_inject: Optional[float] = None
+    dataset_scale: Optional[float] = None
+    max_len: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def resolved_data_seed(self) -> int:
+        return self.seed if self.data_seed is None else self.data_seed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": RUN_FORMAT_VERSION,
+            "profile": self.profile,
+            "scale": self.scale,
+            "model": self.model.as_dict(),
+            "train": dict(self.train),
+            "seed": self.seed,
+            "data_seed": self.resolved_data_seed(),
+            "noise_rate": self.noise_rate,
+            "noise_inject": self.noise_inject,
+            "dataset_scale": self.dataset_scale,
+            "max_len": self.max_len,
+        }
+
+    def content_hash(self) -> str:
+        """Stable cross-process digest of the canonical JSON form."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        extras = []
+        if self.noise_inject is not None:
+            extras.append(f"+noise {self.noise_inject:g}")
+        if self.data_seed is not None and self.data_seed != self.seed:
+            extras.append(f"data_seed={self.data_seed}")
+        suffix = (" " + " ".join(extras)) if extras else ""
+        return (f"{self.model.describe()} on {self.profile}"
+                f"@{self.scale} seed={self.seed}{suffix}")
+
+    # ------------------------------------------------------------------
+    def resolve_scale(self):
+        from .experiments.config import SCALES
+        try:
+            return SCALES[self.scale]
+        except KeyError:
+            raise KeyError(f"RunSpec scale {self.scale!r} is not a named "
+                           f"experiment scale; options: {sorted(SCALES)}")
+
+    def train_config(self, **extras) -> TrainConfig:
+        """Scale-default :class:`TrainConfig` with this spec's overrides.
+
+        ``extras`` (verbose/profile/sanitize) are applied last and are
+        *not* part of the content hash — they change reporting, never the
+        trained weights.
+        """
+        scale = self.resolve_scale()
+        config = TrainConfig(epochs=scale.epochs,
+                             batch_size=scale.batch_size,
+                             patience=scale.patience, seed=self.seed)
+        overrides = dict(self.train)
+        overrides.update(extras)
+        return replace(config, **overrides)
+
+
+def run_spec(profile: str, scale: Union[str, object], model: ModelSpec,
+             train: Optional[Dict[str, object]] = None, seed: int = 0,
+             data_seed: Optional[int] = None,
+             noise_rate: Optional[float] = None,
+             noise_inject: Optional[float] = None,
+             dataset_scale: Optional[float] = None,
+             max_len: Optional[int] = None) -> RunSpec:
+    """Canonical :class:`RunSpec` factory (validates + sorts overrides)."""
+    if not isinstance(scale, str):
+        scale = scale.name
+    train = dict(train or {})
+    unknown = set(train) - set(TRAIN_FIELDS)
+    if unknown:
+        raise KeyError(f"unknown train-config overrides {sorted(unknown)}; "
+                       f"valid: {TRAIN_FIELDS}")
+    if data_seed is not None and data_seed == seed:
+        data_seed = None  # canonical form: only keep a *diverging* data seed
+    return RunSpec(profile=profile, scale=scale, model=model,
+                   train=tuple(sorted(train.items())), seed=seed,
+                   data_seed=data_seed, noise_rate=noise_rate,
+                   noise_inject=noise_inject, dataset_scale=dataset_scale,
+                   max_len=max_len)
+
+
+@dataclass
+class RunOutcome:
+    """What a completed (or cache-restored) run yields."""
+
+    spec: RunSpec
+    cached: bool
+    test_metrics: Dict[str, float]
+    valid_metrics: Dict[str, float]
+    test_ranks: np.ndarray
+    result: TrainResult
+    checkpoint: Path
+    num_parameters: int = 0
+
+
+class RunStore:
+    """Disk cache of trained runs, keyed by :meth:`RunSpec.content_hash`.
+
+    One store instance also memoizes prepared datasets per (profile,
+    scale, data_seed, noise...) key, so every runner sharing the store in
+    a process reuses the same split and padded evaluator batches.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            root = os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._prepared: Dict[tuple, object] = {}
+        self._noisy: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def entry_dir(self, spec: RunSpec) -> Path:
+        return self.root / spec.content_hash()
+
+    # ------------------------------------------------------------------
+    # dataset preparation (shared across runs and runners)
+    def _dataset_key(self, spec: RunSpec) -> tuple:
+        return (spec.profile, spec.scale, spec.resolved_data_seed(),
+                spec.noise_rate, spec.noise_inject, spec.dataset_scale,
+                spec.max_len)
+
+    def prepared(self, spec: RunSpec):
+        """The :class:`PreparedDataset` this spec trains/evaluates on."""
+        key = self._dataset_key(spec)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = self._prepare(spec)
+            self._prepared[key] = prepared
+        return prepared
+
+    def noisy_dataset(self, spec: RunSpec):
+        """The :class:`~repro.data.noise.NoisyDataset` behind a
+        ``noise_inject`` spec (noise bookkeeping for OUP scoring)."""
+        if spec.noise_inject is None:
+            raise ValueError("spec has no injected noise "
+                             "(noise_inject is None)")
+        self.prepared(spec)  # populates the noisy cache
+        return self._noisy[self._dataset_key(spec)]
+
+    def _prepare(self, spec: RunSpec):
+        from .data import inject_noise, leave_one_out_split
+        from .data.synthetic import generate
+        from .experiments.common import PreparedDataset, prepare
+        from .experiments.config import max_len_for
+
+        scale = spec.resolve_scale()
+        dataset_scale = (scale.dataset_scale if spec.dataset_scale is None
+                         else spec.dataset_scale)
+        max_len = (max_len_for(spec.profile, scale) if spec.max_len is None
+                   else spec.max_len)
+        data_seed = spec.resolved_data_seed()
+        if spec.noise_inject is None:
+            if (spec.dataset_scale is None and spec.max_len is None
+                    and spec.noise_rate is None):
+                return prepare(spec.profile, scale, seed=data_seed)
+            dataset = generate(spec.profile, seed=data_seed,
+                               scale=dataset_scale,
+                               noise_rate=spec.noise_rate)
+            split = leave_one_out_split(
+                dataset, max_len=max_len,
+                augment_prefixes=scale.augment_prefixes)
+            return PreparedDataset(spec.profile, dataset, split, max_len)
+        clean = generate(spec.profile, seed=data_seed, scale=dataset_scale,
+                         noise_rate=spec.noise_rate)
+        noisy = inject_noise(clean, ratio=spec.noise_inject, seed=data_seed)
+        split = leave_one_out_split(noisy.dataset, max_len=max_len,
+                                    augment_prefixes=scale.augment_prefixes)
+        self._noisy[self._dataset_key(spec)] = noisy
+        return PreparedDataset(spec.profile, noisy.dataset, split, max_len)
+
+    # ------------------------------------------------------------------
+    # the cache itself
+    def run(self, spec: RunSpec, force: bool = False,
+            **train_extras) -> RunOutcome:
+        """Cached outcome on hit; train, persist, and return on miss.
+
+        ``train_extras`` (verbose/profile/sanitize) are forwarded to the
+        :class:`TrainConfig` on a fresh run only — they never affect the
+        hash, so requesting them on a cached entry requires ``force``.
+        """
+        entry = self.entry_dir(spec)
+        if not force:
+            outcome = self._load_entry(spec, entry)
+            if outcome is not None:
+                self.hits += 1
+                return outcome
+        self.misses += 1
+        return self._train_and_persist(spec, entry, train_extras)
+
+    def load_model(self, spec: RunSpec, **train_extras):
+        """The trained model behind a spec (training it on cache miss).
+
+        A checkpoint that fails to restore (corrupted or from a stale
+        architecture) invalidates the entry and triggers a retrain.
+        """
+        self.run(spec, **train_extras)  # ensure the entry exists
+        prepared = self.prepared(spec)
+        scale = spec.resolve_scale()
+        model = build(spec.model, prepared, scale, rng=spec.seed)
+        try:
+            load_checkpoint(model, self.entry_dir(spec) / _CHECKPOINT_FILE)
+        except Exception:
+            self.invalidate(spec)
+            self.run(spec, **train_extras)
+            model = build(spec.model, prepared, scale, rng=spec.seed)
+            load_checkpoint(model, self.entry_dir(spec) / _CHECKPOINT_FILE)
+        return model
+
+    def invalidate(self, spec: RunSpec) -> None:
+        shutil.rmtree(self.entry_dir(spec), ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def _load_entry(self, spec: RunSpec,
+                    entry: Path) -> Optional[RunOutcome]:
+        metrics_path = entry / _METRICS_FILE
+        try:
+            payload = json.loads(metrics_path.read_text())
+            stored_spec = json.loads((entry / _SPEC_FILE).read_text())
+            ranks = np.load(entry / _RANKS_FILE)
+            if not (entry / _CHECKPOINT_FILE).exists():
+                raise FileNotFoundError(_CHECKPOINT_FILE)
+            if stored_spec != spec.as_dict():
+                raise ValueError("spec mismatch (hash collision or "
+                                 "corrupted entry)")
+            result = TrainResult(
+                best_metric=payload["best_metric"],
+                best_epoch=payload["best_epoch"],
+                epochs_run=payload["epochs_run"],
+                history=payload["history"],
+                train_seconds_per_epoch=payload["train_seconds_per_epoch"],
+                stopped_early=payload["stopped_early"],
+            )
+            return RunOutcome(
+                spec=spec, cached=True,
+                test_metrics=payload["test"],
+                valid_metrics=payload["valid"],
+                test_ranks=ranks,
+                result=result,
+                checkpoint=entry / _CHECKPOINT_FILE,
+                num_parameters=payload.get("num_parameters", 0),
+            )
+        except Exception:
+            # Partial or corrupted entry: treat as a miss (and clear it so
+            # the retrain starts from an empty directory).
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
+            return None
+
+    def _train_and_persist(self, spec: RunSpec, entry: Path,
+                           train_extras: Dict[str, object]) -> RunOutcome:
+        prepared = self.prepared(spec)
+        scale = spec.resolve_scale()
+        config = spec.train_config(**train_extras)
+        model = build(spec.model, prepared, scale, rng=spec.seed)
+        valid_evaluator = prepared.evaluator("valid", config.batch_size)
+        result = Trainer(model, prepared.split, config,
+                         evaluator=valid_evaluator).fit()
+        test_evaluator = prepared.evaluator("test", config.batch_size)
+        test_ranks = test_evaluator.ranks(model)
+        from .eval.metrics import metric_report
+        test_metrics = metric_report(test_ranks, test_evaluator.ks)
+        if result.history:
+            valid_metrics = {k: v for k, v in
+                             result.history[result.best_epoch].items()
+                             if k not in ("loss", "lr")}
+        else:
+            valid_metrics = {}
+
+        shutil.rmtree(entry, ignore_errors=True)
+        entry.mkdir(parents=True, exist_ok=True)
+        (entry / _SPEC_FILE).write_text(
+            json.dumps(spec.as_dict(), sort_keys=True, indent=1))
+        save_checkpoint(model, entry / _CHECKPOINT_FILE,
+                        metadata={"run": spec.as_dict(),
+                                  "best_epoch": result.best_epoch})
+        np.save(entry / _RANKS_FILE, test_ranks)
+        payload = {
+            "test": test_metrics,
+            "valid": valid_metrics,
+            "history": result.history,
+            "best_metric": result.best_metric,
+            "best_epoch": result.best_epoch,
+            "epochs_run": result.epochs_run,
+            "train_seconds_per_epoch": result.train_seconds_per_epoch,
+            "stopped_early": result.stopped_early,
+            "num_parameters": model.num_parameters(),
+        }
+        # metrics.json is written last: its presence commits the entry.
+        # Round-tripping the payload through JSON here makes the fresh
+        # outcome bitwise-identical to every later cache hit.
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        (entry / _METRICS_FILE).write_text(text)
+        payload = json.loads(text)
+        return RunOutcome(
+            spec=spec, cached=False,
+            test_metrics=payload["test"],
+            valid_metrics=payload["valid"],
+            test_ranks=test_ranks,
+            result=result,
+            checkpoint=entry / _CHECKPOINT_FILE,
+            num_parameters=payload["num_parameters"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared default store
+# ----------------------------------------------------------------------
+_default_stores: Dict[Path, RunStore] = {}
+
+
+def default_store() -> RunStore:
+    """The process-wide store for the current ``REPRO_RUNS_DIR`` root.
+
+    Memoized per resolved root so every runner in a process shares one
+    instance (and its prepared-dataset cache), while tests that point
+    ``REPRO_RUNS_DIR`` elsewhere get an isolated store.
+    """
+    root = Path(os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR)
+    store = _default_stores.get(root)
+    if store is None:
+        store = RunStore(root)
+        _default_stores[root] = store
+    return store
+
+
+__all__ = ["RunSpec", "RunOutcome", "RunStore", "run_spec", "model_spec",
+           "default_store", "TRAIN_FIELDS", "RUN_FORMAT_VERSION",
+           "DEFAULT_RUNS_DIR", "RUNS_DIR_ENV"]

@@ -21,8 +21,12 @@ Measures, per (model, dataset profile):
 * ``throughput_users_per_s`` — micro-batched throughput of
   ``recommend_many`` over the same requests.
 
-Untrained (randomly initialised) weights are used: wall-clock cost is
-what matters here, and it does not depend on the parameter values.
+Untrained (randomly initialised) weights are used by default: wall-clock
+cost is what matters here, and it does not depend on the parameter
+values.  Pass ``trained=True`` to restore trained weights from the
+shared :class:`~repro.runs.RunStore` instead (training on first use) —
+useful when the recommendation *outputs* of the benchmarked service are
+inspected too.
 
 This module is exempt from the ``serve-graph-free`` lint rule — it
 deliberately exercises the Tensor path as the baseline.
@@ -35,32 +39,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core import SSDRec
 from ..eval import Evaluator
-from ..experiments.common import prepare, ssdrec_config
+from ..experiments.common import prepare
 from ..experiments.config import Scale, default_scale
-from ..models import BACKBONES
+from ..registry import build, model_spec
 from .plan import freeze
 from .service import RecommendService
 
 DEFAULT_MODELS = ("SASRec", "SSDRec")
 DEFAULT_PROFILES = ("ml-100k", "beauty")
-
-
-def build_model(name: str, prepared, scale: Scale, seed: int = 0):
-    """Instantiate one benchmark model with fresh random weights."""
-    rng = np.random.default_rng(seed)
-    if name == "SSDRec":
-        return SSDRec(prepared.dataset,
-                      config=ssdrec_config(scale, prepared.max_len),
-                      rng=rng)
-    try:
-        cls = BACKBONES[name]
-    except KeyError:
-        raise KeyError(f"unknown serve-bench model {name!r}; "
-                       f"options: SSDRec, {sorted(BACKBONES)}")
-    return cls(num_items=prepared.dataset.num_items, dim=scale.dim,
-               max_len=prepared.max_len, rng=rng)
 
 
 def _best(fn, rounds: int) -> float:
@@ -152,15 +139,26 @@ def bench_model(model, prepared, scale: Scale, rounds: int = 3,
 def run_serve_bench(models: Sequence[str] = DEFAULT_MODELS,
                     profiles: Sequence[str] = DEFAULT_PROFILES,
                     scale: Optional[Scale] = None, seed: int = 0,
-                    rounds: int = 3, requests: int = 128,
-                    k: int = 10) -> Dict[str, dict]:
-    """Full benchmark grid; returns ``{model: {profile: metrics}}``."""
+                    rounds: int = 3, requests: int = 128, k: int = 10,
+                    trained: bool = False) -> Dict[str, dict]:
+    """Full benchmark grid; returns ``{model: {profile: metrics}}``.
+
+    ``trained=True`` restores each model from the run store (training it
+    on a cache miss) instead of benchmarking random weights.
+    """
     scale = scale or default_scale()
     results: Dict[str, dict] = {}
     for profile in profiles:
         prepared = prepare(profile, scale, seed=seed)
         for name in models:
-            model = build_model(name, prepared, scale, seed=seed)
+            if trained:
+                from ..runs import default_store, run_spec
+                store = default_store()
+                spec = run_spec(profile, scale, model_spec(name), seed=seed)
+                model = store.load_model(spec)
+                prepared = store.prepared(spec)
+            else:
+                model = build(model_spec(name), prepared, scale, rng=seed)
             results.setdefault(name, {})[profile] = bench_model(
                 model, prepared, scale, rounds=rounds, requests=requests,
                 k=k)

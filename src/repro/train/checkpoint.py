@@ -1,8 +1,11 @@
 """Model checkpointing: save/restore parameters (and optimizer state).
 
 Checkpoints are plain ``.npz`` archives — no pickling, no code execution
-on load — holding every named parameter plus optional Adam moments, so
-training can resume exactly where it stopped.
+on load — holding every named parameter plus optional optimizer state
+(Adam moments or SGD momentum velocity), so training can resume exactly
+where it stopped.  Loading is all-or-nothing: names, shapes, and
+optimizer type are validated before anything is written into the model,
+so a failed load never leaves a half-restored architecture behind.
 """
 
 from __future__ import annotations
@@ -13,18 +16,36 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..nn import Adam
+from ..nn import Adam, SGD
 from ..nn.module import Module
 
 _META_KEY = "__checkpoint_meta__"
 _FORMAT_VERSION = 1
 
 
-def save_checkpoint(model: Module, path: str | Path,
-                    optimizer: Optional[Adam] = None,
-                    metadata: Optional[Dict[str, object]] = None) -> Path:
-    """Write ``model`` (and optionally Adam state) to ``path`` (.npz).
+def _optimizer_state(optimizer) -> Dict[str, np.ndarray]:
+    """Flatten one supported optimizer's state into npz-ready arrays."""
+    if isinstance(optimizer, Adam):
+        arrays = {"optim/t": np.array([optimizer._t])}
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"optim/m/{i}"] = m
+            arrays[f"optim/v/{i}"] = v
+        return arrays
+    if isinstance(optimizer, SGD):
+        return {f"optim/velocity/{i}": v
+                for i, v in enumerate(optimizer._velocity)}
+    raise TypeError(
+        f"cannot checkpoint optimizer type {type(optimizer).__name__}; "
+        f"supported: Adam, SGD")
 
+
+def save_checkpoint(model: Module, path: str | Path,
+                    optimizer: Optional[object] = None,
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write ``model`` (and optionally optimizer state) to ``path`` (.npz).
+
+    ``optimizer`` may be an :class:`~repro.nn.Adam` or
+    :class:`~repro.nn.SGD` instance; other types raise ``TypeError``.
     ``metadata`` must be JSON-serializable; it is stored alongside the
     arrays and returned by :func:`load_checkpoint`.
     """
@@ -32,14 +53,13 @@ def save_checkpoint(model: Module, path: str | Path,
     arrays: Dict[str, np.ndarray] = {
         f"param/{name}": p.data for name, p in model.named_parameters()}
     if optimizer is not None:
-        arrays["optim/t"] = np.array([optimizer._t])
-        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
-            arrays[f"optim/m/{i}"] = m
-            arrays[f"optim/v/{i}"] = v
+        arrays.update(_optimizer_state(optimizer))
     meta = {
         "format_version": _FORMAT_VERSION,
         "num_parameters": model.num_parameters(),
         "has_optimizer": optimizer is not None,
+        "optimizer_type": (type(optimizer).__name__
+                           if optimizer is not None else None),
         "user": metadata or {},
     }
     arrays[_META_KEY] = np.frombuffer(
@@ -49,13 +69,50 @@ def save_checkpoint(model: Module, path: str | Path,
     return path
 
 
-def load_checkpoint(model: Module, path: str | Path,
-                    optimizer: Optional[Adam] = None) -> Dict[str, object]:
-    """Restore ``model`` (and Adam state) from a checkpoint.
+def _restore_optimizer(optimizer, meta: Dict[str, object], archive) -> None:
+    """Validate then copy optimizer state; raises before any mutation."""
+    if not meta["has_optimizer"]:
+        raise KeyError("checkpoint holds no optimizer state")
+    # Checkpoints from before optimizer-type tagging only ever held Adam.
+    saved_type = meta.get("optimizer_type") or "Adam"
+    if type(optimizer).__name__ != saved_type:
+        raise TypeError(
+            f"checkpoint holds {saved_type} state but a "
+            f"{type(optimizer).__name__} optimizer was given")
+    if isinstance(optimizer, Adam):
+        slots = {"optim/m": optimizer._m, "optim/v": optimizer._v}
+    elif isinstance(optimizer, SGD):
+        slots = {"optim/velocity": optimizer._velocity}
+    else:
+        raise TypeError(
+            f"cannot restore optimizer type {type(optimizer).__name__}; "
+            f"supported: Adam, SGD")
+    for prefix, buffers in slots.items():
+        for i, buffer in enumerate(buffers):
+            key = f"{prefix}/{i}"
+            if key not in archive.files:
+                raise KeyError(f"checkpoint is missing {key} "
+                               f"(saved with fewer parameters?)")
+            if archive[key].shape != buffer.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"{buffer.shape} vs {archive[key].shape}")
+    for prefix, buffers in slots.items():
+        for i, buffer in enumerate(buffers):
+            buffer[...] = archive[f"{prefix}/{i}"]
+    if isinstance(optimizer, Adam):
+        optimizer._t = int(archive["optim/t"][0])
 
-    Returns the user metadata stored at save time.  Raises ``KeyError`` on
-    parameter-name mismatches and ``ValueError`` on shape mismatches, so a
-    checkpoint can never be silently loaded into the wrong architecture.
+
+def load_checkpoint(model: Module, path: str | Path,
+                    optimizer: Optional[object] = None) -> Dict[str, object]:
+    """Restore ``model`` (and optimizer state) from a checkpoint.
+
+    Returns the user metadata stored at save time.  Raises ``KeyError``
+    on parameter-name mismatches, ``ValueError`` on shape mismatches, and
+    ``TypeError`` on optimizer-type mismatches — all *before* mutating
+    the model or optimizer, so a checkpoint can never be partially loaded
+    into the wrong architecture.
     """
     path = Path(path)
     with np.load(path) as archive:
@@ -67,10 +124,5 @@ def load_checkpoint(model: Module, path: str | Path,
                  for key in archive.files if key.startswith("param/")}
         model.load_state_dict(state)
         if optimizer is not None:
-            if not meta["has_optimizer"]:
-                raise KeyError("checkpoint holds no optimizer state")
-            optimizer._t = int(archive["optim/t"][0])
-            for i in range(len(optimizer.params)):
-                optimizer._m[i][...] = archive[f"optim/m/{i}"]
-                optimizer._v[i][...] = archive[f"optim/v/{i}"]
+            _restore_optimizer(optimizer, meta, archive)
     return meta["user"]

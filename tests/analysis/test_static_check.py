@@ -37,7 +37,8 @@ class TestLiveTree:
     def test_all_rules_registered(self):
         assert set(RULES) == {"unseeded-rng", "fused-oracle",
                               "eval-no-grad", "bare-parameter",
-                              "serve-graph-free"}
+                              "serve-graph-free",
+                              "experiments-via-registry"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -215,6 +216,42 @@ class TestServeGraphFreeRule:
                 return Tensor(x)
         """})
         assert run_lint(root, rules=["serve-graph-free"]) == []
+
+
+class TestExperimentsViaRegistryRule:
+    def test_flags_direct_and_subscript_construction(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"experiments/bad.py": """
+            from ..core import SSDRec
+            from ..models import BACKBONES
+
+            def run(prepared, scale):
+                wrapped = SSDRec(prepared.dataset)
+                plain = BACKBONES["SASRec"](num_items=10, dim=4, max_len=8)
+                return wrapped, plain
+        """})
+        violations = run_lint(root, rules=["experiments-via-registry"])
+        assert [v.line for v in violations] == [6, 7]
+        assert "registry.build" in violations[0].message
+
+    def test_clean_when_using_registry(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"experiments/good.py": """
+            from ..registry import build, model_spec
+
+            def run(prepared, scale):
+                return build(model_spec("SSDRec"), prepared, scale, rng=0)
+        """})
+        assert run_lint(root, rules=["experiments-via-registry"]) == []
+
+    def test_other_packages_untouched(self, tmp_path):
+        # Direct construction outside experiments/ (e.g. the registry
+        # itself, tests, serve) is exactly where classes SHOULD be called.
+        root = write_tree(tmp_path / "repro", {"registry.py": """
+            from .core import SSDRec
+
+            def build(spec, prepared, scale, rng=None):
+                return SSDRec(prepared.dataset, rng=rng)
+        """})
+        assert run_lint(root, rules=["experiments-via-registry"]) == []
 
 
 class TestStaticCheckScript:

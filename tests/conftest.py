@@ -1,0 +1,25 @@
+"""Shared test fixtures.
+
+The run store defaults to ``benchmarks/runs/`` in the working directory;
+tests must never read or pollute that real cache, so the whole session is
+pointed at a throwaway root.  Sharing one root across the session is
+deliberate — experiment-runner tests then reuse each other's cached
+training runs exactly like a real ``full_run`` invocation does.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_run_store(tmp_path_factory):
+    """Point REPRO_RUNS_DIR at a session-scoped temporary directory."""
+    root = tmp_path_factory.mktemp("runstore")
+    previous = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = previous

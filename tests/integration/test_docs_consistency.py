@@ -37,12 +37,13 @@ class TestCliMatchesExperiments:
             assert callable(module.render), name
 
     def test_cli_models_cover_backbones_and_denoisers(self):
-        from repro.cli import MODELS
         from repro.denoise import DENOISERS
         from repro.models import BACKBONES
-        assert set(BACKBONES) <= set(MODELS)
-        assert set(DENOISERS) <= set(MODELS)
-        assert "SSDRec" in MODELS
+        from repro.registry import available_models
+        models = set(available_models())
+        assert set(BACKBONES) <= models
+        assert set(DENOISERS) <= models
+        assert "SSDRec" in models
 
 
 class TestDesignDocInventory:

@@ -41,9 +41,7 @@ class TestTable2:
 
 class TestTable3:
     def test_single_cell(self):
-        from repro.experiments.common import prepare
-        prepared = prepare("beauty", SMOKE)
-        res = table3_backbones.run_one("GRU4Rec", prepared, SMOKE)
+        res = table3_backbones.run_one("GRU4Rec", "beauty", SMOKE)
         assert {"without", "with", "improvement"} <= set(res)
         assert np.isfinite(res["improvement"])
 
@@ -67,10 +65,11 @@ class TestTable4:
 
     def test_build_every_method(self):
         from repro.experiments.common import prepare
-        from repro.experiments.table4_denoisers import ALL_METHODS, build_method
+        from repro.experiments.table4_denoisers import ALL_METHODS
+        from repro.registry import build, model_spec
         prepared = prepare("beauty", SMOKE)
         for name in ALL_METHODS:
-            model = build_method(name, prepared, SMOKE)
+            model = build(model_spec(name), prepared, SMOKE, rng=0)
             assert hasattr(model, "loss") and hasattr(model, "forward")
 
 
@@ -86,10 +85,14 @@ class TestTable5:
     def test_extension_variants_construct(self):
         from repro.experiments.common import prepare
         from repro.experiments.table5_ablation import _extension_variants
+        from repro.registry import build
         prepared = prepare("beauty", SMOKE)
-        variants = _extension_variants(prepared, SMOKE, seed=0)
+        variants = _extension_variants()
         assert len(variants) == 6
         assert any("f_den" in name for name in variants)
+        for spec in variants.values():
+            model = build(spec, prepared, SMOKE, rng=0)
+            assert hasattr(model, "loss")
 
 
 class TestTable6:

@@ -15,6 +15,23 @@ class TestFullRun:
         report = (tmp_path / "EXPERIMENTS.md").read_text()
         assert "Table II" in report
 
+    def test_second_invocation_fully_cached(self, tmp_path, capsys):
+        # full_run --only table3 twice: the second pass must train
+        # nothing — every run comes back from the store.
+        from repro.runs import default_store
+        for _ in range(2):
+            run_all(scale_name="smoke", only=["table3"],
+                    results_dir=tmp_path / "results", report_path=None)
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines()
+                 if line.startswith("[table3]")]
+        assert len(lines) == 2
+        assert "run store: 0 trained" in lines[1]
+        store = default_store()
+        assert store.stats()["misses"] == 0
+        assert store.stats()["hits"] > 0
+        assert (tmp_path / "results" / "table3_backbones.txt").exists()
+
     def test_unknown_experiment_rejected(self, tmp_path):
         with pytest.raises(KeyError):
             run_all(scale_name="smoke", only=["bogus"],

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.models import GRU4Rec, SASRec
-from repro.nn import Adam
+from repro.nn import SGD, Adam
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 
 
@@ -41,6 +41,36 @@ class TestCheckpoint:
         assert opt2._t == opt._t
         np.testing.assert_array_equal(opt2._m[0], opt._m[0])
 
+    def test_sgd_state_roundtrip(self, tmp_path):
+        model = make_model()
+        opt = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        for _ in range(3):
+            opt.zero_grad()
+            (model.item_embedding.weight * 2.0).sum().backward()
+            opt.step()
+        path = save_checkpoint(model, tmp_path / "c.npz", optimizer=opt)
+        model2 = make_model(seed=1)
+        opt2 = SGD(model2.parameters(), lr=0.01, momentum=0.9)
+        load_checkpoint(model2, path, optimizer=opt2)
+        for mine, theirs in zip(opt2._velocity, opt._velocity):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_optimizer_type_mismatch_rejected(self, tmp_path):
+        model = make_model()
+        sgd = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        path = save_checkpoint(model, tmp_path / "c.npz", optimizer=sgd)
+        adam = Adam(make_model().parameters())
+        with pytest.raises(TypeError, match="SGD state"):
+            load_checkpoint(make_model(), path, optimizer=adam)
+
+    def test_unknown_optimizer_type_rejected(self, tmp_path):
+        class Lion:
+            pass
+
+        model = make_model()
+        with pytest.raises(TypeError, match="supported: Adam, SGD"):
+            save_checkpoint(model, tmp_path / "c.npz", optimizer=Lion())
+
     def test_wrong_architecture_rejected(self, tmp_path):
         model = make_model()
         path = save_checkpoint(model, tmp_path / "c.npz")
@@ -48,6 +78,20 @@ class TestCheckpoint:
                        rng=np.random.default_rng(0))
         with pytest.raises(KeyError):
             load_checkpoint(other, path)
+
+    def test_failed_load_leaves_model_untouched(self, tmp_path):
+        # A name mismatch must raise before ANY parameter is written:
+        # no partial restore into the wrong architecture.
+        model = make_model()
+        path = save_checkpoint(model, tmp_path / "c.npz")
+        other = SASRec(num_items=20, dim=8, max_len=6,
+                       rng=np.random.default_rng(0))
+        before = {name: p.data.copy()
+                  for name, p in other.named_parameters()}
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+        for name, p in other.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])
 
     def test_missing_optimizer_state(self, tmp_path):
         model = make_model()

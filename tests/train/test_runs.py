@@ -1,0 +1,149 @@
+"""Tests for the content-addressed run store (``repro.runs``).
+
+Covers the cache contract the experiment layer depends on: stable
+cross-process hashes, canonical spec forms that share entries, bitwise
+identical hit/miss outcomes, and corrupted-entry recovery.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES
+from repro.registry import model_spec
+from repro.runs import RunStore, run_spec
+
+SMOKE = SCALES["smoke"]
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def smoke_spec(**kwargs):
+    model = kwargs.pop("model", model_spec("GRU4Rec"))
+    return run_spec("beauty", SMOKE, model, **kwargs)
+
+
+class TestSpecCanonicalization:
+    def test_scale_object_and_name_equivalent(self):
+        assert smoke_spec() == run_spec("beauty", "smoke",
+                                        model_spec("GRU4Rec"))
+
+    def test_data_seed_equal_to_seed_is_dropped(self):
+        assert smoke_spec(seed=3, data_seed=3) == smoke_spec(seed=3)
+        assert smoke_spec(seed=3, data_seed=0) != smoke_spec(seed=3)
+
+    def test_default_tau_shares_hash_with_plain_ssdrec(self):
+        # fig5's tau=1.0 point is exactly table4's SSDRec run.
+        plain = smoke_spec(model=model_spec("SSDRec"))
+        tau = smoke_spec(model=model_spec("SSDRec", initial_tau=1.0))
+        assert tau.content_hash() == plain.content_hash()
+
+    def test_default_backbone_is_dropped(self):
+        plain = smoke_spec(model=model_spec("SSDRec"))
+        explicit = smoke_spec(model=model_spec("SSDRec", backbone="SASRec"))
+        assert explicit.content_hash() == plain.content_hash()
+
+    def test_unknown_train_override_rejected(self):
+        with pytest.raises(KeyError, match="train-config overrides"):
+            smoke_spec(train={"verbose": True})
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_spec("NoSuchModel")
+
+    def test_non_scalar_model_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            model_spec("SSDRec", backbone=object())
+
+    def test_hash_stable_across_processes(self):
+        spec = smoke_spec(model=model_spec("SSDRec", denoise_rounds=3),
+                          train={"epochs": 1}, seed=2)
+        code = ("from repro.registry import model_spec\n"
+                "from repro.runs import run_spec\n"
+                "spec = run_spec('beauty', 'smoke',"
+                " model_spec('SSDRec', denoise_rounds=3),"
+                " train={'epochs': 1}, seed=2)\n"
+                "print(spec.content_hash())\n")
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True, check=True)
+        assert proc.stdout.strip() == spec.content_hash()
+
+
+class TestRunStoreCache:
+    def test_miss_then_hit_bitwise_identical(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        first = store.run(spec)
+        second = store.run(spec)
+        assert not first.cached and second.cached
+        assert store.stats() == {"hits": 1, "misses": 1}
+        assert second.test_metrics == first.test_metrics
+        assert second.valid_metrics == first.valid_metrics
+        np.testing.assert_array_equal(second.test_ranks, first.test_ranks)
+        assert second.result.history == first.result.history
+
+    def test_force_retrains(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        store.run(spec)
+        forced = store.run(spec, force=True)
+        assert not forced.cached
+        assert store.stats() == {"hits": 0, "misses": 2}
+
+    def test_partial_entry_is_retrained(self, tmp_path):
+        # Simulate a crash between save_checkpoint and the metrics.json
+        # commit marker: the entry must count as a miss and be rebuilt.
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        first = store.run(spec)
+        (store.entry_dir(spec) / "metrics.json").unlink()
+        again = store.run(spec)
+        assert not again.cached
+        assert again.test_metrics == first.test_metrics
+        assert (store.entry_dir(spec) / "metrics.json").exists()
+
+    def test_corrupted_spec_is_retrained(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        store.run(spec)
+        (store.entry_dir(spec) / "spec.json").write_text("{not json")
+        assert not store.run(spec).cached
+
+    def test_corrupted_checkpoint_retrained_by_load_model(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        store.run(spec)
+        (store.entry_dir(spec) / "model.npz").write_bytes(b"garbage")
+        model = store.load_model(spec)
+        assert model.num_parameters() > 0
+        assert store.stats()["misses"] == 2  # original train + retrain
+
+    def test_load_model_reproduces_stored_metrics(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        outcome = store.run(spec)
+        model = store.load_model(spec)
+        evaluator = store.prepared(spec).evaluator("test", SMOKE.batch_size)
+        np.testing.assert_array_equal(evaluator.ranks(model),
+                                      outcome.test_ranks)
+
+    def test_entry_layout(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        store.run(spec)
+        entry = store.entry_dir(spec)
+        assert entry.name == spec.content_hash()
+        assert {p.name for p in entry.iterdir()} == {
+            "spec.json", "model.npz", "ranks.npy", "metrics.json"}
+        stored = json.loads((entry / "spec.json").read_text())
+        assert stored == spec.as_dict()
+
+    def test_noisy_dataset_requires_noise_inject(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError, match="noise_inject"):
+            store.noisy_dataset(smoke_spec())
