@@ -1,0 +1,332 @@
+#!/usr/bin/env python
+"""Resilience smoke gate: crash-safe training, store, and serving.
+
+Drives a small training + serving workload under injected faults
+(:mod:`repro.resilience`) and gates on the three crash-safety contracts:
+
+1. **kill & resume** — a training run hard-killed mid-epoch in a
+   subprocess (exit code 70) must leave a ``train_state.npz`` resume
+   point, and a clean rerun must resume from it and commit an entry
+   whose metrics and test ranks are bitwise identical to an
+   uninterrupted reference run.
+2. **run-store chaos** — randomized fault schedules (raise / truncate /
+   corrupt at the persist sites) fire during ``RunStore.run``; after
+   disarming, a verification rerun must reproduce the reference
+   bitwise, and a corrupted entry must never be served from cache (torn
+   payloads are caught by the ranks digest and the npz zip structure).
+3. **serving chaos** — a frozen-plan :class:`RecommendService` answers
+   a request burst with faults injected at ``serve.encode`` /
+   ``serve.score``; every request must get a result (zero dropped),
+   successful results must match an unfaulted reference service, and
+   any request answered with an error must succeed once the fault
+   clears.
+
+Writes machine-readable results to ``BENCH_resilience.json`` and exits
+nonzero on any gate failure.  Runnable locally and in CI alongside
+tier-1 tests:
+
+    PYTHONPATH=src python scripts/resilience_smoke.py [--trials N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.report import finish, write_json_report  # noqa: E402
+from repro.models import GRU4Rec  # noqa: E402
+from repro.registry import model_spec  # noqa: E402
+from repro.resilience import (Fault, FaultInjected,  # noqa: E402
+                              FaultPlan, clean_stale_tmp)
+from repro.resilience.faults import KILL_EXIT_CODE  # noqa: E402
+from repro.runs import RunStore, run_spec  # noqa: E402
+from repro.serve import RecommendService, freeze  # noqa: E402
+
+# The shared training workload: small enough to train in seconds, large
+# enough for a mid-run kill (3 epochs = 3 resume-point saves).
+PROFILE = "beauty"
+SCALE = "smoke"
+TRAIN = {"epochs": 3, "batch_size": 64, "patience": 10}
+DIM = 8
+
+#: Control-flow fault sites of the persistence path (raise only —
+#: in-process kills would take the harness down with them).
+POINT_SITES = tuple(
+    f"{site}.{edge}"
+    for site in ("runs.spec", "runs.ranks", "runs.metrics",
+                 "checkpoint.save", "trainer.state")
+    for edge in ("before", "replace"))
+
+#: Payload fault sites (truncate / corrupt the bytes being written).
+PAYLOAD_SITES = ("runs.spec", "runs.ranks", "runs.metrics",
+                 "checkpoint.save", "trainer.state")
+
+SERVE_REQUESTS = 16
+SERVE_MAX_BATCH = 4
+SERVE_NUM_ITEMS = 40
+SERVE_MAX_LEN = 10
+
+
+def smoke_spec():
+    return run_spec(PROFILE, SCALE, model_spec("GRU4Rec", dim=DIM),
+                    train=TRAIN, seed=0)
+
+
+def outcomes_match(a, b) -> bool:
+    """Bitwise run equivalence: metrics, training history, test ranks."""
+    return (a.test_metrics == b.test_metrics
+            and a.valid_metrics == b.valid_metrics
+            and a.result.history == b.result.history
+            and a.result.best_metric == b.result.best_metric
+            and a.result.best_epoch == b.result.best_epoch
+            and np.array_equal(a.test_ranks, b.test_ranks))
+
+
+# ----------------------------------------------------------------------
+# section 1: kill & resume
+def resume_section(reference, workdir: Path) -> tuple:
+    """Hard-kill a subprocess training run, then resume it cleanly."""
+    crash_root = workdir / "resume"
+    plan = FaultPlan([Fault(site="trainer.state.replace", action="kill",
+                            hit=2, hard=True)])
+    runner = textwrap.dedent(f"""
+        from repro.resilience import install_env_plan
+        install_env_plan()
+        from repro.registry import model_spec
+        from repro.runs import RunStore, run_spec
+        spec = run_spec({PROFILE!r}, {SCALE!r},
+                        model_spec("GRU4Rec", dim={DIM}),
+                        train={TRAIN!r}, seed=0)
+        RunStore().run(spec)
+    """)
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO_ROOT / "src"),
+               REPRO_RUNS_DIR=str(crash_root),
+               REPRO_FAULT_PLAN=plan.to_json())
+    proc = subprocess.run([sys.executable, "-c", runner], env=env,
+                          capture_output=True, text=True)
+
+    spec = smoke_spec()
+    entry = crash_root / spec.content_hash()
+    resume_point = (entry / "train_state.npz").exists()
+    committed = (entry / "metrics.json").exists()
+
+    failures = []
+    if proc.returncode != KILL_EXIT_CODE:
+        failures.append(f"resume:kill-exit-code-{proc.returncode}"
+                        f"-not-{KILL_EXIT_CODE}")
+    if not resume_point:
+        failures.append("resume:no-resume-point-after-kill")
+    if committed:
+        failures.append("resume:killed-run-committed-an-entry")
+
+    resumed = RunStore(crash_root).run(spec) if not failures else None
+    if resumed is not None and not outcomes_match(resumed, reference):
+        failures.append("resume:resumed-run-differs-from-uninterrupted")
+    matched = resumed is not None and not failures
+    print(f"  kill exit {proc.returncode}, resume point "
+          f"{'present' if resume_point else 'MISSING'}, resumed run "
+          f"{'bitwise-identical' if matched else 'MISMATCH'}")
+    report = {
+        "kill_exit_code": proc.returncode,
+        "resume_point_after_kill": resume_point,
+        "resumed_matches_uninterrupted": matched,
+        "epochs": TRAIN["epochs"],
+    }
+    return report, failures
+
+
+# ----------------------------------------------------------------------
+# section 2: run-store chaos
+def runstore_section(reference, workdir: Path, trials: int,
+                     base_seed: int) -> tuple:
+    """Randomized persist-site faults; verify rerun + cache integrity."""
+    spec = smoke_spec()
+    failures = []
+    trial_rows = []
+    corrupted_served = 0
+    for trial in range(trials):
+        root = workdir / f"chaos-{trial}"
+        plan = FaultPlan.random(point_sites=POINT_SITES,
+                                payload_sites=PAYLOAD_SITES,
+                                seed=base_seed + trial, faults=2)
+        crashed = False
+        with plan:
+            try:
+                RunStore(root).run(spec)
+            except FaultInjected:
+                crashed = True
+        # Verification pass with the plan disarmed and a fresh store:
+        # whatever the fault left on disk, the rerun must reproduce the
+        # reference — retraining a partial entry, rejecting a damaged
+        # one via digest/zip checks, or re-serving an intact one.
+        verify = RunStore(root)
+        outcome = verify.run(spec)
+        match = outcomes_match(outcome, reference)
+        served_corrupt = outcome.cached and not match
+        if served_corrupt:
+            corrupted_served += 1
+        if not match:
+            failures.append(f"runstore:trial-{trial}-mismatch")
+        stale = clean_stale_tmp(root / spec.content_hash())
+        fired = [f"{f.site}:{f.action}@{f.hit}" for f in plan.fired]
+        print(f"  trial {trial}: fired {fired or ['nothing']}, "
+              f"{'aborted' if crashed else 'completed'}, verify "
+              f"{'hit' if outcome.cached else 'retrain'} "
+              f"{'ok' if match else 'MISMATCH'}, {stale} stale tmp")
+        trial_rows.append({
+            "seed": base_seed + trial,
+            "fired": fired,
+            "aborted_by_fault": crashed,
+            "verify_was_cache_hit": outcome.cached,
+            "matches_reference": match,
+            "stale_tmp_files": stale,
+        })
+    if corrupted_served:
+        failures.append("runstore:corrupted-entry-served")
+    report = {"trials": trial_rows,
+              "corrupted_entries_served": corrupted_served}
+    return report, failures
+
+
+# ----------------------------------------------------------------------
+# section 3: serving chaos
+def serving_section(trials: int, base_seed: int) -> tuple:
+    """Faulted request bursts: every request answered, none dropped."""
+    model = GRU4Rec(num_items=SERVE_NUM_ITEMS, dim=16,
+                    max_len=SERVE_MAX_LEN,
+                    rng=np.random.default_rng(0))
+    plan_frozen = freeze(model)
+    rng = np.random.default_rng(base_seed)
+    requests = [(int(rng.integers(1, 100)),
+                 list(rng.integers(1, SERVE_NUM_ITEMS + 1,
+                                   size=rng.integers(1, SERVE_MAX_LEN + 1))))
+                for _ in range(SERVE_REQUESTS)]
+    reference = RecommendService(plan_frozen, k=5, cache_size=0)
+    expected = reference.recommend_many(requests)
+
+    failures = []
+    trial_rows = []
+    dropped = mismatches = unrecovered = 0
+    for trial in range(trials):
+        service = RecommendService(plan_frozen, k=5,
+                                   max_batch=SERVE_MAX_BATCH, cache_size=0)
+        plan = FaultPlan.random(
+            point_sites=("serve.encode", "serve.score"),
+            seed=base_seed + trial, faults=3)
+        with plan:
+            results = service.recommend_many(requests)
+        trial_dropped = len(requests) - len(results)
+        dropped += trial_dropped
+        errors = sum(1 for r in results if r.failed)
+        for want, got in zip(expected, results):
+            if got.failed:
+                continue
+            # Items exact; scores to gemm tolerance — a retried chunk is
+            # re-encoded at a different batch width, and BLAS results
+            # are ULP-sensitive to it (same bar as the serving tests).
+            if not (np.array_equal(want.items, got.items)
+                    and np.allclose(want.scores, got.scores, atol=1e-9)):
+                mismatches += 1
+        # An error result is answered, not dropped — but it must be
+        # transient: the same request succeeds once the fault clears.
+        for i, rec in enumerate(results):
+            if rec.failed:
+                retry = service.recommend(*requests[i])
+                if retry.failed or not np.array_equal(
+                        retry.items, expected[i].items):
+                    unrecovered += 1
+        fired = [f"{f.site}:{f.action}@{f.hit}" for f in plan.fired]
+        print(f"  trial {trial}: fired {fired or ['nothing']}, "
+              f"{len(results)}/{len(requests)} answered, "
+              f"{errors} errors, {service.stats.chunk_retries} "
+              f"chunk retries")
+        trial_rows.append({
+            "seed": base_seed + trial,
+            "fired": fired,
+            "answered": len(results),
+            "errors": errors,
+            "chunk_retries": service.stats.chunk_retries,
+        })
+    if dropped:
+        failures.append(f"serving:{dropped}-dropped-requests")
+    if mismatches:
+        failures.append(f"serving:{mismatches}-result-mismatches")
+    if unrecovered:
+        failures.append(f"serving:{unrecovered}-unrecovered-requests")
+    report = {"requests_per_trial": len(requests),
+              "max_batch": SERVE_MAX_BATCH,
+              "dropped_requests": dropped,
+              "result_mismatches": mismatches,
+              "unrecovered_requests": unrecovered,
+              "trials": trial_rows}
+    return report, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=4,
+                        help="randomized fault schedules per chaos section")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="base seed for the randomized fault plans")
+    parser.add_argument("--json", type=Path,
+                        default=REPO_ROOT / "BENCH_resilience.json")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="skip the subprocess kill-and-resume section")
+    parser.add_argument("--no-runstore", action="store_true",
+                        help="skip the run-store chaos section")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the serving chaos section")
+    args = parser.parse_args()
+
+    report = {"spec": smoke_spec().as_dict(), "trials": args.trials,
+              "seed": args.seed}
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="resilience-smoke-") as tmp:
+        workdir = Path(tmp)
+        reference = None
+        if not (args.no_resume and args.no_runstore):
+            print("training the uninterrupted reference run...")
+            reference = RunStore(workdir / "reference").run(smoke_spec())
+
+        if not args.no_resume:
+            print("\nkill & resume (hard kill in a subprocess)...")
+            section, section_failures = resume_section(reference, workdir)
+            report["resume"] = section
+            failures.extend(section_failures)
+
+        if not args.no_runstore:
+            print("\nrun-store chaos (randomized persist faults)...")
+            section, section_failures = runstore_section(
+                reference, workdir, args.trials, args.seed)
+            report["runstore"] = section
+            failures.extend(section_failures)
+
+        if not args.no_serve:
+            print("\nserving chaos (randomized encode/score faults)...")
+            section, section_failures = serving_section(
+                args.trials, args.seed)
+            report["serving"] = section
+            failures.extend(section_failures)
+
+    write_json_report(args.json, report)
+    return finish(
+        ok=not failures,
+        ok_message=("crash-safety gates passed: resume is bitwise-exact, "
+                    "no corrupted store entries served, no serving "
+                    "requests dropped"),
+        fail_message=f"resilience gate failures: {', '.join(failures)}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

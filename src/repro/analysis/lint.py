@@ -3,8 +3,8 @@
 The framework replaces PyTorch with a hand-written substrate, so the
 invariants PyTorch enforces mechanically (seeded RNG plumbing, autograd
 parity oracles, inference under ``no_grad``, parameter registration) have
-to be enforced here — before a violation trains a model wrong.  Four
-rules ship today:
+to be enforced here — before a violation trains a model wrong.  The
+rules:
 
 ``unseeded-rng``
     No direct ``np.random.*`` sampling and no zero-argument
@@ -45,6 +45,13 @@ rules ship today:
     subscript calls.  Direct construction bypasses the declarative
     :class:`~repro.registry.ModelSpec`, so the run would be invisible to
     the content-addressed run cache.
+
+``atomic-persistence``
+    The persistence modules (``runs.py``, ``train/checkpoint.py``) must
+    write artifacts through :mod:`repro.resilience.atomic` — no direct
+    ``Path.write_text``/``write_bytes``, ``np.save``/``np.savez``, or
+    ``open(..., "w")``.  In-place writes leave torn files behind a
+    crash; the atomic helpers publish via temp file + ``os.replace``.
 
 To add a rule: write a function taking a :class:`Project` and returning
 a list of :class:`Violation`, and decorate it with ``@rule(name,
@@ -100,6 +107,14 @@ MODEL_CLASS_NAMES = frozenset({
 #: Registry-dict names whose subscript-calls are also direct construction.
 MODEL_REGISTRY_DICTS = frozenset({"BACKBONES", "EXTENSION_BACKBONES",
                                   "DENOISERS", "MODELS"})
+
+#: Modules that persist run-store / checkpoint artifacts: every write
+#: must go through repro.resilience.atomic (write-then-``os.replace``).
+PERSISTENCE_MODULES = ("runs.py", "train/checkpoint.py")
+
+#: Call spellings that write a file in place (non-atomically).
+_NONATOMIC_WRITE_ATTRS = {"write_text", "write_bytes"}
+_NONATOMIC_NUMPY_WRITERS = {"save", "savez", "savez_compressed"}
 
 
 @dataclass
@@ -454,6 +469,59 @@ def check_experiments_via_registry(project: Project) -> List[Violation]:
                         message=(f"{base}[...](...) subscript "
                                  f"construction in an experiment runner; "
                                  f"go through repro.registry.build")))
+    return violations
+
+
+def _is_write_open(node: ast.Call) -> bool:
+    """True for ``open(..., "w"/"wb"/"a"/...)`` calls (mode arg or kw)."""
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return False
+    return any(flag in mode.value for flag in ("w", "a", "+", "x"))
+
+
+@rule("atomic-persistence",
+      "run-store and checkpoint modules must persist through "
+      "repro.resilience.atomic (write-then-os.replace), never via direct "
+      "write_text/write_bytes/np.save*/open(..., 'w')")
+def check_atomic_persistence(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel in PERSISTENCE_MODULES:
+        tree = project.modules.get(rel)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # .write_text()/.write_bytes() receivers are usually path
+            # *expressions* ((entry / "x.json").write_text(...)), so
+            # match the method attribute itself, not a dotted chain.
+            method = (node.func.attr
+                      if isinstance(node.func, ast.Attribute) else None)
+            name = _call_name(node)
+            message = None
+            if method in _NONATOMIC_WRITE_ATTRS:
+                message = (f".{method}() writes in place; a crash leaves "
+                           f"a torn file — use repro.resilience.atomic")
+            elif (name is not None
+                  and name.startswith(("np.", "numpy."))
+                  and name.split(".")[-1] in _NONATOMIC_NUMPY_WRITERS):
+                message = (f"{name}() writes in place; use "
+                           f"atomic_save_npy/atomic_save_npz (or npy_bytes "
+                           f"+ atomic_write_bytes)")
+            elif name == "open" and _is_write_open(node):
+                message = ("open() for writing in a persistence module; "
+                           "use repro.resilience.atomic")
+            if message is not None:
+                violations.append(Violation(
+                    rule="atomic-persistence",
+                    path=project.display_path(rel), line=node.lineno,
+                    message=message))
     return violations
 
 

@@ -44,6 +44,7 @@ from .experiments import (ext_noise_sweep, fig1_oup, fig4_case_study,
                           table3_backbones, table4_denoisers,
                           table5_ablation, table6_efficiency)
 from .registry import available_models, model_spec
+from .resilience import install_env_plan
 from .runs import default_store, run_spec
 
 EXPERIMENTS = {
@@ -86,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--no-cache", action="store_true",
                        help="retrain even if this run is already in the "
                             "run store")
+    train.add_argument("--resume", action="store_true",
+                       help="continue an interrupted run from its last "
+                            "completed epoch (the run store keeps a "
+                            "crash-resume point; final metrics are "
+                            "bitwise-identical to an uninterrupted run)")
     train.add_argument("--profile", action="store_true",
                        help="print per-op substrate timings after training "
                             "(implies --no-cache)")
@@ -154,7 +160,8 @@ def cmd_train(args) -> int:
     print(f"training {args.model} on {args.dataset} "
           f"(run {spec.content_hash()})")
     outcome = store.run(spec, force=force, verbose=True,
-                        profile=args.profile, sanitize=args.sanitize)
+                        profile=args.profile, sanitize=args.sanitize,
+                        resume=args.resume)
     if outcome.cached:
         print(f"restored cached run from {outcome.checkpoint.parent}")
     print(f"{args.model}: {outcome.num_parameters:,} parameters")
@@ -233,6 +240,10 @@ COMMANDS = {
 
 
 def main(argv: Optional[list] = None) -> int:
+    # Chaos-harness hook: arm the fault plan serialized in
+    # REPRO_FAULT_PLAN, if any (no-op otherwise), so subprocess crash
+    # tests can drive the real user surface.
+    install_env_plan()
     args = build_parser().parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -225,6 +225,37 @@ class SSDRec(SequenceDenoiser):
         if self.denoising is not None:
             self.denoising.on_batch_end()
 
+    def train_state(self) -> dict:
+        """Non-parameter training state: the Gumbel temperature schedules.
+
+        ``state_dict`` covers parameters only; annealed temperatures are
+        plain Python attributes that a crash-resumed run must also
+        restore to stay bitwise-identical.  Schedules are listed in the
+        deterministic :meth:`_schedules_of` traversal order over the
+        augmentation then denoising modules.
+        """
+        schedules = []
+        for module in (self.augmentation, self.denoising):
+            if module is None:
+                continue
+            schedules.extend(s.state() for s in self._schedules_of(module))
+        return {"schedules": schedules}
+
+    def load_train_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`train_state`."""
+        schedules = list(state.get("schedules", []))
+        targets = []
+        for module in (self.augmentation, self.denoising):
+            if module is None:
+                continue
+            targets.extend(self._schedules_of(module))
+        if len(schedules) != len(targets):
+            raise ValueError(
+                f"train_state has {len(schedules)} temperature schedules, "
+                f"model expects {len(targets)}")
+        for sched, snap in zip(targets, schedules):
+            sched.load_state(snap)
+
     # ------------------------------------------------------------------
     def keep_mask(self, items: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Stage-3 keep/drop decisions on raw positions (Fig. 1 protocol)."""

@@ -101,6 +101,15 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def rng_state(self) -> dict:
+        """Snapshot the shuffle generator (for crash-resumed training)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`rng_state`, so the next
+        epoch's shuffle order matches the run that saved it."""
+        self._rng.bit_generator.state = state
+
     def __iter__(self) -> Iterator[Batch]:
         if self._cached_batches is not None:
             yield from self._cached_batches

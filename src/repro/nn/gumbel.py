@@ -134,3 +134,12 @@ class TemperatureSchedule:
     def reset(self) -> None:
         self._batches = 0
         self.tau = self.initial_tau
+
+    def state(self) -> dict:
+        """Snapshot the mutable schedule position (for crash resume)."""
+        return {"batches": self._batches, "tau": self.tau}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state`."""
+        self._batches = int(state["batches"])
+        self.tau = float(state["tau"])

@@ -107,7 +107,13 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{own[name].data.shape} vs {value.shape}")
         for name, value in state.items():
-            own[name].data = value.copy()
+            # Copy INTO the existing buffer rather than adopting `value`:
+            # replacing the array would silently change its memory order
+            # (e.g. QR-initialized recurrent weights are F-contiguous, a
+            # loaded copy is C-contiguous), and BLAS picks ULP-different
+            # kernels per order — breaking bitwise-exact crash resume.
+            own[name].data[...] = value
+            own[name].bump_version()
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

@@ -55,3 +55,19 @@ def resolve_rng(rng: Optional[np.random.Generator] = None
     np.random.default_rng()`` idiom; the linter flags the latter.
     """
     return rng if rng is not None else default_generator()
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's exact position as a JSON-serializable dict.
+
+    NumPy bit-generator states are plain dicts of strings and (possibly
+    arbitrary-precision) integers, which Python's ``json`` round-trips
+    exactly — so a restored generator continues the *same* stream,
+    which is what makes crash-resumed training bitwise-identical.
+    """
+    return rng.bit_generator.state
+
+
+def restore_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state` in place."""
+    rng.bit_generator.state = state

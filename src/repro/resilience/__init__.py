@@ -1,0 +1,39 @@
+"""``repro.resilience`` — crash safety: fault injection + atomic persistence.
+
+Production claims about the run store, checkpoints, and the serving layer
+are only as good as their behaviour under failure.  This package holds
+the two halves of that story:
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable
+  fault-injection harness.  Persistence and serving code declare *named
+  fault sites* (``fault_point("runs.metrics.before")``,
+  ``filter_payload("checkpoint.save", data)``); an armed
+  :class:`FaultPlan` makes a chosen site raise ``OSError``, truncate or
+  corrupt the bytes being written, or kill the process — everything else
+  costs a single ``is None`` check.
+* :mod:`repro.resilience.atomic` — write-then-``os.replace``
+  persistence.  Every run-store artifact and checkpoint goes through
+  these helpers, so a crash at *any* point leaves either the complete
+  old file or the complete new file, never a torn write.
+
+``scripts/resilience_smoke.py`` drives a small training + serving
+workload under a randomized fault schedule and gates on zero corrupted
+store entries, zero dropped serving requests, and resume ==
+uninterrupted.  See ``docs/robustness.md``.
+"""
+
+from .atomic import (atomic_save_npy, atomic_save_npz, atomic_write_bytes,
+                     atomic_write_text, clean_stale_tmp, is_tmp_artifact,
+                     normalize_suffix, npy_bytes)
+from .faults import (FAULT_PLAN_ENV, Fault, FaultInjected, FaultPlan,
+                     SimulatedCrash, active_plan, fault_point,
+                     filter_payload, install_env_plan)
+
+__all__ = [
+    "Fault", "FaultPlan", "FaultInjected", "SimulatedCrash",
+    "fault_point", "filter_payload", "active_plan", "install_env_plan",
+    "FAULT_PLAN_ENV",
+    "atomic_write_bytes", "atomic_write_text", "atomic_save_npz",
+    "atomic_save_npy", "npy_bytes", "normalize_suffix", "clean_stale_tmp",
+    "is_tmp_artifact",
+]

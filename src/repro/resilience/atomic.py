@@ -1,0 +1,156 @@
+"""Atomic write-then-``os.replace`` persistence for run artifacts.
+
+``np.savez(path)`` / ``Path.write_text`` write in place: a crash (or an
+injected fault) mid-call leaves a truncated file *at the final path*,
+which readers then have to treat as corruption.  Every helper here
+instead serializes the full payload in memory, writes it to a hidden
+sibling temp file, ``fsync``\\ s, and ``os.replace``\\ s it over the
+destination — so at every instant the destination holds either the
+complete old content or the complete new content.
+
+Each helper takes an optional fault-site name ``site`` and threads three
+:mod:`repro.resilience.faults` hooks through the write:
+
+* ``fault_point(f"{site}.before")`` — before anything touches disk
+  (a crash here changes nothing);
+* ``filter_payload(site, data)`` — the payload itself (``truncate`` /
+  ``corrupt`` faults simulate legacy torn writes and bitrot that the
+  *readers* must detect);
+* ``fault_point(f"{site}.replace")`` — after the temp file is durable
+  but before the rename (a crash here leaves only a stale temp file,
+  the destination untouched).
+
+Suffix normalization mirrors NumPy: ``np.savez``/``np.save`` silently
+append ``.npz``/``.npy`` when missing, which historically let the
+caller's path and the on-disk file diverge.  :func:`normalize_suffix`
+applies the same appending rule *and returns the real path*, so callers
+always know exactly which file they wrote.
+
+Stale temp files (from kills between write and replace) all match
+:func:`is_tmp_artifact`; :func:`clean_stale_tmp` removes them.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from .faults import fault_point, filter_payload
+
+#: Temp files are ``.<final-name>.tmp-<pid>`` siblings of the target.
+_TMP_MARKER = ".tmp-"
+
+
+def normalize_suffix(path: Path, suffix: str) -> Path:
+    """Append ``suffix`` unless already present (NumPy's appending rule)."""
+    path = Path(path)
+    if path.suffix != suffix:
+        path = path.with_name(path.name + suffix)
+    return path
+
+
+def is_tmp_artifact(path: Path) -> bool:
+    """True for in-flight temp files left behind by a crash mid-write."""
+    name = Path(path).name
+    return name.startswith(".") and _TMP_MARKER in name
+
+
+def clean_stale_tmp(directory: Path) -> int:
+    """Remove leftover temp files under ``directory``; returns the count."""
+    directory = Path(directory)
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for entry in directory.iterdir():
+        if entry.is_file() and is_tmp_artifact(entry):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass  # concurrent cleanup; the file is gone either way
+    return removed
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes,
+                       site: Optional[str] = None) -> Path:
+    """Atomically publish ``data`` at ``path``; returns ``path``."""
+    path = Path(path)
+    if site is not None:
+        fault_point(f"{site}.before")
+        data = filter_payload(site, data)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}{_TMP_MARKER}{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if site is not None:
+            fault_point(f"{site}.replace")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: Path, text: str,
+                      site: Optional[str] = None) -> Path:
+    """Atomically publish ``text`` (UTF-8) at ``path``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), site=site)
+
+
+def atomic_save_npz(path: Path, arrays: Dict[str, np.ndarray],
+                    site: Optional[str] = None) -> Path:
+    """Atomically publish an ``.npz`` archive; returns the real path.
+
+    The suffix is normalized the way ``np.savez`` would have appended
+    it, so the returned path always matches the file on disk.
+    """
+    path = normalize_suffix(Path(path), ".npz")
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue(), site=site)
+
+
+def npy_bytes(array: np.ndarray) -> bytes:
+    """Serialize one array to ``.npy`` bytes in memory.
+
+    Gives callers the *intended* payload — for content digests that can
+    later detect bitrot in the raw (checksum-less) ``.npy`` format —
+    without a second serialization pass.
+    """
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def atomic_save_npy(path: Path, array: np.ndarray,
+                    site: Optional[str] = None) -> Path:
+    """Atomically publish a single array as ``.npy``; returns the path."""
+    path = normalize_suffix(Path(path), ".npy")
+    return atomic_write_bytes(path, npy_bytes(array), site=site)
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_save_npz",
+           "atomic_save_npy", "npy_bytes", "normalize_suffix",
+           "clean_stale_tmp", "is_tmp_artifact"]

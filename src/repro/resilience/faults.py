@@ -1,0 +1,267 @@
+"""Deterministic fault injection at named sites.
+
+The persistence and serving layers declare *fault sites* — stable string
+names at the exact points where a crash, a failed syscall, or a torn
+write would historically have corrupted state:
+
+``fault_point(site)``
+    A control-flow site.  If the armed :class:`FaultPlan` schedules a
+    ``raise`` fault here, a :class:`FaultInjected` (an ``OSError``) is
+    raised; a ``kill`` fault raises :class:`SimulatedCrash` (a
+    ``BaseException``, so no ``except Exception`` handler can swallow
+    it) or — with ``hard=True`` — terminates the process with
+    ``os._exit``, exactly like a SIGKILL mid-write.
+
+``filter_payload(site, data)``
+    A payload site.  ``truncate`` faults cut the byte string to a
+    fraction of its length and ``corrupt`` faults flip seeded random
+    bytes — simulating the torn writes and bitrot that the *readers*
+    must survive.  Without a matching fault the bytes pass through
+    untouched.
+
+Faults fire on exact *hit numbers*: each site keeps a counter, and a
+:class:`Fault` with ``hit=3, count=2`` fires on the third and fourth
+time its site is reached, then never again.  A :class:`FaultPlan` built
+from :meth:`FaultPlan.random` draws its whole schedule from a seeded
+generator, so a chaos run is reproducible from ``(sites, seed)`` alone.
+
+When no plan is armed — the production configuration — every site costs
+one global load and an ``is None`` branch.
+
+Cross-process injection (the kill-and-resume smoke) serializes a plan
+into the ``REPRO_FAULT_PLAN`` environment variable; the child process
+calls :func:`install_env_plan` before doing any work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Environment variable holding a JSON-serialized plan for subprocesses.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status used by hard ``kill`` faults (distinguishable from normal
+#: failures in the chaos harness).
+KILL_EXIT_CODE = 70
+
+_ACTIONS = ("raise", "kill", "truncate", "corrupt")
+_POINT_ACTIONS = ("raise", "kill")
+_PAYLOAD_ACTIONS = ("truncate", "corrupt")
+
+
+class FaultInjected(OSError):
+    """The injected stand-in for a failed write/rename syscall."""
+
+
+class SimulatedCrash(BaseException):
+    """In-process stand-in for a process kill.
+
+    Deliberately a ``BaseException``: recovery code that catches
+    ``Exception`` must not be able to 'survive' a crash, or the harness
+    would overstate the system's resilience.
+    """
+
+
+@dataclass
+class Fault:
+    """One scheduled failure at one named site.
+
+    ``hit`` is 1-based: the fault fires the ``hit``-th time the site is
+    reached (and on the following ``count - 1`` hits).  ``fraction``
+    applies to ``truncate`` (keep this fraction of the payload);
+    ``hard`` applies to ``kill`` (``os._exit`` instead of raising
+    :class:`SimulatedCrash`).
+    """
+
+    site: str
+    action: str
+    hit: int = 1
+    count: int = 1
+    fraction: float = 0.5
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; "
+                             f"options: {_ACTIONS}")
+        if self.hit < 1 or self.count < 1:
+            raise ValueError("hit and count must be >= 1")
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("truncate fraction must be in [0, 1)")
+
+    def matches(self, site: str, hit_number: int) -> bool:
+        return (self.site == site
+                and self.hit <= hit_number < self.hit + self.count)
+
+
+@dataclass
+class FiredFault:
+    """Audit record of one fault that actually triggered."""
+
+    site: str
+    action: str
+    hit: int
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over named sites.
+
+    Use as a context manager (``with plan.armed(): ...``) or via
+    :meth:`arm`/:meth:`disarm`.  Only one plan may be armed per process
+    at a time; arming a second raises ``RuntimeError``.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = (), seed: int = 0):
+        self.faults: List[Fault] = list(faults)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.hits: Dict[str, int] = {}
+        self.fired: List[FiredFault] = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    @classmethod
+    def random(cls, point_sites: Sequence[str] = (),
+               payload_sites: Sequence[str] = (), seed: int = 0,
+               faults: int = 1, max_hit: int = 3) -> "FaultPlan":
+        """Draw a reproducible schedule of ``faults`` faults.
+
+        Point sites get ``raise`` actions (kills are only ever scheduled
+        explicitly), payload sites get ``truncate``/``corrupt``; the
+        same ``(sites, seed)`` always yields the same plan.
+        """
+        rng = np.random.default_rng(seed)
+        candidates: List[Tuple[str, Tuple[str, ...]]] = (
+            [(s, _POINT_ACTIONS[:1]) for s in point_sites]
+            + [(s, _PAYLOAD_ACTIONS) for s in payload_sites])
+        if not candidates:
+            raise ValueError("no sites to schedule faults over")
+        drawn = []
+        for _ in range(faults):
+            site, actions = candidates[int(rng.integers(len(candidates)))]
+            action = actions[int(rng.integers(len(actions)))]
+            drawn.append(Fault(site=site, action=action,
+                               hit=int(rng.integers(1, max_hit + 1)),
+                               fraction=float(rng.uniform(0.1, 0.9))))
+        return cls(drawn, seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed,
+                           "faults": [asdict(f) for f in self.faults]})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        return cls([Fault(**f) for f in data["faults"]],
+                   seed=data.get("seed", 0))
+
+    # ------------------------------------------------------------------
+    # arming
+    def arm(self) -> "FaultPlan":
+        global _ACTIVE
+        if _ACTIVE is not None and _ACTIVE is not self:
+            raise RuntimeError("another FaultPlan is already armed")
+        _ACTIVE = self
+        return self
+
+    def disarm(self) -> None:
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    def armed(self) -> "FaultPlan":
+        """Context-manager spelling: ``with plan.armed(): ...``."""
+        return self
+
+    def __enter__(self) -> "FaultPlan":
+        return self.arm()
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()
+
+    # ------------------------------------------------------------------
+    # firing
+    def _bump(self, site: str) -> int:
+        number = self.hits.get(site, 0) + 1
+        self.hits[site] = number
+        return number
+
+    def check(self, site: str) -> None:
+        """Control-flow site: maybe raise/kill (called by fault_point)."""
+        number = self._bump(site)
+        for fault in self.faults:
+            if fault.action not in _POINT_ACTIONS:
+                continue
+            if not fault.matches(site, number):
+                continue
+            self.fired.append(FiredFault(site, fault.action, number))
+            if fault.action == "raise":
+                raise FaultInjected(f"injected fault at {site!r} "
+                                    f"(hit {number})")
+            if fault.hard:
+                os._exit(KILL_EXIT_CODE)
+            raise SimulatedCrash(f"simulated process kill at {site!r} "
+                                 f"(hit {number})")
+
+    def damage(self, site: str, data: bytes) -> bytes:
+        """Payload site: maybe truncate/corrupt ``data``."""
+        number = self._bump(site)
+        for fault in self.faults:
+            if fault.action not in _PAYLOAD_ACTIONS:
+                continue
+            if not fault.matches(site, number):
+                continue
+            self.fired.append(FiredFault(site, fault.action, number))
+            if fault.action == "truncate":
+                data = data[:max(1, int(len(data) * fault.fraction))]
+            else:  # corrupt: flip a seeded sample of bytes
+                buffer = bytearray(data)
+                flips = max(1, len(buffer) // 64)
+                positions = self._rng.integers(0, len(buffer), size=flips)
+                for pos in positions:
+                    buffer[int(pos)] ^= 0xFF
+                data = bytes(buffer)
+        return data
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan, if any."""
+    return _ACTIVE
+
+
+def fault_point(site: str) -> None:
+    """Declare a control-flow fault site (no-op without an armed plan)."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(site)
+
+
+def filter_payload(site: str, data: bytes) -> bytes:
+    """Declare a payload fault site (identity without an armed plan)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.damage(site, data)
+    return data
+
+
+def install_env_plan() -> Optional[FaultPlan]:
+    """Arm the plan serialized in ``REPRO_FAULT_PLAN``, if present.
+
+    Subprocess entry points of the chaos harness call this before any
+    training/serving work; returns the armed plan (or None).
+    """
+    payload = os.environ.get(FAULT_PLAN_ENV)
+    if not payload:
+        return None
+    return FaultPlan.from_json(payload).arm()
+
+
+__all__ = ["Fault", "FaultPlan", "FaultInjected", "SimulatedCrash",
+           "FiredFault", "fault_point", "filter_payload", "active_plan",
+           "install_env_plan", "FAULT_PLAN_ENV", "KILL_EXIT_CODE"]

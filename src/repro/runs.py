@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
+import zipfile
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -35,8 +37,12 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from .registry import ModelSpec, build, model_spec
+from .resilience.atomic import atomic_write_bytes, atomic_write_text, \
+    clean_stale_tmp, npy_bytes
 from .train import TrainConfig, TrainResult, Trainer
 from .train.checkpoint import load_checkpoint, save_checkpoint
+
+logger = logging.getLogger("repro.runs")
 
 #: Bump to invalidate every existing cache entry on a layout change.
 RUN_FORMAT_VERSION = 1
@@ -57,6 +63,19 @@ _METRICS_FILE = "metrics.json"   # written last: the commit marker
 _RANKS_FILE = "ranks.npy"
 _CHECKPOINT_FILE = "model.npz"
 _SPEC_FILE = "spec.json"
+#: Mid-training resume point of a run that was killed before committing;
+#: deleted when the entry commits, preserved by partial-entry cleanup.
+_TRAIN_STATE_FILE = "train_state.npz"
+_ARTIFACT_FILES = (_SPEC_FILE, _CHECKPOINT_FILE, _RANKS_FILE, _METRICS_FILE)
+
+#: What a damaged or stale entry actually raises when read: failed I/O,
+#: bad JSON / bad UTF-8 / bad npy (``json.JSONDecodeError`` and
+#: ``UnicodeDecodeError`` are ``ValueError`` subclasses, listed for
+#: documentation), missing keys, and truncated ``.npz`` zip archives.
+#: Anything else — e.g. a ``TypeError`` from a code bug — propagates
+#: instead of masquerading as a cache miss.
+_CORRUPTION_ERRORS = (OSError, ValueError, KeyError,
+                      json.JSONDecodeError, zipfile.BadZipFile)
 
 
 @dataclass(frozen=True)
@@ -282,13 +301,16 @@ class RunStore:
                 self.hits += 1
                 return outcome
         self.misses += 1
-        return self._train_and_persist(spec, entry, train_extras)
+        return self._train_and_persist(spec, entry, train_extras,
+                                       resume=not force)
 
     def load_model(self, spec: RunSpec, **train_extras):
         """The trained model behind a spec (training it on cache miss).
 
-        A checkpoint that fails to restore (corrupted or from a stale
-        architecture) invalidates the entry and triggers a retrain.
+        A checkpoint that fails to restore with an actual corruption
+        error (truncated archive, shape/name mismatch from a stale
+        architecture) invalidates the entry and triggers a retrain;
+        genuine code bugs propagate.
         """
         self.run(spec, **train_extras)  # ensure the entry exists
         prepared = self.prepared(spec)
@@ -296,7 +318,11 @@ class RunStore:
         model = build(spec.model, prepared, scale, rng=spec.seed)
         try:
             load_checkpoint(model, self.entry_dir(spec) / _CHECKPOINT_FILE)
-        except Exception:
+        except _CORRUPTION_ERRORS as exc:
+            logger.warning(
+                "run entry %s has an unloadable checkpoint (%s: %s); "
+                "invalidating and retraining",
+                self.entry_dir(spec), type(exc).__name__, exc)
             self.invalidate(spec)
             self.run(spec, **train_extras)
             model = build(spec.model, prepared, scale, rng=spec.seed)
@@ -313,12 +339,19 @@ class RunStore:
         try:
             payload = json.loads(metrics_path.read_text())
             stored_spec = json.loads((entry / _SPEC_FILE).read_text())
-            ranks = np.load(entry / _RANKS_FILE)
-            if not (entry / _CHECKPOINT_FILE).exists():
-                raise FileNotFoundError(_CHECKPOINT_FILE)
             if stored_spec != spec.as_dict():
                 raise ValueError("spec mismatch (hash collision or "
                                  "corrupted entry)")
+            expected_digest = payload.get("ranks_sha256")
+            if expected_digest is not None:
+                actual = hashlib.sha256(
+                    (entry / _RANKS_FILE).read_bytes()).hexdigest()
+                if actual != expected_digest:
+                    raise ValueError(f"{_RANKS_FILE} digest mismatch "
+                                     f"(bitrot or torn write)")
+            ranks = np.load(entry / _RANKS_FILE)
+            if not (entry / _CHECKPOINT_FILE).exists():
+                raise FileNotFoundError(_CHECKPOINT_FILE)
             result = TrainResult(
                 best_metric=payload["best_metric"],
                 best_epoch=payload["best_epoch"],
@@ -336,18 +369,47 @@ class RunStore:
                 checkpoint=entry / _CHECKPOINT_FILE,
                 num_parameters=payload.get("num_parameters", 0),
             )
-        except Exception:
-            # Partial or corrupted entry: treat as a miss (and clear it so
-            # the retrain starts from an empty directory).
-            if entry.exists():
-                shutil.rmtree(entry, ignore_errors=True)
+        except FileNotFoundError:
+            # Never-trained (or still-in-progress) entry: a plain miss.
+            # Any mid-training resume point is left for the retrain.
+            self._clear_artifacts(entry)
+            return None
+        except _CORRUPTION_ERRORS as exc:
+            # Partial or corrupted entry: treat as a miss, clearing the
+            # committed artifacts (but preserving a mid-training resume
+            # point) so the retrain starts clean.
+            logger.warning("run entry %s is corrupted (%s: %s); "
+                           "invalidating", entry, type(exc).__name__, exc)
+            self._clear_artifacts(entry)
             return None
 
+    @staticmethod
+    def _clear_artifacts(entry: Path) -> None:
+        """Remove committed artifacts + stale temp files, keeping
+        ``train_state.npz`` so a crashed run can resume."""
+        if not entry.exists():
+            return
+        for name in _ARTIFACT_FILES:
+            try:
+                (entry / name).unlink(missing_ok=True)
+            except OSError:
+                pass
+        clean_stale_tmp(entry)
+
     def _train_and_persist(self, spec: RunSpec, entry: Path,
-                           train_extras: Dict[str, object]) -> RunOutcome:
+                           train_extras: Dict[str, object],
+                           resume: bool = True) -> RunOutcome:
         prepared = self.prepared(spec)
         scale = spec.resolve_scale()
         config = spec.train_config(**train_extras)
+        if config.checkpoint_path is None:
+            # Crash-safe by default: persist a per-epoch resume point in
+            # the entry, and (unless the caller forced a fresh run
+            # without explicitly requesting --resume) continue from
+            # whatever a killed predecessor left behind.
+            config = replace(
+                config, checkpoint_path=str(entry / _TRAIN_STATE_FILE),
+                resume=resume or config.resume)
         model = build(spec.model, prepared, scale, rng=spec.seed)
         valid_evaluator = prepared.evaluator("valid", config.batch_size)
         result = Trainer(model, prepared.split, config,
@@ -363,14 +425,24 @@ class RunStore:
         else:
             valid_metrics = {}
 
+        # Training is done: the resume point (and anything else in the
+        # entry) has served its purpose, so the entry restarts empty.
         shutil.rmtree(entry, ignore_errors=True)
         entry.mkdir(parents=True, exist_ok=True)
-        (entry / _SPEC_FILE).write_text(
-            json.dumps(spec.as_dict(), sort_keys=True, indent=1))
+        atomic_write_text(
+            entry / _SPEC_FILE,
+            json.dumps(spec.as_dict(), sort_keys=True, indent=1),
+            site="runs.spec")
         save_checkpoint(model, entry / _CHECKPOINT_FILE,
                         metadata={"run": spec.as_dict(),
                                   "best_epoch": result.best_epoch})
-        np.save(entry / _RANKS_FILE, test_ranks)
+        # ranks.npy is a raw array with no internal checksum (unlike the
+        # CRC-protected .npz members), so its digest — of the *intended*
+        # bytes, taken before any write — goes into metrics.json for
+        # bitrot/torn-write detection at load time.
+        ranks_bytes = npy_bytes(test_ranks)
+        atomic_write_bytes(entry / _RANKS_FILE, ranks_bytes,
+                           site="runs.ranks")
         payload = {
             "test": test_metrics,
             "valid": valid_metrics,
@@ -381,12 +453,13 @@ class RunStore:
             "train_seconds_per_epoch": result.train_seconds_per_epoch,
             "stopped_early": result.stopped_early,
             "num_parameters": model.num_parameters(),
+            "ranks_sha256": hashlib.sha256(ranks_bytes).hexdigest(),
         }
         # metrics.json is written last: its presence commits the entry.
         # Round-tripping the payload through JSON here makes the fresh
         # outcome bitwise-identical to every later cache hit.
         text = json.dumps(payload, sort_keys=True, indent=1)
-        (entry / _METRICS_FILE).write_text(text)
+        atomic_write_text(entry / _METRICS_FILE, text, site="runs.metrics")
         payload = json.loads(text)
         return RunOutcome(
             spec=spec, cached=False,

@@ -19,30 +19,53 @@ Padding modes
     step through valid positions only.  Padding-width invariant by
     construction (requires ``plan.padding_invariant``) and the only mode
     where incremental append is sound.
+
+Failure isolation
+-----------------
+``flush`` never drops a request.  The queue is drained only after every
+request has a result; an encode/score/forward error in one micro-batch
+chunk triggers a per-request retry of that chunk alone (other chunks are
+unaffected), and a request that still fails comes back as a
+:class:`Recommendation` with ``error`` set (``failed`` is True) rather
+than an exception.  An incremental-append failure silently falls back to
+a full encode.  The fault sites ``serve.encode`` / ``serve.score`` /
+``serve.forward`` let the chaos harness (:mod:`repro.resilience`) drive
+these paths deterministically.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.batching import pad_sequences
+from ..resilience.faults import fault_point
 from .plan import FrozenPlan, freeze
 from .retrieval import topk_from_scores
 
 
 @dataclass
 class Recommendation:
-    """Top-K result for one request (items best-first)."""
+    """Top-K result for one request (items best-first).
+
+    A request that could not be served (its encode/score failed even
+    after per-request retry) carries the failure in ``error`` and empty
+    ``items``/``scores`` — the flush still answers it.
+    """
 
     user: Optional[int]
     items: np.ndarray
     scores: np.ndarray
     from_cache: bool = False
     incremental: bool = False
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -53,6 +76,11 @@ class ServiceStats:
     incremental_hits: int = 0
     full_encodes: int = 0
     evictions: int = 0
+    #: micro-batch chunks whose batched execution failed and were
+    #: re-executed request-by-request.
+    chunk_retries: int = 0
+    #: requests answered with an error result.
+    errors: int = 0
 
 
 class RecommendService:
@@ -123,21 +151,33 @@ class RecommendService:
 
     # ------------------------------------------------------------------
     def flush(self) -> List[Recommendation]:
-        """Execute all queued requests as padded micro-batches."""
-        pending, self._pending = self._pending, []
+        """Execute all queued requests as padded micro-batches.
+
+        The pending queue is drained only once every request has a
+        result (success or error) — an exception escaping mid-flush
+        leaves the queue intact for a retry, and a contained chunk
+        failure surfaces as per-request error results.
+        """
+        pending = list(self._pending)
         if not pending:
             return []
-        if not self.plan.supports_encode:
-            return self._flush_fallback(pending)
+        if self.plan.supports_encode:
+            results = self._flush_encode(pending)
+        else:
+            results = self._flush_fallback(pending)
+        del self._pending[:len(pending)]
+        return results
 
+    def _flush_encode(self, pending) -> List[Recommendation]:
         count = len(pending)
         reprs: List[Optional[np.ndarray]] = [None] * count
         flags = [(False, False)] * count
+        errors: List[Optional[str]] = [None] * count
         to_encode = []
         for i, (user, seq) in enumerate(pending):
             key = (user, seq)
             entry = self._cache_get(key)
-            if entry is not None:
+            if entry is not None and entry.get("repr") is not None:
                 reprs[i] = entry["repr"]
                 flags[i] = (True, False)
                 self.stats.cache_hits += 1
@@ -145,17 +185,27 @@ class RecommendService:
             if self._incremental and len(seq) > 1:
                 prev = self._cache_get((user, seq[:-1]))
                 if prev is not None and prev.get("state") is not None:
-                    state = self.plan.append_item(prev["state"], seq[-1])
-                    reprs[i] = self.plan.state_repr(state)
-                    flags[i] = (False, True)
-                    self.stats.incremental_hits += 1
-                    self._cache_put(key, reprs[i], state)
-                    continue
+                    try:
+                        state = self.plan.append_item(prev["state"], seq[-1])
+                        rep = self.plan.state_repr(state)
+                    except Exception:
+                        pass  # degrade to a full encode of this request
+                    else:
+                        reprs[i] = rep
+                        flags[i] = (False, True)
+                        self.stats.incremental_hits += 1
+                        self._cache_put(key, rep, state)
+                        continue
             to_encode.append(i)
 
         for start in range(0, len(to_encode), self.max_batch):
             chunk = to_encode[start:start + self.max_batch]
-            rows, states = self._encode_chunk([pending[i] for i in chunk])
+            try:
+                rows, states = self._encode_chunk(
+                    [pending[i] for i in chunk])
+            except Exception:
+                self._retry_encodes(pending, chunk, reprs, errors)
+                continue
             self.stats.batches += 1
             self.stats.full_encodes += len(chunk)
             for j, i in enumerate(chunk):
@@ -165,18 +215,76 @@ class RecommendService:
                 self._cache_put((pending[i][0], pending[i][1]),
                                 rows[j], state)
 
-        scores = self.plan.score(np.stack(reprs))
-        top = topk_from_scores(scores, self.k)
-        values = np.take_along_axis(scores, top, axis=1)
-        return [
-            Recommendation(user=pending[i][0], items=top[i],
-                           scores=values[i], from_cache=flags[i][0],
-                           incremental=flags[i][1])
-            for i in range(count)
-        ]
+        score_rows = self._score_reprs(reprs, errors)
+        results: List[Optional[Recommendation]] = [None] * count
+        scored = sorted(score_rows)
+        if scored:
+            matrix = np.stack([score_rows[i] for i in scored])
+            top = topk_from_scores(matrix, self.k)
+            values = np.take_along_axis(matrix, top, axis=1)
+            for j, i in enumerate(scored):
+                results[i] = Recommendation(
+                    user=pending[i][0], items=top[j], scores=values[j],
+                    from_cache=flags[i][0], incremental=flags[i][1])
+        for i in range(count):
+            if results[i] is None:
+                results[i] = self._error_result(
+                    pending[i][0], errors[i] or "not scored")
+        return results
+
+    def _retry_encodes(self, pending, chunk, reprs, errors) -> None:
+        """Batched encode failed: isolate by encoding request-by-request."""
+        self.stats.chunk_retries += 1
+        for i in chunk:
+            try:
+                rows, states = self._encode_chunk([pending[i]])
+            except Exception as exc:
+                errors[i] = f"{type(exc).__name__}: {exc}"
+                self.stats.errors += 1
+                continue
+            self.stats.batches += 1
+            self.stats.full_encodes += 1
+            reprs[i] = rows[0]
+            state = None if states is None else [
+                layer[0:1].copy() for layer in states]
+            self._cache_put((pending[i][0], pending[i][1]), rows[0], state)
+
+    def _score_reprs(self, reprs, errors) -> Dict[int, np.ndarray]:
+        """Score all encoded rows, isolating a scoring failure per row."""
+        ok = [i for i, rep in enumerate(reprs)
+              if rep is not None and errors[i] is None]
+        score_rows: Dict[int, np.ndarray] = {}
+        if not ok:
+            return score_rows
+        try:
+            scores = self._score(np.stack([reprs[i] for i in ok]))
+        except Exception:
+            self.stats.chunk_retries += 1
+            for i in ok:
+                try:
+                    score_rows[i] = self._score(reprs[i][None])[0]
+                except Exception as exc:
+                    errors[i] = f"{type(exc).__name__}: {exc}"
+                    self.stats.errors += 1
+            return score_rows
+        for j, i in enumerate(ok):
+            score_rows[i] = scores[j]
+        return score_rows
+
+    @staticmethod
+    def _error_result(user, error: str) -> Recommendation:
+        return Recommendation(user=user,
+                              items=np.empty(0, dtype=np.int64),
+                              scores=np.empty(0, dtype=np.float64),
+                              error=error)
 
     # ------------------------------------------------------------------
+    def _score(self, reprs: np.ndarray) -> np.ndarray:
+        fault_point("serve.score")
+        return self.plan.score(reprs)
+
     def _encode_chunk(self, rows) -> Tuple[np.ndarray, Optional[list]]:
+        fault_point("serve.encode")
         seqs = [list(seq) for _, seq in rows]
         width = self.plan.max_len if self.padding == "model" else None
         items, mask, _ = pad_sequences(seqs, max_len=width)
@@ -190,26 +298,70 @@ class RecommendService:
         return self.plan.encode(items, mask, users_arr), None
 
     def _flush_fallback(self, pending) -> List[Recommendation]:
-        """No separate encode/score on fallback plans: forward per chunk."""
+        """No separate encode/score on fallback plans: forward per chunk.
+
+        Score rows are cached under the same LRU as encode-path state, so
+        repeat sequences are served from cache with ``from_cache=True``.
+        """
         results: List[Optional[Recommendation]] = [None] * len(pending)
-        for start in range(0, len(pending), self.max_batch):
-            chunk = list(range(start, min(start + self.max_batch,
-                                          len(pending))))
-            seqs = [list(pending[i][1]) for i in chunk]
-            width = self.plan.max_len if self.padding == "model" else None
-            items, mask, _ = pad_sequences(seqs, max_len=width)
-            users = [pending[i][0] for i in chunk]
-            users_arr = (None if any(user is None for user in users)
-                         else np.asarray(users))
-            scores = self.plan.forward(items, mask, users_arr)
+        to_run = []
+        for i, (user, seq) in enumerate(pending):
+            entry = self._cache_get((user, seq))
+            if entry is not None and entry.get("scores") is not None:
+                row = entry["scores"]
+                top = topk_from_scores(row[None], self.k)
+                values = np.take_along_axis(row[None], top, axis=1)
+                results[i] = Recommendation(user=user, items=top[0],
+                                            scores=values[0],
+                                            from_cache=True)
+                self.stats.cache_hits += 1
+                continue
+            to_run.append(i)
+        for start in range(0, len(to_run), self.max_batch):
+            chunk = to_run[start:start + self.max_batch]
+            try:
+                scores = self._forward_rows([pending[i] for i in chunk])
+            except Exception:
+                self.stats.chunk_retries += 1
+                for i in chunk:
+                    try:
+                        row = self._forward_rows([pending[i]])[0]
+                    except Exception as exc:
+                        results[i] = self._error_result(
+                            pending[i][0], f"{type(exc).__name__}: {exc}")
+                        self.stats.errors += 1
+                        continue
+                    self.stats.batches += 1
+                    self.stats.full_encodes += 1
+                    results[i] = self._fallback_result(pending[i], row)
+                continue
             self.stats.batches += 1
             self.stats.full_encodes += len(chunk)
             top = topk_from_scores(scores, self.k)
             values = np.take_along_axis(scores, top, axis=1)
             for j, i in enumerate(chunk):
+                self._cache_put(pending[i], None, None,
+                                scores=scores[j].copy())
                 results[i] = Recommendation(user=pending[i][0], items=top[j],
                                             scores=values[j])
         return results
+
+    def _fallback_result(self, request, row: np.ndarray) -> Recommendation:
+        self._cache_put(request, None, None, scores=row.copy())
+        top = topk_from_scores(row[None], self.k)
+        values = np.take_along_axis(row[None], top, axis=1)
+        return Recommendation(user=request[0], items=top[0],
+                              scores=values[0])
+
+    def _forward_rows(self, rows) -> np.ndarray:
+        fault_point("serve.forward")
+        seqs = [list(seq) for _, seq in rows]
+        width = self.plan.max_len if self.padding == "model" else None
+        items, mask, _ = pad_sequences(seqs, max_len=width)
+        users = [user for user, _ in rows]
+        users_arr = (None if any(user is None for user in users)
+                     else np.asarray(users))
+        return self.plan.forward(items, mask, users_arr)
 
     # ------------------------------------------------------------------
     def _cache_get(self, key) -> Optional[dict]:
@@ -218,11 +370,12 @@ class RecommendService:
             self._cache.move_to_end(key)
         return entry
 
-    def _cache_put(self, key, rep: np.ndarray,
-                   state: Optional[list]) -> None:
+    def _cache_put(self, key, rep: Optional[np.ndarray],
+                   state: Optional[list],
+                   scores: Optional[np.ndarray] = None) -> None:
         if self.cache_size <= 0:
             return
-        self._cache[key] = {"repr": rep, "state": state}
+        self._cache[key] = {"repr": rep, "state": state, "scores": scores}
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)

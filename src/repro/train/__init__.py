@@ -1,7 +1,9 @@
 """``repro.train`` — training loop with early stopping, checkpointing."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (load_checkpoint, load_training_state,
+                         save_checkpoint, save_training_state)
 from .trainer import TrainConfig, Trainer, TrainResult
 
 __all__ = ["TrainConfig", "Trainer", "TrainResult",
-           "save_checkpoint", "load_checkpoint"]
+           "save_checkpoint", "load_checkpoint",
+           "save_training_state", "load_training_state"]

@@ -6,21 +6,40 @@ on load — holding every named parameter plus optional optimizer state
 where it stopped.  Loading is all-or-nothing: names, shapes, and
 optimizer type are validated before anything is written into the model,
 so a failed load never leaves a half-restored architecture behind.
+
+All writes go through :mod:`repro.resilience.atomic` (temp file +
+``os.replace``), so a crash mid-save leaves either the previous complete
+checkpoint or the new one — never a truncated archive.  The save path is
+also *suffix-normalized*: ``np.savez`` used to silently append ``.npz``
+when missing, letting the caller's path and the on-disk file diverge;
+now :func:`save_checkpoint` returns the real (normalized) path.
+
+Beyond the model checkpoint, :func:`save_training_state` /
+:func:`load_training_state` persist a full *resume point* — parameters,
+best-so-far parameters, optimizer buffers, and an arbitrary
+JSON-serializable trainer state (epoch counters, RNG streams, early-stop
+bookkeeping) — which is what makes a killed run resumable to
+bitwise-identical final metrics.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..nn import Adam, SGD
 from ..nn.module import Module
+from ..resilience.atomic import atomic_save_npz, normalize_suffix
 
 _META_KEY = "__checkpoint_meta__"
 _FORMAT_VERSION = 1
+
+#: Fault sites armed by the chaos harness (see docs/robustness.md).
+CHECKPOINT_SITE = "checkpoint.save"
+TRAIN_STATE_SITE = "trainer.state"
 
 
 def _optimizer_state(optimizer) -> Dict[str, np.ndarray]:
@@ -48,8 +67,13 @@ def save_checkpoint(model: Module, path: str | Path,
     :class:`~repro.nn.SGD` instance; other types raise ``TypeError``.
     ``metadata`` must be JSON-serializable; it is stored alongside the
     arrays and returned by :func:`load_checkpoint`.
+
+    The write is atomic (temp file + ``os.replace``) and the returned
+    path carries the normalized ``.npz`` suffix — which may differ from
+    the ``path`` argument, exactly as ``np.savez`` would have appended
+    it on disk.
     """
-    path = Path(path)
+    path = normalize_suffix(Path(path), ".npz")
     arrays: Dict[str, np.ndarray] = {
         f"param/{name}": p.data for name, p in model.named_parameters()}
     if optimizer is not None:
@@ -64,9 +88,7 @@ def save_checkpoint(model: Module, path: str | Path,
     }
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    return atomic_save_npz(path, arrays, site=CHECKPOINT_SITE)
 
 
 def _restore_optimizer(optimizer, meta: Dict[str, object], archive) -> None:
@@ -126,3 +148,63 @@ def load_checkpoint(model: Module, path: str | Path,
         if optimizer is not None:
             _restore_optimizer(optimizer, meta, archive)
     return meta["user"]
+
+
+def save_training_state(model: Module, optimizer, path: str | Path,
+                        state: Dict[str, object],
+                        best_state: Optional[Dict[str, np.ndarray]] = None
+                        ) -> Path:
+    """Atomically persist a complete mid-training resume point.
+
+    One archive holds the current parameters, the optimizer buffers, the
+    best-so-far parameter snapshot (``best/...`` keys, for early
+    stopping), and ``state`` — an arbitrary JSON-serializable dict of
+    trainer bookkeeping (epoch counters, RNG streams, metric history).
+    """
+    path = normalize_suffix(Path(path), ".npz")
+    arrays: Dict[str, np.ndarray] = {
+        f"param/{name}": p.data for name, p in model.named_parameters()}
+    arrays.update(_optimizer_state(optimizer))
+    for name, value in (best_state or {}).items():
+        arrays[f"best/{name}"] = np.asarray(value)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_parameters": model.num_parameters(),
+        "has_optimizer": True,
+        "optimizer_type": type(optimizer).__name__,
+        "train_state": state,
+        "user": {},
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    return atomic_save_npz(path, arrays, site=TRAIN_STATE_SITE)
+
+
+def load_training_state(model: Module, optimizer, path: str | Path
+                        ) -> Tuple[Dict[str, object],
+                                   Optional[Dict[str, np.ndarray]]]:
+    """Restore a resume point saved by :func:`save_training_state`.
+
+    Returns ``(state, best_state)``.  Validation mirrors
+    :func:`load_checkpoint`: mismatched names/shapes/optimizer types
+    raise before the model or optimizer is touched.  Raises
+    ``FileNotFoundError`` when no resume point exists and the usual
+    corruption errors (``ValueError``/``zipfile.BadZipFile``/``OSError``)
+    on a damaged archive — callers decide whether to start fresh.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta['format_version']}")
+        if "train_state" not in meta:
+            raise KeyError(f"{path} is a plain checkpoint, not a "
+                           f"training-state archive")
+        params = {key[len("param/"):]: archive[key]
+                  for key in archive.files if key.startswith("param/")}
+        best = {key[len("best/"):]: archive[key].copy()
+                for key in archive.files if key.startswith("best/")}
+        model.load_state_dict(params)
+        _restore_optimizer(optimizer, meta, archive)
+    return meta["train_state"], (best or None)

@@ -5,12 +5,30 @@ early stopping when validation HR@20 fails to improve for ``patience``
 consecutive epochs, and restoring the best checkpoint at the end.  Models
 may expose ``on_batch_end()`` (e.g. SSDRec anneals its Gumbel temperature
 every 40 batches) and ``loss(batch)``.
+
+Crash-safe training: with ``TrainConfig.checkpoint_path`` set, the
+trainer atomically persists a full resume point after every
+``checkpoint_every`` epochs — parameters, optimizer buffers, best-so-far
+snapshot, early-stop counters, metric history, the data loader's shuffle
+stream, the model's own RNG stream, and any model-specific
+``train_state()`` (SSDRec's Gumbel temperature schedules).  A run killed
+mid-training and restarted with ``resume=True`` continues from the last
+completed epoch and reaches **bitwise-identical** final metrics, because
+every source of state the remaining epochs consume is restored exactly.
+
+Exactness is not guaranteed with a stateful LR ``scheduler_factory``
+(scheduler internals beyond the current learning rate are not
+serialized); the run store never uses schedulers, so its cached entries
+are unaffected.
 """
 
 from __future__ import annotations
 
+import logging
 import time
+import zipfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -20,6 +38,10 @@ from ..data.dataset import SequenceSplit
 from ..eval.evaluator import Evaluator
 from ..nn import Adam, clip_grad_norm
 from ..nn.layers import Embedding
+from ..nn.rng import generator_state, restore_generator_state
+from .checkpoint import load_training_state, save_training_state
+
+logger = logging.getLogger("repro.train")
 
 
 @dataclass
@@ -42,6 +64,14 @@ class TrainConfig:
     #: saved-tensor version checks, NaN/Inf and broadcast-grad detection,
     #: dead-gradient tracking; zero overhead when False.
     sanitize: bool = False
+    #: where to persist the crash-resume point (``.npz``); None disables
+    #: mid-training checkpointing entirely.
+    checkpoint_path: Optional[str] = None
+    #: persist the resume point every N completed epochs.
+    checkpoint_every: int = 1
+    #: continue from an existing resume point at ``checkpoint_path``
+    #: (missing or unreadable state falls back to a fresh run).
+    resume: bool = False
 
 
 @dataclass
@@ -126,7 +156,23 @@ class Trainer:
         history: List[Dict[str, float]] = []
         epoch_times: List[float] = []
         stopped_early = False
-        for epoch in range(config.epochs):
+        start_epoch = 0
+        resumed = self._try_resume(loader) if config.resume else None
+        if resumed is not None:
+            state, best_state = resumed
+            start_epoch = int(state["epoch"]) + 1
+            best_metric = float(state["best_metric"])
+            best_epoch = int(state["best_epoch"])
+            bad_epochs = int(state["bad_epochs"])
+            history = list(state["history"])
+            epoch_times = list(state["epoch_times"])
+            stopped_early = bool(state["stopped_early"])
+            if config.verbose:
+                print(f"resuming from epoch {start_epoch} "
+                      f"({config.checkpoint_path})")
+        for epoch in range(start_epoch, config.epochs):
+            if stopped_early:
+                break
             start = time.perf_counter()
             epoch_loss = self._train_one_epoch(loader)
             epoch_times.append(time.perf_counter() - start)
@@ -148,7 +194,16 @@ class Trainer:
                 bad_epochs += 1
                 if bad_epochs >= config.patience:
                     stopped_early = True
-                    break
+            if config.checkpoint_path is not None and (
+                    stopped_early
+                    or epoch == config.epochs - 1
+                    or (epoch + 1 - start_epoch) % config.checkpoint_every
+                    == 0):
+                self._save_resume_point(
+                    loader, epoch=epoch, best_metric=best_metric,
+                    best_epoch=best_epoch, bad_epochs=bad_epochs,
+                    history=history, epoch_times=epoch_times,
+                    stopped_early=stopped_early, best_state=best_state)
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self._refresh_padding_rows()
@@ -157,9 +212,63 @@ class Trainer:
             best_epoch=best_epoch,
             epochs_run=len(history),
             history=history,
-            train_seconds_per_epoch=float(np.mean(epoch_times)),
+            train_seconds_per_epoch=(float(np.mean(epoch_times))
+                                     if epoch_times else 0.0),
             stopped_early=stopped_early,
         )
+
+    # ------------------------------------------------------------------
+    # crash resume
+    def _save_resume_point(self, loader: DataLoader, *, epoch: int,
+                           best_metric: float, best_epoch: int,
+                           bad_epochs: int, history, epoch_times,
+                           stopped_early: bool, best_state) -> None:
+        state: Dict[str, object] = {
+            "epoch": epoch,
+            "best_metric": float(best_metric),
+            "best_epoch": best_epoch,
+            "bad_epochs": bad_epochs,
+            "history": history,
+            "epoch_times": epoch_times,
+            "stopped_early": stopped_early,
+            "lr": float(self.optimizer.lr),
+            "loader_rng": loader.rng_state(),
+        }
+        model_rng = getattr(self.model, "rng", None)
+        if model_rng is not None:
+            state["model_rng"] = generator_state(model_rng)
+        model_state_fn = getattr(self.model, "train_state", None)
+        if model_state_fn is not None:
+            state["model_state"] = model_state_fn()
+        save_training_state(self.model, self.optimizer,
+                            self.config.checkpoint_path, state,
+                            best_state=best_state)
+
+    def _try_resume(self, loader: DataLoader):
+        """Load the resume point; None (fresh start) if absent/unreadable."""
+        if self.config.checkpoint_path is None:
+            return None
+        path = Path(self.config.checkpoint_path)
+        try:
+            state, best_state = load_training_state(
+                self.model, self.optimizer, path)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            logger.warning("ignoring unreadable training state %s "
+                           "(%s: %s); starting fresh",
+                           path, type(exc).__name__, exc)
+            return None
+        self.optimizer.lr = float(state["lr"])
+        loader.set_rng_state(state["loader_rng"])
+        model_rng = getattr(self.model, "rng", None)
+        if model_rng is not None and "model_rng" in state:
+            restore_generator_state(model_rng, state["model_rng"])
+        load_model_state = getattr(self.model, "load_train_state", None)
+        if load_model_state is not None and "model_state" in state:
+            load_model_state(state["model_state"])
+        self._refresh_padding_rows()
+        return state, best_state
 
     def _step_scheduler(self, metric: float) -> float:
         """Advance the LR schedule (metric-driven or epoch-indexed)."""

@@ -38,7 +38,8 @@ class TestLiveTree:
         assert set(RULES) == {"unseeded-rng", "fused-oracle",
                               "eval-no-grad", "bare-parameter",
                               "serve-graph-free",
-                              "experiments-via-registry"}
+                              "experiments-via-registry",
+                              "atomic-persistence"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -252,6 +253,56 @@ class TestExperimentsViaRegistryRule:
                 return SSDRec(prepared.dataset, rng=rng)
         """})
         assert run_lint(root, rules=["experiments-via-registry"]) == []
+
+
+class TestAtomicPersistenceRule:
+    def test_flags_inplace_writes_in_persistence_modules(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"runs.py": """
+            import json
+            import numpy as np
+
+            def persist(entry, spec, ranks):
+                (entry / "spec.json").write_text(json.dumps(spec))
+                np.save(entry / "ranks.npy", ranks)
+                with open(entry / "metrics.json", "w") as fh:
+                    fh.write("{}")
+        """})
+        violations = run_lint(root, rules=["atomic-persistence"])
+        assert [v.line for v in violations] == [6, 7, 8]
+        assert all(v.rule == "atomic-persistence" for v in violations)
+
+    def test_clean_with_atomic_helpers_and_reads(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "runs.py": """
+                import json
+                import numpy as np
+
+                from .resilience.atomic import atomic_write_text, npy_bytes
+
+                def persist(entry, spec):
+                    atomic_write_text(entry / "spec.json", json.dumps(spec))
+
+                def load(entry):
+                    with open(entry / "metrics.json") as fh:
+                        return json.load(fh), np.load(entry / "ranks.npy")
+            """,
+            "train/checkpoint.py": """
+                from ..resilience.atomic import atomic_save_npz
+
+                def save(path, arrays):
+                    return atomic_save_npz(path, arrays)
+            """,
+        })
+        assert run_lint(root, rules=["atomic-persistence"]) == []
+
+    def test_other_modules_untouched(self, tmp_path):
+        # In-place writes outside the persistence modules (reports,
+        # benchmarks) are fine — the rule targets run-store artifacts.
+        root = write_tree(tmp_path / "repro", {"analysis/report.py": """
+            def write(path, text):
+                path.write_text(text)
+        """})
+        assert run_lint(root, rules=["atomic-persistence"]) == []
 
 
 class TestStaticCheckScript:

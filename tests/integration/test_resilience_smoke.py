@@ -1,0 +1,35 @@
+"""End-to-end chaos gate: ``scripts/resilience_smoke.py`` must pass.
+
+One reduced-trial run of the full harness — subprocess hard-kill with
+resume, randomized run-store faults, and faulted serving bursts — and a
+sanity check of the machine-readable report it writes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "resilience_smoke.py"
+
+
+class TestResilienceSmoke:
+    def test_gate_passes_and_writes_report(self, tmp_path):
+        report = tmp_path / "BENCH_resilience.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--trials", "1",
+             "--json", str(report)],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+        payload = json.loads(report.read_text())
+        assert payload["resume"]["kill_exit_code"] == 70
+        assert payload["resume"]["resume_point_after_kill"]
+        assert payload["resume"]["resumed_matches_uninterrupted"]
+        assert payload["runstore"]["corrupted_entries_served"] == 0
+        assert all(t["matches_reference"]
+                   for t in payload["runstore"]["trials"])
+        assert payload["serving"]["dropped_requests"] == 0
+        assert payload["serving"]["unrecovered_requests"] == 0

@@ -1,9 +1,11 @@
-"""RecommendService: micro-batching, LRU cache, incremental append."""
+"""RecommendService: micro-batching, LRU cache, incremental append,
+and failure isolation under injected encode/score/forward faults."""
 
 import numpy as np
 import pytest
 
 from repro.models import GRU4Rec, SASRec, SRGNN
+from repro.resilience import Fault, FaultPlan, SimulatedCrash
 from repro.serve import RecommendService, freeze
 
 DIM = 16
@@ -179,3 +181,83 @@ class TestIncrementalAppend:
             [short, long])[0]
         np.testing.assert_array_equal(alone.items, padded.items)
         np.testing.assert_allclose(alone.scores, padded.scores, atol=1e-12)
+
+
+class TestFailureIsolation:
+    """Injected faults at serve.encode / serve.score / serve.forward:
+    one bad chunk must never take down the whole flush."""
+
+    def test_failing_encode_chunk_recovers_per_request(self, sasrec_plan):
+        requests = random_requests(np.random.default_rng(6), 8)
+        service = RecommendService(sasrec_plan, k=5, max_batch=4,
+                                   cache_size=0)
+        with FaultPlan([Fault(site="serve.encode", action="raise")]):
+            results = service.recommend_many(requests)
+        assert len(results) == len(requests)
+        assert not any(r.failed for r in results)
+        assert service.stats.chunk_retries == 1
+        reference = RecommendService(sasrec_plan, k=5, cache_size=0)
+        for req, rec in zip(requests, results):
+            expected = reference.recommend(*req)
+            np.testing.assert_array_equal(rec.items, expected.items)
+            np.testing.assert_allclose(rec.scores, expected.scores,
+                                       atol=1e-9)
+
+    def test_persistent_encode_fault_answers_with_errors(self, sasrec_plan):
+        requests = random_requests(np.random.default_rng(7), 6)
+        service = RecommendService(sasrec_plan, k=5, max_batch=4,
+                                   cache_size=0)
+        with FaultPlan([Fault(site="serve.encode", action="raise",
+                              count=1000)]):
+            results = service.recommend_many(requests)
+        assert len(results) == len(requests)        # nothing dropped
+        assert all(r.failed for r in results)
+        assert all("FaultInjected" in r.error for r in results)
+        assert all(r.items.size == 0 for r in results)
+        assert service.stats.errors == len(requests)
+        assert service.flush() == []                # queue was drained
+        # Error results are never cached: the same request succeeds
+        # once the fault clears.
+        healthy = service.recommend(*requests[0])
+        assert not healthy.failed
+
+    def test_failing_score_chunk_recovers_per_row(self, sasrec_plan):
+        requests = random_requests(np.random.default_rng(8), 5)
+        service = RecommendService(sasrec_plan, k=5, cache_size=0)
+        with FaultPlan([Fault(site="serve.score", action="raise")]):
+            results = service.recommend_many(requests)
+        assert not any(r.failed for r in results)
+        assert service.stats.chunk_retries == 1
+        reference = RecommendService(sasrec_plan, k=5, cache_size=0)
+        for req, rec in zip(requests, results):
+            np.testing.assert_array_equal(
+                rec.items, reference.recommend(*req).items)
+
+    def test_fallback_forward_fault_isolated_and_cached(self):
+        model = SRGNN(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(9))
+        service = RecommendService(model, k=4, max_batch=4)
+        requests = random_requests(np.random.default_rng(10), 4, min_len=2)
+        with FaultPlan([Fault(site="serve.forward", action="raise")]):
+            results = service.recommend_many(requests)
+        assert not any(r.failed for r in results)
+        assert service.stats.chunk_retries == 1
+        # Per-request retry results land in the same LRU as the batched
+        # path: an exact repeat is a cache hit.
+        again = service.recommend(*requests[0])
+        assert again.from_cache
+        np.testing.assert_array_equal(again.items, results[0].items)
+
+    def test_escaping_exception_preserves_queue(self, sasrec_plan):
+        """SimulatedCrash is a BaseException: it escapes the per-chunk
+        containment, and the pending queue must survive for a retry."""
+        requests = random_requests(np.random.default_rng(11), 3)
+        service = RecommendService(sasrec_plan, k=5, cache_size=0)
+        for user, seq in requests:
+            service.enqueue(user, seq)
+        with FaultPlan([Fault(site="serve.encode", action="kill")]):
+            with pytest.raises(SimulatedCrash):
+                service.flush()
+        retried = service.flush()                   # plan disarmed
+        assert len(retried) == len(requests)
+        assert not any(r.failed for r in retried)

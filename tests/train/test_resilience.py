@@ -1,0 +1,351 @@
+"""Chaos/crash tests: fault harness, atomic persistence, exact resume.
+
+Covers the crash-safety contract end to end: the deterministic
+:class:`FaultPlan` harness itself, the write-then-``os.replace`` atomic
+helpers, suffix-normalized atomic checkpoints, run-store recovery from
+truncated/partial/torn artifacts, and the headline guarantee — a
+training run killed mid-way resumes to bitwise-identical final metrics.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.data import generate, leave_one_out_split
+from repro.models import GRU4Rec
+from repro.registry import model_spec
+from repro.resilience import (Fault, FaultInjected, FaultPlan,
+                              SimulatedCrash, atomic_save_npz,
+                              atomic_write_bytes, clean_stale_tmp,
+                              fault_point, filter_payload, is_tmp_artifact)
+from repro.runs import RunStore, run_spec
+from repro.train import (TrainConfig, Trainer, load_checkpoint,
+                         load_training_state, save_checkpoint,
+                         save_training_state)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return leave_one_out_split(generate("beauty", seed=0, scale=0.3),
+                               max_len=10)
+
+
+def make_model(seed=0):
+    return GRU4Rec(num_items=72, dim=16, max_len=10,
+                   rng=np.random.default_rng(seed))
+
+
+def smoke_spec(**overrides):
+    defaults = dict(train={"epochs": 2, "batch_size": 64}, seed=0)
+    defaults.update(overrides)
+    return run_spec("beauty", "smoke", model_spec("GRU4Rec", dim=8),
+                    **defaults)
+
+
+class TestFaultPlan:
+    def test_unarmed_sites_are_noops(self):
+        fault_point("nowhere")  # no plan armed: must not raise
+        assert filter_payload("nowhere", b"data") == b"data"
+
+    def test_raise_fires_on_exact_hit(self):
+        plan = FaultPlan([Fault(site="s", action="raise", hit=2)])
+        with plan:
+            fault_point("s")  # hit 1: passes
+            with pytest.raises(FaultInjected):
+                fault_point("s")  # hit 2: fires
+            fault_point("s")  # hit 3: passes again
+        assert [f.hit for f in plan.fired] == [2]
+
+    def test_count_spans_consecutive_hits(self):
+        plan = FaultPlan([Fault(site="s", action="raise", hit=1, count=2)])
+        with plan:
+            for _ in range(2):
+                with pytest.raises(FaultInjected):
+                    fault_point("s")
+            fault_point("s")  # hit 3: beyond the window
+
+    def test_kill_is_uncatchable_by_except_exception(self):
+        plan = FaultPlan([Fault(site="s", action="kill")])
+        with plan:
+            with pytest.raises(SimulatedCrash):
+                try:
+                    fault_point("s")
+                except Exception:  # recovery code must not survive a kill
+                    pytest.fail("SimulatedCrash was caught as Exception")
+
+    def test_only_one_plan_armed(self):
+        with FaultPlan([]):
+            with pytest.raises(RuntimeError, match="already armed"):
+                FaultPlan([]).arm()
+
+    def test_truncate_and_corrupt_are_deterministic(self):
+        data = bytes(range(256)) * 8
+        fault = Fault(site="p", action="truncate", fraction=0.25)
+        with FaultPlan([fault]) as plan:
+            cut = plan.damage("p", data)
+        assert cut == data[:len(data) // 4]
+        with FaultPlan([Fault(site="p", action="corrupt")], seed=7) as one:
+            first = one.damage("p", data)
+        with FaultPlan([Fault(site="p", action="corrupt")], seed=7) as two:
+            second = two.damage("p", data)
+        assert first == second != data
+
+    def test_random_plans_reproducible(self):
+        kwargs = dict(point_sites=["a", "b"], payload_sites=["c"],
+                      seed=11, faults=4)
+        one = FaultPlan.random(**kwargs)
+        two = FaultPlan.random(**kwargs)
+        assert [vars(f) for f in one.faults] == [vars(f) for f in two.faults]
+        assert all(f.action != "kill" for f in one.faults)
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan([Fault(site="s", action="truncate", hit=3,
+                                fraction=0.4)], seed=5)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert [vars(f) for f in restored.faults] == \
+            [vars(f) for f in plan.faults]
+        assert restored.seed == 5
+
+
+class TestAtomicWrites:
+    def test_fault_before_leaves_destination_untouched(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+        with FaultPlan([Fault(site="w.before", action="raise")]):
+            with pytest.raises(FaultInjected):
+                atomic_write_bytes(target, b"new", site="w")
+        assert target.read_bytes() == b"old"
+
+    def test_fault_at_replace_keeps_old_content(self, tmp_path):
+        # The crash window between fsync and rename: destination intact,
+        # only a stale temp file left behind — which cleanup removes.
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+        with FaultPlan([Fault(site="w.replace", action="raise")]):
+            with pytest.raises(FaultInjected):
+                atomic_write_bytes(target, b"new", site="w")
+        assert target.read_bytes() == b"old"
+        atomic_write_bytes(target, b"new", site=None)
+        assert target.read_bytes() == b"new"
+        assert clean_stale_tmp(tmp_path) == 0  # failed write self-cleaned
+
+    def test_hard_kill_window_leaves_only_tmp(self, tmp_path):
+        # SimulatedCrash (BaseException) still unwinds through the
+        # cleanup handler; what matters is the destination never holds
+        # a torn write.
+        target = tmp_path / "data.bin"
+        with FaultPlan([Fault(site="w.replace", action="kill")]):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(target, b"new", site="w")
+        assert not target.exists()
+
+    def test_payload_faults_land_in_final_file(self, tmp_path):
+        # truncate/corrupt simulate bitrot the *readers* must detect:
+        # the damaged bytes are committed to the destination.
+        target = tmp_path / "data.bin"
+        payload = b"x" * 100
+        with FaultPlan([Fault(site="w", action="truncate", fraction=0.5)]):
+            atomic_write_bytes(target, payload, site="w")
+        assert target.read_bytes() == payload[:50]
+
+    def test_tmp_artifact_naming(self, tmp_path):
+        assert is_tmp_artifact(tmp_path / ".model.npz.tmp-123")
+        assert not is_tmp_artifact(tmp_path / "model.npz")
+        (tmp_path / ".stale.tmp-999").write_bytes(b"")
+        assert clean_stale_tmp(tmp_path) == 1
+
+
+class TestAtomicCheckpoint:
+    def test_suffix_normalized_and_returned(self, tmp_path):
+        # np.savez used to append .npz silently, diverging from the
+        # caller's path; save_checkpoint now returns the real path.
+        model = make_model()
+        returned = save_checkpoint(model, tmp_path / "weights")
+        assert returned == tmp_path / "weights.npz"
+        assert returned.exists()
+        load_checkpoint(make_model(1), returned)
+
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "model.npz"
+        model = make_model()
+        save_checkpoint(model, path)
+        before = path.read_bytes()
+        with FaultPlan([Fault(site="checkpoint.save.replace",
+                              action="raise")]):
+            with pytest.raises(FaultInjected):
+                save_checkpoint(make_model(1), path)
+        assert path.read_bytes() == before
+
+    def test_truncated_checkpoint_raises_cleanly(self, tmp_path):
+        path = tmp_path / "model.npz"
+        model = make_model()
+        save_checkpoint(model, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises((zipfile.BadZipFile, ValueError, KeyError,
+                            OSError)):
+            load_checkpoint(make_model(1), path)
+
+    def test_training_state_roundtrip(self, tmp_path, split):
+        model = make_model()
+        trainer = Trainer(model, split, TrainConfig(epochs=1, batch_size=32))
+        trainer.fit()
+        state = {"epoch": 0, "note": "x"}
+        best = model.state_dict()
+        path = save_training_state(model, trainer.optimizer,
+                                   tmp_path / "state.npz", state,
+                                   best_state=best)
+        fresh = make_model(1)
+        fresh_trainer = Trainer(fresh, split,
+                                TrainConfig(epochs=1, batch_size=32))
+        loaded_state, loaded_best = load_training_state(
+            fresh, fresh_trainer.optimizer, path)
+        assert loaded_state == state
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(fresh.state_dict()[name], value)
+            np.testing.assert_array_equal(loaded_best[name], best[name])
+        assert fresh_trainer.optimizer._t == trainer.optimizer._t
+        for ours, theirs in zip(fresh_trainer.optimizer._m,
+                                trainer.optimizer._m):
+            np.testing.assert_array_equal(ours, theirs)
+
+
+class TestTrainerResume:
+    def _fit(self, split, tmp_path, name, epochs=5, crash_at=None):
+        model = make_model(seed=3)
+        config = TrainConfig(epochs=epochs, batch_size=32, patience=10,
+                             seed=3, checkpoint_path=str(tmp_path / name),
+                             resume=True)
+        trainer = Trainer(model, split, config)
+        if crash_at is None:
+            return model, trainer.fit()
+        plan = FaultPlan([Fault(site="trainer.state.before", action="kill",
+                                hit=crash_at)])
+        with plan:
+            with pytest.raises(SimulatedCrash):
+                trainer.fit()
+        return model, None
+
+    def test_kill_and_resume_bitwise_identical(self, split, tmp_path):
+        ref_model, reference = self._fit(split, tmp_path, "ref.npz")
+        # Crash at the third per-epoch save (i.e. after epoch 2's
+        # training work, before its state is persisted).
+        self._fit(split, tmp_path, "crash.npz", crash_at=3)
+        resumed_model, resumed = self._fit(split, tmp_path, "crash.npz")
+        assert resumed.history == reference.history
+        assert resumed.best_metric == reference.best_metric
+        assert resumed.best_epoch == reference.best_epoch
+        for name, value in ref_model.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed_model.state_dict()[name], value)
+
+    def test_resume_after_completion_is_a_noop(self, split, tmp_path):
+        _, first = self._fit(split, tmp_path, "done.npz", epochs=3)
+        model, second = self._fit(split, tmp_path, "done.npz", epochs=3)
+        assert second.history == first.history
+        assert second.best_metric == first.best_metric
+
+    def test_missing_or_garbage_state_starts_fresh(self, split, tmp_path):
+        model = make_model()
+        path = tmp_path / "state.npz"
+        config = TrainConfig(epochs=1, batch_size=32, seed=0,
+                             checkpoint_path=str(path), resume=True)
+        result = Trainer(model, split, config).fit()  # nothing to resume
+        assert result.epochs_run == 1
+        path.write_bytes(b"garbage")
+        fresh = make_model()
+        result = Trainer(fresh, split, config).fit()  # unreadable: fresh
+        assert result.epochs_run == 1
+
+
+class TestRunStoreChaos:
+    def test_truncated_entry_checkpoint_retrains(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        first = store.run(spec)
+        blob = first.checkpoint.read_bytes()
+        first.checkpoint.write_bytes(blob[:len(blob) // 2])
+        model = store.load_model(spec)  # warns, invalidates, retrains
+        for name, value in model.state_dict().items():
+            assert np.isfinite(value).all(), name
+        assert store.stats()["misses"] == 2
+
+    def test_partial_metrics_json_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        first = store.run(spec)
+        metrics = store.entry_dir(spec) / "metrics.json"
+        metrics.write_text(metrics.read_text()[:40])  # torn write
+        again = store.run(spec)
+        assert not again.cached
+        assert again.test_metrics == first.test_metrics
+
+    def test_fault_between_ranks_and_metrics_never_commits(self, tmp_path):
+        # The classic torn-entry scenario: ranks.npy is on disk but the
+        # commit marker never lands.  The next run must see a miss and
+        # rebuild an entry bitwise-identical to an unfaulted one.
+        reference = RunStore(tmp_path / "ref").run(smoke_spec())
+        store = RunStore(tmp_path / "chaos")
+        spec = smoke_spec()
+        with FaultPlan([Fault(site="runs.metrics.before", action="raise")]):
+            with pytest.raises(FaultInjected):
+                store.run(spec)
+        entry = store.entry_dir(spec)
+        assert (entry / "ranks.npy").exists()
+        assert not (entry / "metrics.json").exists()
+        outcome = store.run(spec)
+        assert not outcome.cached
+        assert outcome.test_metrics == reference.test_metrics
+        np.testing.assert_array_equal(outcome.test_ranks,
+                                      reference.test_ranks)
+
+    def test_corrupted_ranks_payload_detected_by_digest(self, tmp_path):
+        # ranks.npy has no internal checksum; the stored sha256 of the
+        # intended bytes must catch silent data-region corruption.
+        reference = RunStore(tmp_path / "ref").run(smoke_spec())
+        store = RunStore(tmp_path / "chaos")
+        spec = smoke_spec()
+        with FaultPlan([Fault(site="runs.ranks", action="corrupt")],
+                       seed=3):
+            store.run(spec)  # payload fault: commits a damaged entry
+        outcome = store.run(spec)  # digest mismatch -> miss -> retrain
+        assert not outcome.cached
+        np.testing.assert_array_equal(outcome.test_ranks,
+                                      reference.test_ranks)
+
+    def test_code_bug_propagates_instead_of_silent_retrain(self, tmp_path,
+                                                           monkeypatch):
+        store = RunStore(tmp_path)
+        spec = smoke_spec()
+        store.run(spec)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("genuine code bug")
+        monkeypatch.setattr("repro.runs.load_checkpoint", boom)
+        with pytest.raises(RuntimeError, match="genuine code bug"):
+            store.load_model(spec)
+        assert store.stats()["misses"] == 1  # no silent retrain happened
+
+    def test_killed_training_resumes_in_store(self, tmp_path):
+        # Kill the in-store training at the second per-epoch save, then
+        # rerun: the entry must resume (not restart) and match an
+        # uninterrupted store bit for bit.
+        spec = smoke_spec(train={"epochs": 3, "batch_size": 64})
+        reference = RunStore(tmp_path / "ref").run(spec)
+        store = RunStore(tmp_path / "chaos")
+        with FaultPlan([Fault(site="trainer.state.before", action="kill",
+                              hit=2)]):
+            with pytest.raises(SimulatedCrash):
+                store.run(spec)
+        entry = store.entry_dir(spec)
+        assert (entry / "train_state.npz").exists()
+        assert not (entry / "metrics.json").exists()
+        outcome = store.run(spec)
+        assert outcome.test_metrics == reference.test_metrics
+        np.testing.assert_array_equal(outcome.test_ranks,
+                                      reference.test_ranks)
+        assert outcome.result.history == reference.result.history
+        # committed entries carry no resume point
+        assert not (entry / "train_state.npz").exists()
