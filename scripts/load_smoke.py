@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Load smoke gate: the sharded serving cluster under sustained traffic.
+
+Drives :mod:`repro.serve.load` — a seeded open-loop Zipf traffic
+generator against :class:`repro.serve.ClusterService` — and writes
+``BENCH_load.json``.  Four gates, nonzero exit if any fails:
+
+* **scaling** — 4-worker saturation throughput >= 2.5x single-worker on
+  ml-100k when the host has >= 4 cores; on smaller machines (CI
+  containers pinned to one core cannot run workers in parallel) the bar
+  relaxes to a bounded-overhead check and the mode in force is recorded
+  in the report under ``scaling.mode``.
+* **SLO** — p95 latency at the gated QPS level stays under the SLO.
+* **chaos** — one worker is hard-killed mid-burst through the
+  ``serve.worker.batch`` fault site; every request must still be
+  answered (zero silently dropped) and the victim must actually have
+  been respawned.
+* **parity** — sharded results are bitwise-identical to a
+  single-process ``RecommendService`` fed the same micro-batches.
+
+Runnable locally and in CI alongside tier-1 tests:
+
+    PYTHONPATH=src python scripts/load_smoke.py [--seed N] [--quick]
+
+The whole run is derived from ``--seed``: request streams, per-user
+sequence growth, the chaos schedule, and shard routing are identical
+across reruns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.report import finish, write_json_report  # noqa: E402
+from repro.experiments.config import SCALES  # noqa: E402
+from repro.serve.load import (LoadConfig, evaluate_gates,  # noqa: E402
+                              render, run_load_bench)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=Path,
+                        default=REPO_ROOT / "BENCH_load.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile", default="ml-100k")
+    parser.add_argument("--model", default="SASRec")
+    parser.add_argument("--scale", default="smoke",
+                        choices=sorted(SCALES))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request pools (half-size bursts)")
+    args = parser.parse_args()
+
+    config = LoadConfig(profile=args.profile, model=args.model,
+                        seed=args.seed)
+    if args.quick:
+        config.saturation_requests //= 2
+        config.chaos_requests //= 2
+        config.rounds = 1
+        config.duration_s /= 2
+
+    print(f"load benchmark: {config.model} on {config.profile} "
+          f"({args.scale} scale, seed {config.seed})...")
+    report = run_load_bench(config, SCALES[args.scale])
+    print(render(report))
+
+    failures = evaluate_gates(report, config)
+    report["gate_failures"] = failures
+    write_json_report(args.json, report)
+
+    scaling = report["scaling"]
+    return finish(
+        ok=not failures,
+        ok_message=(f"cluster sustains "
+                    f"{scaling['best_multi_worker_users_per_s']:,.0f} "
+                    f"users/s ({scaling['speedup_vs_single']}x single-"
+                    f"worker, {scaling['mode']} mode); chaos answered "
+                    f"{report['chaos']['answered']}/"
+                    f"{report['chaos']['requests']} with "
+                    f"{report['chaos']['worker_restarts']} restart(s); "
+                    f"parity bitwise-identical"),
+        fail_message=f"load gate failures: {'; '.join(failures)}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

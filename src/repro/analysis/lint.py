@@ -38,6 +38,15 @@ rules:
     factories from ``repro.nn``.  ``serve/bench.py`` is exempt: it times
     the Tensor path as the comparison baseline.
 
+``worker-boundary``
+    The cluster's process-boundary modules (``serve/cluster.py``,
+    ``serve/router.py``) may pass only plain primitives and NumPy
+    arrays across the worker boundary: no imports from ``repro.nn`` at
+    all, and no pipe ``send``/``Process(args=...)`` payload may
+    reference a model/plan/Tensor object or a lambda.  The frozen plan
+    crosses as a spool-file *path* (the spooled ``FrozenPlan`` itself is
+    pure NumPy — ``serve-graph-free`` keeps it that way).
+
 ``experiments-via-registry``
     Experiment runners (``src/repro/experiments``) must construct models
     through :func:`repro.registry.build` — no direct backbone/denoiser/
@@ -95,6 +104,22 @@ _GRAPH_FACTORY_IMPORTS = {"Tensor", "ensure_tensor", "Parameter", "zeros",
 
 #: serve/ modules allowed to touch the Tensor path (benchmark baseline).
 SERVE_GRAPH_FREE_EXEMPT = {"serve/bench.py"}
+
+#: Modules forming the serving cluster's process boundary.
+WORKER_BOUNDARY_MODULES = ("serve/cluster.py", "serve/router.py")
+
+#: Identifiers that name live model/plan/Tensor objects; none may appear
+#: in a payload sent over a worker pipe or in ``Process(args=...)``.
+_BOUNDARY_BANNED_NAMES = frozenset({"plan", "model", "module", "tensor",
+                                    "Tensor", "Parameter"})
+
+#: Constructors whose results must never cross the worker boundary.
+_BOUNDARY_BANNED_CALLS = frozenset({"Tensor", "Parameter", "ensure_tensor",
+                                    "freeze"})
+
+#: Method names that ship a payload to another process.
+_BOUNDARY_SEND_METHODS = frozenset({"send", "send_bytes", "put",
+                                    "put_nowait"})
 
 #: Model class names experiment runners may not instantiate directly
 #: (static mirror of BACKBONES + EXTENSION_BACKBONES + DENOISERS +
@@ -435,6 +460,72 @@ def check_serve_graph_free(project: Project) -> List[Violation]:
                     message=(f"{offender}() call builds an autograd "
                              f"graph inside the frozen inference "
                              f"engine")))
+    return violations
+
+
+def _boundary_payload_violations(project: Project, rel: str,
+                                 payload: ast.AST) -> List[Violation]:
+    """Findings for one expression shipped across the worker boundary."""
+    banned_calls = _BOUNDARY_BANNED_CALLS | MODEL_CLASS_NAMES
+    banned_names = _BOUNDARY_BANNED_NAMES | MODEL_CLASS_NAMES
+    violations: List[Violation] = []
+    for node in ast.walk(payload):
+        offender = None
+        if isinstance(node, ast.Lambda):
+            offender = "a lambda (unpicklable, hides arbitrary state)"
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is not None and name.split(".")[-1] in banned_calls:
+                offender = f"a {name.split('.')[-1]}(...) object"
+        elif isinstance(node, ast.Name) and node.id in banned_names:
+            offender = f"identifier {node.id!r}"
+        elif isinstance(node, ast.Attribute) and node.attr in banned_names:
+            offender = f"attribute .{node.attr}"
+        if offender is not None:
+            violations.append(Violation(
+                rule="worker-boundary", path=project.display_path(rel),
+                line=node.lineno,
+                message=(f"{offender} crosses the worker process "
+                         f"boundary; only plain primitives and NumPy "
+                         f"arrays may be pickled over worker pipes "
+                         f"(ship the plan as a spool-file path)")))
+    return violations
+
+
+@rule("worker-boundary",
+      "cluster boundary modules (serve/cluster.py, serve/router.py) may "
+      "pickle only primitives and NumPy arrays across the worker "
+      "boundary — no Tensor/Module/plan objects, no repro.nn imports")
+def check_worker_boundary(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel in WORKER_BOUNDARY_MODULES:
+        tree = project.modules.get(rel)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if "nn" in module.split("."):
+                    names = ", ".join(a.name for a in node.names)
+                    violations.append(Violation(
+                        rule="worker-boundary",
+                        path=project.display_path(rel), line=node.lineno,
+                        message=(f"imports {names} from repro.nn; "
+                                 f"nothing from the Tensor/Module layer "
+                                 f"may exist in a worker-boundary "
+                                 f"module")))
+            elif isinstance(node, ast.Call):
+                payloads: List[ast.AST] = []
+                if isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in _BOUNDARY_SEND_METHODS:
+                    payloads = list(node.args) + [kw.value
+                                                  for kw in node.keywords]
+                elif (_call_name(node) or "").split(".")[-1] == "Process":
+                    payloads = [kw.value for kw in node.keywords
+                                if kw.arg in ("args", "kwargs")]
+                for payload in payloads:
+                    violations.extend(_boundary_payload_violations(
+                        project, rel, payload))
     return violations
 
 

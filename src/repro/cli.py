@@ -17,6 +17,12 @@ Commands
 ``serve-bench``
     Benchmark frozen-plan (graph-free) inference against the ``no_grad``
     Tensor path: evaluator speedup, request latency, batched throughput.
+    ``--workers N`` also times the sharded multi-process cluster.
+``load-bench``
+    Sustained-load benchmark of the sharded serving cluster: seeded Zipf
+    traffic, open-loop QPS ramp, saturation throughput for 1/2/4
+    workers, and a worker-kill chaos burst (``--gates`` enforces the
+    load gates, as ``scripts/load_smoke.py`` does).
 
 Examples
 --------
@@ -28,6 +34,8 @@ Examples
     python -m repro.cli experiment table5 --scale smoke
     python -m repro.cli explain --dataset ml-100k --users 3
     python -m repro.cli serve-bench --models SASRec SSDRec --json bench.json
+    python -m repro.cli serve-bench --models SASRec --workers 4
+    python -m repro.cli load-bench --dataset ml-100k --gates
 """
 
 from __future__ import annotations
@@ -131,8 +139,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="single-item requests for latency/throughput")
     serve.add_argument("--k", type=int, default=10)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="also time a sharded ClusterService with this "
+                            "many worker processes (cluster_* keys)")
     serve.add_argument("--json", default=None,
                        help="also write the result grid to this path")
+
+    load = sub.add_parser("load-bench",
+                          help="sustained-load benchmark of the sharded "
+                               "serving cluster (Zipf traffic, QPS ramp, "
+                               "saturation sweep, chaos)")
+    load.add_argument("--dataset", default="ml-100k",
+                      choices=["ml-100k", "ml-1m", "beauty", "sports",
+                               "yelp"])
+    load.add_argument("--model", default="SASRec")
+    load.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--gates", action="store_true",
+                      help="evaluate the load gates and exit nonzero on "
+                           "failure (what scripts/load_smoke.py does)")
+    load.add_argument("--json", default=None,
+                      help="also write the full report to this path")
     return parser
 
 
@@ -221,7 +248,8 @@ def cmd_serve_bench(args) -> int:
                               profiles=tuple(args.datasets),
                               scale=SCALES[args.scale], seed=args.seed,
                               rounds=args.rounds, requests=args.requests,
-                              k=args.k, trained=args.trained)
+                              k=args.k, trained=args.trained,
+                              workers=args.workers)
     print(render(results))
     if args.json:
         write_json_report(args.json, {"scale": args.scale,
@@ -230,12 +258,33 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_load_bench(args) -> int:
+    from .analysis.report import write_json_report
+    from .serve.load import (LoadConfig, evaluate_gates, render,
+                             run_load_bench)
+
+    config = LoadConfig(profile=args.dataset, model=args.model,
+                        seed=args.seed)
+    report = run_load_bench(config, SCALES[args.scale])
+    print(render(report))
+    failures = evaluate_gates(report, config) if args.gates else []
+    if failures:
+        report["gate_failures"] = failures
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        write_json_report(args.json, report)
+        print(f"report written to {args.json}")
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
     "experiment": cmd_experiment,
     "explain": cmd_explain,
     "serve-bench": cmd_serve_bench,
+    "load-bench": cmd_load_bench,
 }
 
 

@@ -250,18 +250,35 @@ def filter_payload(site: str, data: bytes) -> bytes:
     return data
 
 
+def arm_json(payload: Optional[str]) -> Optional[FaultPlan]:
+    """Arm a plan serialized with :meth:`FaultPlan.to_json` (None: no-op).
+
+    The worker-process entry points (serving cluster workers, chaos
+    subprocesses) take their schedule as a plain JSON string argument —
+    a :class:`FaultPlan` object itself never crosses a process boundary.
+    """
+    if not payload:
+        return None
+    return FaultPlan.from_json(payload).arm()
+
+
 def install_env_plan() -> Optional[FaultPlan]:
     """Arm the plan serialized in ``REPRO_FAULT_PLAN``, if present.
 
     Subprocess entry points of the chaos harness call this before any
     training/serving work; returns the armed plan (or None).
     """
-    payload = os.environ.get(FAULT_PLAN_ENV)
-    if not payload:
-        return None
-    return FaultPlan.from_json(payload).arm()
+    return arm_json(os.environ.get(FAULT_PLAN_ENV))
+
+
+#: Fault site hit once per micro-batch inside each cluster worker's
+#: request loop (``repro.serve.cluster``) — the worker-kill chaos site:
+#: a ``kill``/``hard`` fault here takes a worker down mid-burst, a
+#: ``raise`` makes it answer the batch with an error reply.
+SERVE_WORKER_SITE = "serve.worker.batch"
 
 
 __all__ = ["Fault", "FaultPlan", "FaultInjected", "SimulatedCrash",
            "FiredFault", "fault_point", "filter_payload", "active_plan",
-           "install_env_plan", "FAULT_PLAN_ENV", "KILL_EXIT_CODE"]
+           "arm_json", "install_env_plan", "FAULT_PLAN_ENV",
+           "KILL_EXIT_CODE", "SERVE_WORKER_SITE"]

@@ -3,20 +3,30 @@
 ``freeze(model)`` compiles a trained recommender into a pure-NumPy
 executor (no autograd graph construction — enforced by the
 ``serve-graph-free`` lint rule); :class:`RecommendService` serves
-micro-batched top-K requests on top of it.  See docs/performance.md
-("Serving") for the design and ``repro.cli serve-bench`` /
-``scripts/perf_smoke.py`` for the latency/throughput numbers.
+micro-batched top-K requests on top of it, and :class:`ClusterService`
+shards users across N worker processes for horizontal scale (the
+``worker-boundary`` lint rule keeps the pipe protocol to plain NumPy +
+primitives).  See docs/performance.md ("Serving", "Sharded serving")
+for the design and ``repro.cli serve-bench`` / ``load-bench`` plus
+``scripts/perf_smoke.py`` / ``scripts/load_smoke.py`` for the numbers.
 """
 
+from .cluster import ClusterService, ClusterStats
 from .plan import (FallbackPlan, FrozenPlan, freeze)
-from .retrieval import topk_from_scores
+from .retrieval import merge_topk, topk_from_scores
+from .router import Router, shard_of
 from .service import Recommendation, RecommendService, ServiceStats
 
 __all__ = [
+    "ClusterService",
+    "ClusterStats",
     "FallbackPlan",
     "FrozenPlan",
     "freeze",
+    "merge_topk",
     "topk_from_scores",
+    "Router",
+    "shard_of",
     "Recommendation",
     "RecommendService",
     "ServiceStats",

@@ -15,9 +15,12 @@ Measures, per (model, dataset profile):
   sides are ufunc-dispatch-bound so the ratio is modest.
 * ``freeze_seconds`` — plan compilation cost, reported separately
   (paid once per weight snapshot, amortized over every request).
-* ``latency_p50_ms`` / ``latency_p95_ms`` — single-request latency of
+* ``latency_p50_ms`` / ``latency_p95_ms`` — *steady-state*
+  single-request latency of
   :class:`~repro.serve.service.RecommendService.recommend` (cache
-  disabled, so every request pays a full encode).
+  disabled, so every request pays a full encode): the service is warmed
+  up first and every request is sampled over multiple passes, so
+  one-time startup costs never land in the percentiles.
 * ``throughput_users_per_s`` — micro-batched throughput of
   ``recommend_many`` over the same requests.
 
@@ -94,7 +97,8 @@ def _graph_serve(model, reqs, max_len: int, k: int) -> None:
 
 
 def bench_model(model, prepared, scale: Scale, rounds: int = 3,
-                requests: int = 128, k: int = 10) -> Dict[str, float]:
+                requests: int = 128, k: int = 10,
+                workers: int = 1) -> Dict[str, float]:
     """Benchmark one model on one prepared dataset."""
     evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
                           max_len=prepared.max_len)
@@ -112,14 +116,20 @@ def bench_model(model, prepared, scale: Scale, rounds: int = 3,
     graph_s = _best(lambda: _graph_serve(model, reqs, prepared.max_len, k),
                     rounds)
 
+    # Steady-state single-request latency: warm the service first (the
+    # first flush pays one-time costs — allocator warmup, lazy imports —
+    # that belong to startup, not to the p95), then sample every request
+    # across ``rounds`` full passes.
     service = RecommendService(plan, k=k, cache_size=0)
+    for user, seq in reqs[:8]:
+        service.recommend(user, seq)
     latencies = np.array([_timed(lambda r=r: service.recommend(*r))
-                          for r in reqs])
+                          for _ in range(max(1, rounds)) for r in reqs])
 
     service = RecommendService(plan, k=k, cache_size=0)
     frozen_s = _best(lambda: service.recommend_many(reqs), rounds)
 
-    return {
+    metrics = {
         "graph_seconds": graph_s,
         "frozen_seconds": frozen_s,
         "speedup": graph_s / frozen_s if frozen_s > 0 else float("inf"),
@@ -133,18 +143,37 @@ def bench_model(model, prepared, scale: Scale, rounds: int = 3,
         "throughput_users_per_s": (len(reqs) / frozen_s if frozen_s > 0
                                    else float("inf")),
         "requests": len(reqs),
+        "latency_rounds": max(1, rounds),
     }
+    if workers > 1:
+        from .cluster import ClusterService
+
+        with ClusterService(plan, num_workers=workers, k=k,
+                            cache_size=0) as cluster:
+            cluster_s = _best(lambda: cluster.recommend_many(reqs), rounds)
+        metrics.update({
+            "cluster_workers": workers,
+            "cluster_seconds": cluster_s,
+            "cluster_throughput_users_per_s": (
+                len(reqs) / cluster_s if cluster_s > 0 else float("inf")),
+        })
+    return metrics
 
 
 def run_serve_bench(models: Sequence[str] = DEFAULT_MODELS,
                     profiles: Sequence[str] = DEFAULT_PROFILES,
                     scale: Optional[Scale] = None, seed: int = 0,
                     rounds: int = 3, requests: int = 128, k: int = 10,
-                    trained: bool = False) -> Dict[str, dict]:
+                    trained: bool = False,
+                    workers: int = 1) -> Dict[str, dict]:
     """Full benchmark grid; returns ``{model: {profile: metrics}}``.
 
     ``trained=True`` restores each model from the run store (training it
     on a cache miss) instead of benchmarking random weights.
+    ``workers > 1`` additionally times a :class:`~repro.serve.cluster.
+    ClusterService` with that many shard workers over the same requests
+    (``cluster_*`` keys; ``scripts/load_smoke.py`` is the full
+    sustained-load harness).
     """
     scale = scale or default_scale()
     results: Dict[str, dict] = {}
@@ -161,7 +190,7 @@ def run_serve_bench(models: Sequence[str] = DEFAULT_MODELS,
                 model = build(model_spec(name), prepared, scale, rng=seed)
             results.setdefault(name, {})[profile] = bench_model(
                 model, prepared, scale, rounds=rounds, requests=requests,
-                k=k)
+                k=k, workers=workers)
     return results
 
 
@@ -180,5 +209,8 @@ def render(results: Dict[str, dict]) -> str:
                 f"{m['frozen_seconds']:>9.3f}{m['speedup']:>8.2f}x"
                 f"{m['eval_speedup']:>8.2f}x"
                 f"{m['latency_p50_ms']:>8.2f}{m['latency_p95_ms']:>8.2f}"
-                f"{m['throughput_users_per_s']:>9.1f}")
+                f"{m['throughput_users_per_s']:>9.1f}"
+                + (f"  cluster[{m['cluster_workers']}w] "
+                   f"{m['cluster_throughput_users_per_s']:,.1f} users/s"
+                   if "cluster_workers" in m else ""))
     return "\n".join(lines)

@@ -1,0 +1,449 @@
+"""``ClusterService``: sharded multi-process serving on frozen plans.
+
+One :class:`~repro.serve.service.RecommendService` is capped by a single
+interpreter: one GIL, one LRU, one micro-batch queue.  FrozenPlans are
+pure NumPy and pickle cheaply, which makes horizontal sharding the
+natural scale-out: ``ClusterService`` spawns N worker processes, each of
+which loads the plan **once** from a pickle spool file and runs its own
+``RecommendService`` over the shard of users it owns.  The front-end
+routes every request to ``shard_of(user) % N`` (:mod:`.router`), so a
+user's cached state — LRU entries, incremental GRU hidden state — lives
+on exactly one worker and no cross-process invalidation exists at all.
+
+A ``flush`` partitions the queue by owning shard, sends each shard its
+micro-batch over a private pipe (all shards in flight at once), and
+scatters the replies back into arrival order.  Each request is answered
+whole by one worker, so reassembly preserves the exact ``(-score,
+index)`` tie order of ``topk_from_scores`` — the cluster is bitwise
+transparent over a single-process service fed the same per-shard
+batches (``tests/serve/test_cluster.py`` pins this).
+
+Failure handling mirrors the single-process contract: **no request is
+ever dropped**.  A worker that dies mid-batch (crash, kill, or the
+``serve.worker.batch`` chaos site armed via ``worker_fault_plans``) is
+respawned from the spool file and the batch is re-routed to the fresh
+process once; requests that still cannot be served come back as
+:class:`~repro.serve.service.Recommendation` error results.  A worker
+that *survives* a batch failure replies with a ``failed`` message and
+the batch is answered as error results immediately.
+
+Only plain primitives and NumPy arrays may cross the worker boundary —
+batches are ``(user, item-tuple)`` pairs, replies are ``(user, items,
+scores, flags, error)`` tuples, and workers receive the plan as a file
+*path*, never as a live object.  The ``worker-boundary`` lint rule
+(:mod:`repro.analysis.lint`) enforces this mechanically.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..resilience.faults import (KILL_EXIT_CODE, SERVE_WORKER_SITE,
+                                 active_plan, arm_json, fault_point)
+from .plan import FrozenPlan, freeze
+from .router import Router
+from .service import Recommendation, RecommendService
+
+#: Wire tags of the worker protocol (tuple messages over a duplex pipe).
+_BATCH, _RESULT, _FAILED, _STATS, _READY, _STOP = (
+    "batch", "result", "failed", "stats", "ready", "stop")
+
+
+def _wire(rec: Recommendation) -> tuple:
+    """Flatten a Recommendation to primitives + NumPy arrays."""
+    return (rec.user, rec.items, rec.scores, rec.from_cache,
+            rec.incremental, rec.error)
+
+
+def _unwire(payload: tuple) -> Recommendation:
+    user, items, scores, from_cache, incremental, error = payload
+    return Recommendation(user=user, items=items, scores=scores,
+                          from_cache=from_cache, incremental=incremental,
+                          error=error)
+
+
+def _worker_main(shard: int, plan_path: str, config: dict, conn,
+                 fault_plan: Optional[str]) -> None:
+    """Worker entry point: load the plan once, serve batches until stop.
+
+    Arguments are primitives only (the pipe connection aside): the plan
+    arrives as a *path* into the spool directory, the fault schedule as
+    a JSON string.  A ``SimulatedCrash`` from the chaos site exits the
+    process with the kill code — exactly what the front-end's revival
+    path must absorb.
+    """
+    inherited = active_plan()
+    if inherited is not None:      # fork leaks the parent's armed plan
+        inherited.disarm()
+    arm_json(fault_plan)
+    with open(plan_path, "rb") as fh:
+        plan = pickle.load(fh)
+    service = RecommendService(plan, k=config["k"],
+                               max_batch=config["max_batch"],
+                               cache_size=config["cache_size"],
+                               padding=config["padding"])
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = message[0]
+        if tag == _STOP:
+            return
+        if tag == _STATS:
+            conn.send((_STATS, shard, service.stats.as_dict()))
+            continue
+        _, batch_id, requests = message
+        try:
+            fault_point(SERVE_WORKER_SITE)
+            results = service.recommend_many(requests)
+        except SystemExit:
+            raise
+        except BaseException as exc:  # noqa: BLE001
+            if not isinstance(exc, Exception):
+                os._exit(KILL_EXIT_CODE)       # SimulatedCrash et al.
+            conn.send((_FAILED, batch_id,
+                       f"{type(exc).__name__}: {exc}"))
+            continue
+        conn.send((_RESULT, batch_id, [_wire(r) for r in results]))
+
+
+def _worker_ready(shard: int, conn) -> None:
+    conn.send((_READY, shard, None))
+
+
+def _worker_entry(shard: int, plan_path: str, config: dict, conn,
+                  fault_plan: Optional[str]) -> None:
+    _worker_ready(shard, conn)
+    _worker_main(shard, plan_path, config, conn, fault_plan)
+
+
+@dataclass
+class ClusterStats:
+    """Front-end counters (per-worker service stats live in the workers;
+    snapshot them with :meth:`ClusterService.worker_stats`)."""
+
+    requests: int = 0
+    flushes: int = 0
+    #: per-shard micro-batches dispatched over pipes.
+    dispatches: int = 0
+    #: requests answered with an error result.
+    errors: int = 0
+    #: dead workers respawned from the spool file.
+    worker_restarts: int = 0
+    #: requests re-routed to a respawned worker after its predecessor died.
+    rerouted_requests: int = 0
+    #: requests routed per shard (shard id -> count).
+    shard_requests: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        payload = dict(vars(self))
+        payload["shard_requests"] = dict(self.shard_requests)
+        return payload
+
+
+class _Worker:
+    """One shard's process + pipe endpoint (front-end side)."""
+
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+
+
+class ClusterService:
+    """Serve top-K requests across N user-sharded worker processes.
+
+    Parameters mirror :class:`~repro.serve.service.RecommendService`
+    (``k`` / ``max_batch`` / ``cache_size`` / ``padding`` apply to the
+    per-shard service inside each worker), plus:
+
+    num_workers:
+        Shard count; each worker owns ``hash(user) % num_workers``.
+    start_method:
+        ``multiprocessing`` start method (default ``fork`` where
+        available — workers inherit nothing they use besides the spool
+        path, so ``spawn`` behaves identically, just slower to boot).
+    dispatch_timeout:
+        Seconds to wait for a worker's reply before declaring it hung
+        (it is then killed, respawned, and the batch re-routed once).
+    worker_fault_plans:
+        Optional ``{shard: FaultPlan-JSON}`` armed inside the matching
+        worker at startup — the chaos harness's handle on the
+        ``serve.worker.batch`` kill site.  Respawned workers never
+        inherit a fault plan.
+    """
+
+    def __init__(self, model_or_plan, num_workers: int = 2, k: int = 10,
+                 max_batch: int = 64, cache_size: int = 1024,
+                 padding: str = "model",
+                 start_method: Optional[str] = None,
+                 dispatch_timeout: float = 60.0,
+                 worker_fault_plans: Optional[Dict[int, str]] = None):
+        plan = (model_or_plan if isinstance(model_or_plan, FrozenPlan)
+                else freeze(model_or_plan))
+        if not plan.supports_encode:
+            raise ValueError(
+                f"{plan.model_name} plan wraps a live model (fallback "
+                "path) and cannot cross a process boundary; cluster "
+                "serving needs a compiled FrozenPlan")
+        if padding not in ("model", "tight"):
+            raise ValueError(f"padding must be 'model' or 'tight', "
+                             f"got {padding!r}")
+        if padding == "tight" and not plan.padding_invariant:
+            raise ValueError(
+                f"{plan.model_name} is padding-width sensitive; "
+                "tight padding would change its scores — use "
+                "padding='model'")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, "
+                             f"got {num_workers}")
+        import multiprocessing
+
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.num_workers = int(num_workers)
+        self.router = Router(self.num_workers)
+        self.dispatch_timeout = float(dispatch_timeout)
+        self._config = {"k": int(k), "max_batch": max(1, int(max_batch)),
+                        "cache_size": int(cache_size), "padding": padding}
+        self.k = int(k)
+        self.max_len = plan.max_len
+        self.stats = ClusterStats()
+        self._pending: List[Tuple[Optional[int], tuple]] = []
+        self._batch_counter = 0
+        self._closed = False
+
+        # Spool the plan once; every worker (and every respawn) loads it
+        # from here instead of receiving a pickled object over a pipe.
+        self._spool_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+        self._plan_path = os.path.join(self._spool_dir, "plan.pkl")
+        with open(self._plan_path, "wb") as fh:
+            pickle.dump(plan, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+        fault_plans = dict(worker_fault_plans or {})
+        self._workers: List[_Worker] = [
+            self._spawn(shard, fault_plans.get(shard))
+            for shard in range(self.num_workers)]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def _spawn(self, shard: int, fault_plan: Optional[str]) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(shard, self._plan_path, dict(self._config), child_conn,
+                  fault_plan),
+            daemon=True, name=f"repro-serve-worker-{shard}")
+        process.start()
+        child_conn.close()
+        worker = _Worker(shard, process, parent_conn)
+        if not parent_conn.poll(self.dispatch_timeout):
+            raise RuntimeError(f"worker {shard} did not come up within "
+                               f"{self.dispatch_timeout}s")
+        tag, ready_shard, _ = parent_conn.recv()
+        if tag != _READY or ready_shard != shard:
+            raise RuntimeError(f"worker {shard} sent unexpected "
+                               f"handshake {tag!r}")
+        return worker
+
+    def _revive(self, shard: int) -> _Worker:
+        """Replace a dead/hung worker with a fresh one (empty cache)."""
+        old = self._workers[shard]
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5.0)
+        old.conn.close()
+        fresh = self._spawn(shard, fault_plan=None)
+        self._workers[shard] = fresh
+        self.stats.worker_restarts += 1
+        return fresh
+
+    def kill_worker(self, shard: int) -> None:
+        """Hard-kill one worker (chaos/testing helper).
+
+        The next flush that touches the shard detects the dead pipe,
+        respawns the worker, and re-routes the batch.
+        """
+        self._workers[shard].process.kill()
+        self._workers[shard].process.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Stop all workers and remove the plan spool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send((_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # request API (mirrors RecommendService)
+    def enqueue(self, user: Optional[int], sequence: Sequence[int]) -> int:
+        """Queue one request; returns its index in the next flush."""
+        seq = tuple(int(item) for item in sequence)
+        if not seq:
+            raise ValueError("cannot recommend from an empty sequence")
+        if self.max_len is not None:
+            seq = seq[-self.max_len:]
+        self._pending.append((user, seq))
+        self.stats.requests += 1
+        return len(self._pending) - 1
+
+    def recommend(self, user: Optional[int],
+                  sequence: Sequence[int]) -> Recommendation:
+        self.enqueue(user, sequence)
+        return self.flush()[0]
+
+    def recommend_many(self, requests: Sequence[Tuple[Optional[int],
+                                                      Sequence[int]]]
+                       ) -> List[Recommendation]:
+        for user, sequence in requests:
+            self.enqueue(user, sequence)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    def flush(self) -> List[Recommendation]:
+        """Route the queue to its shards and gather every result.
+
+        All shards are in flight concurrently: batches are sent first,
+        replies collected after.  The queue drains only once every
+        request has a result (success or error) — a dead worker answers
+        via respawn + re-route, never by dropping requests.
+        """
+        if self._closed:
+            raise RuntimeError("ClusterService is closed")
+        pending = list(self._pending)
+        if not pending:
+            return []
+        self.stats.flushes += 1
+        results: List[Optional[Recommendation]] = [None] * len(pending)
+        groups = self.router.partition(pending)
+        in_flight: List[Tuple[int, List[int], list, int, bool]] = []
+        for shard in sorted(groups):
+            indices = groups[shard]
+            batch = [pending[i] for i in indices]
+            self.stats.shard_requests[shard] = (
+                self.stats.shard_requests.get(shard, 0) + len(batch))
+            batch_id = self._next_batch_id()
+            sent = self._send(self._workers[shard], (_BATCH, batch_id,
+                                                     batch))
+            in_flight.append((shard, indices, batch, batch_id, sent))
+        for shard, indices, batch, batch_id, sent in in_flight:
+            reply = (self._receive(self._workers[shard], batch_id)
+                     if sent else None)
+            if reply is None:
+                reply = self._reroute(shard, batch)
+                if reply is not None:
+                    self.stats.rerouted_requests += len(batch)
+            self._scatter(results, indices, batch, reply)
+        del self._pending[:len(pending)]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # dispatch plumbing
+    def _next_batch_id(self) -> int:
+        self._batch_counter += 1
+        self.stats.dispatches += 1
+        return self._batch_counter
+
+    @staticmethod
+    def _send(worker: _Worker, message: tuple) -> bool:
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+
+    def _receive(self, worker: _Worker, batch_id: int):
+        """One shard's reply: wire results, a failure string, or None
+        (worker dead/hung — caller revives and re-routes)."""
+        while True:
+            try:
+                if not worker.conn.poll(self.dispatch_timeout):
+                    return None                      # hung
+                tag, reply_id, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                return None                          # died mid-batch
+            if tag == _RESULT and reply_id == batch_id:
+                return payload
+            if tag == _FAILED and reply_id == batch_id:
+                return payload                       # failure string
+            # Stale reply from a pre-revival batch: skip it.
+
+    def _reroute(self, shard: int, batch: list):
+        """Respawn a dead shard worker and retry its batch once."""
+        fresh = self._revive(shard)
+        batch_id = self._next_batch_id()
+        if not self._send(fresh, (_BATCH, batch_id, batch)):
+            return None
+        return self._receive(fresh, batch_id)
+
+    def _scatter(self, results: list, indices: List[int], batch: list,
+                 reply) -> None:
+        if isinstance(reply, list):
+            Router.scatter(results, indices,
+                           [_unwire(item) for item in reply])
+            self.stats.errors += sum(
+                1 for item in reply if item[-1] is not None)
+            return
+        error = (reply if isinstance(reply, str)
+                 else "worker died and re-route failed")
+        self.stats.errors += len(indices)
+        for index, (user, _) in zip(indices, batch):
+            results[index] = Recommendation(
+                user=user, items=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+                error=f"shard worker: {error}")
+
+    # ------------------------------------------------------------------
+    def worker_stats(self) -> Dict[int, Optional[dict]]:
+        """Per-shard ``ServiceStats`` snapshots (None for a dead shard)."""
+        snapshots: Dict[int, Optional[dict]] = {}
+        for worker in self._workers:
+            if not self._send(worker, (_STATS, 0, None)):
+                snapshots[worker.shard] = None
+                continue
+            try:
+                if not worker.conn.poll(self.dispatch_timeout):
+                    snapshots[worker.shard] = None
+                    continue
+                tag, shard, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                snapshots[worker.shard] = None
+                continue
+            snapshots[worker.shard] = (payload if tag == _STATS
+                                       else None)
+        return snapshots

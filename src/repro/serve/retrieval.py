@@ -65,3 +65,41 @@ def _ordered(sel_scores: np.ndarray, sel_idx: np.ndarray) -> np.ndarray:
     """Order selected entries by (-score, index) within each row."""
     rank = np.lexsort((sel_idx, -sel_scores), axis=-1)
     return np.take_along_axis(sel_idx, rank, axis=1)
+
+
+def merge_topk(item_lists, score_lists, k: int):
+    """Merge per-shard top-K candidate lists into the global top-K.
+
+    Each shard contributes ``(items, scores)`` — *global* item ids with
+    their scores, already restricted to that shard's best candidates.
+    The merge re-ranks the union under the same ``(-score, index)``
+    total order as :func:`topk_from_scores`, so as long as every shard
+    submits at least its own top-``k`` (over the items it owns, ids
+    disjoint across shards) the result is identical to running
+    ``topk_from_scores`` over the unpartitioned score row — including
+    tie groups that straddle shard boundaries, where the lowest ids win.
+
+    Parameters
+    ----------
+    item_lists / score_lists:
+        Equal-length sequences of 1-D arrays (one pair per shard).
+    k:
+        Number of entries to return (clamped to the candidate total).
+
+    Returns
+    -------
+    (np.ndarray, np.ndarray)
+        ``(items, scores)`` of the merged top-``k``, best first.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if len(item_lists) != len(score_lists):
+        raise ValueError("item_lists and score_lists must pair up "
+                         f"({len(item_lists)} vs {len(score_lists)})")
+    items = np.concatenate([np.asarray(a).reshape(-1) for a in item_lists])
+    scores = np.concatenate([np.asarray(s).reshape(-1)
+                             for s in score_lists])
+    if items.shape != scores.shape:
+        raise ValueError("per-shard items and scores differ in length")
+    order = np.lexsort((items, -scores))[:min(k, items.size)]
+    return items[order].astype(np.int64, copy=False), scores[order]

@@ -1,0 +1,82 @@
+"""Shard routing for the multi-process serving cluster.
+
+The cluster partitions *users* across workers: every request is owned by
+exactly one shard, chosen by a stable hash of the user id (or of the
+sequence itself for anonymous requests).  Stability matters twice over —
+the same user must land on the same shard across requests (that shard's
+LRU holds their state, so no cross-process invalidation is ever needed)
+and across *processes* (the router runs in the front-end, the workers
+only ever see their own slice), which rules out Python's per-process
+``hash()`` salting.  ``crc32`` over the little-endian bytes is cheap,
+seedless, and identical everywhere.
+
+The :class:`Router` itself is pure bookkeeping: it splits a request list
+into per-shard batches that preserve arrival order within each shard,
+and scatters per-shard results back into arrival order.  Because each
+request is answered whole by its owning shard, reassembly alone
+preserves the exact ``(-score, index)`` tie order produced by
+``topk_from_scores`` inside the worker; the companion
+:func:`~repro.serve.retrieval.merge_topk` helper covers the other
+sharding axis (item-partitioned catalogs), where candidate lists do need
+re-ranking.
+
+Everything here crosses the worker boundary as plain ints, tuples, and
+NumPy arrays — the ``worker-boundary`` lint rule keeps it that way.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Request = Tuple[Optional[int], tuple]
+
+
+def shard_of(user: Optional[int], sequence: Sequence[int],
+             num_shards: int) -> int:
+    """Owning shard for one request: stable across processes and runs.
+
+    Hashes the user id when one is given; anonymous requests hash their
+    item sequence instead, so repeats of the same anonymous session
+    still hit one shard's cache.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return 0
+    if user is not None:
+        payload = int(user).to_bytes(8, "little", signed=True)
+    else:
+        payload = np.asarray(sequence, dtype=np.int64).tobytes()
+    return zlib.crc32(payload) % num_shards
+
+
+class Router:
+    """Partition requests by owning shard and reassemble their results."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def partition(self, requests: Sequence[Request]
+                  ) -> Dict[int, List[int]]:
+        """``{shard: [request indices]}``, arrival order kept per shard."""
+        groups: Dict[int, List[int]] = {}
+        for index, (user, seq) in enumerate(requests):
+            groups.setdefault(shard_of(user, seq, self.num_shards),
+                              []).append(index)
+        return groups
+
+    @staticmethod
+    def scatter(results: list, indices: Sequence[int],
+                shard_results: Sequence) -> None:
+        """Place one shard's results back at their arrival positions."""
+        if len(indices) != len(shard_results):
+            raise ValueError(
+                f"shard answered {len(shard_results)} results for "
+                f"{len(indices)} requests")
+        for index, result in zip(indices, shard_results):
+            results[index] = result

@@ -82,6 +82,10 @@ class ServiceStats:
     #: requests answered with an error result.
     errors: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (what workers ship over the pipe)."""
+        return dict(vars(self))
+
 
 class RecommendService:
     """Serve top-K recommendations from a frozen forward plan.

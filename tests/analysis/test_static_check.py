@@ -37,7 +37,7 @@ class TestLiveTree:
     def test_all_rules_registered(self):
         assert set(RULES) == {"unseeded-rng", "fused-oracle",
                               "eval-no-grad", "bare-parameter",
-                              "serve-graph-free",
+                              "serve-graph-free", "worker-boundary",
                               "experiments-via-registry",
                               "atomic-persistence"}
 
@@ -217,6 +217,53 @@ class TestServeGraphFreeRule:
                 return Tensor(x)
         """})
         assert run_lint(root, rules=["serve-graph-free"]) == []
+
+
+class TestWorkerBoundaryRule:
+    def test_flags_objects_shipped_over_the_pipe(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/cluster.py": """
+            def dispatch(conn, plan, model, fn):
+                conn.send(plan)
+                conn.send((1, model))
+                conn.send(lambda batch: fn(batch))
+        """})
+        violations = run_lint(root, rules=["worker-boundary"])
+        assert [v.line for v in violations] == [3, 4, 5]
+        assert "worker process boundary" in violations[0].message
+
+    def test_flags_process_args_and_nn_imports(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/cluster.py": """
+            from ..nn import no_grad
+
+            def spawn(ctx, conn, model):
+                return ctx.Process(target=work,
+                                   args=(0, model.freeze(), conn))
+        """})
+        violations = run_lint(root, rules=["worker-boundary"])
+        assert len(violations) == 3   # import + .freeze() + model name
+        assert any("repro.nn" in v.message for v in violations)
+
+    def test_clean_for_paths_primitives_and_arrays(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/cluster.py": """
+            import numpy as np
+
+            def dispatch(ctx, conn, plan_path, config, service):
+                conn.send((0, plan_path, dict(config)))
+                conn.send(("stats", service.stats.as_dict()))
+                conn.send(np.zeros(3))
+                return ctx.Process(target=work,
+                                   args=(0, plan_path, conn))
+        """})
+        assert run_lint(root, rules=["worker-boundary"]) == []
+
+    def test_other_serve_modules_untouched(self, tmp_path):
+        # Only the boundary modules are constrained: service.py holds a
+        # live plan object by design, it never crosses a process.
+        root = write_tree(tmp_path / "repro", {"serve/service.py": """
+            def run(conn, plan):
+                conn.send(plan)
+        """})
+        assert run_lint(root, rules=["worker-boundary"]) == []
 
 
 class TestExperimentsViaRegistryRule:

@@ -1,11 +1,13 @@
-"""``topk_from_scores`` vs full sort, including adversarial tie layouts."""
+"""``topk_from_scores`` vs full sort, including adversarial tie layouts,
+and ``merge_topk``: shard-merged top-K must be bitwise-identical to a
+single global ``topk_from_scores`` pass."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serve import topk_from_scores
+from repro.serve import merge_topk, topk_from_scores
 
 
 def full_sort_topk(scores, k):
@@ -65,6 +67,64 @@ class TestTopK:
         k = int(rng.integers(1, vocab + 1))
         np.testing.assert_array_equal(topk_from_scores(scores, k),
                                       full_sort_topk(scores, k))
+
+    def test_merge_simple(self):
+        items, scores = merge_topk([[0, 2], [5, 3]],
+                                   [[9.0, 1.0], [8.0, 7.0]], k=3)
+        np.testing.assert_array_equal(items, [0, 5, 3])
+        np.testing.assert_array_equal(scores, [9.0, 8.0, 7.0])
+
+    def test_merge_ties_prefer_lowest_global_id(self):
+        # Shards arrive out of id order; the tie at 2.0 must still
+        # resolve to ascending global item id, exactly like
+        # topk_from_scores over the concatenated catalog.
+        items, scores = merge_topk([[7, 9], [1, 4]],
+                                   [[2.0, 2.0], [2.0, 2.0]], k=3)
+        np.testing.assert_array_equal(items, [1, 4, 7])
+        np.testing.assert_array_equal(scores, [2.0, 2.0, 2.0])
+
+    def test_merge_clamps_k_to_candidates(self):
+        items, _ = merge_topk([[3], [8]], [[1.0], [2.0]], k=10)
+        np.testing.assert_array_equal(items, [8, 3])
+
+    def test_merge_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            merge_topk([[1]], [[1.0]], k=0)
+        with pytest.raises(ValueError):
+            merge_topk([[1], [2]], [[1.0]], k=1)
+        with pytest.raises(ValueError):
+            merge_topk([[1, 2]], [[1.0]], k=1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 6), st.integers(0, 10**6),
+           st.integers(1, 4))
+    def test_shard_merge_bitwise_identical_to_global_topk(
+            self, vocab, shards, seed, levels):
+        """The cluster-merge contract: partition the catalog into
+        contiguous shards, take each shard's local top-k, and merge —
+        the result must be *bitwise* identical (items and score bytes)
+        to one global ``topk_from_scores`` pass.  Few distinct score
+        levels force heavy ties across shard boundaries, the case where
+        any deviation from the (-score, index) total order shows up."""
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, levels, size=vocab).astype(float)
+        k = int(rng.integers(1, vocab + 1))
+        bounds = np.sort(rng.integers(0, vocab + 1, size=shards - 1)) \
+            if shards > 1 else np.empty(0, dtype=int)
+        edges = [0, *bounds.tolist(), vocab]
+        item_lists, score_lists = [], []
+        for lo, hi in zip(edges, edges[1:]):
+            if lo == hi:
+                item_lists.append(np.empty(0, dtype=np.int64))
+                score_lists.append(np.empty(0))
+                continue
+            local_top = topk_from_scores(scores[lo:hi], k)
+            item_lists.append(local_top + lo)
+            score_lists.append(scores[lo:hi][local_top])
+        items, merged = merge_topk(item_lists, score_lists, k)
+        expected = topk_from_scores(scores, k)
+        np.testing.assert_array_equal(items, expected)
+        assert merged.tobytes() == scores[expected].tobytes()
 
     def test_membership_matches_tie_semantics(self):
         """An item is in the top-k iff fewer than k items precede it under

@@ -183,6 +183,77 @@ class TestIncrementalAppend:
         np.testing.assert_allclose(alone.scores, padded.scores, atol=1e-12)
 
 
+class TestCacheAccountingUnderLoad:
+    """LRU eviction and from_cache accounting across interleaved
+    flushes and the per-request retry path (what the cluster's
+    per-shard services run under sustained traffic)."""
+
+    def test_interleaved_flushes_account_every_request(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5, cache_size=8,
+                                   max_batch=4)
+        hot = [(u, (u, u + 1)) for u in (1, 2, 3)]
+        first = service.recommend_many(hot)
+        assert [r.from_cache for r in first] == [False, False, False]
+        mixed = [hot[0], (7, (9, 9)), hot[1], (8, (6, 2)), hot[2]]
+        second = service.recommend_many(mixed)
+        assert [r.from_cache for r in second] == [True, False, True,
+                                                  False, True]
+        stats = service.stats
+        assert stats.cache_hits == 3
+        assert stats.full_encodes == 5
+        assert (stats.cache_hits + stats.full_encodes
+                + stats.incremental_hits == stats.requests == 8)
+
+    def test_eviction_under_interleaved_flushes(self, sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5, cache_size=2)
+        service.recommend_many([(1, (2,)), (2, (3,))])   # cache {1, 2}
+        service.recommend_many([(1, (2,)), (3, (4,))])   # hit 1, evict 2
+        assert service.stats.evictions == 1
+        third = service.recommend_many([(2, (3,)), (1, (2,))])
+        assert not third[0].from_cache       # user 2 was the eviction
+        assert third[1].from_cache           # user 1 stayed resident
+        assert service.stats.evictions == 2  # re-adding 2 evicted 3
+
+    def test_duplicates_in_one_flush_encode_then_hit_later(self,
+                                                           sasrec_plan):
+        # Two identical requests in one flush both miss (the first's
+        # entry is not visible mid-partition) — the accounting must
+        # show 2 encodes, and only later repeats become hits.
+        service = RecommendService(sasrec_plan, k=5)
+        results = service.recommend_many([(1, (2, 3)), (1, (2, 3))])
+        assert [r.from_cache for r in results] == [False, False]
+        assert service.stats.full_encodes == 2
+        assert service.recommend(1, (2, 3)).from_cache
+        assert service.stats.cache_hits == 1
+
+    def test_per_request_retry_results_are_cached(self, sasrec_plan):
+        requests = [(u, (u, u + 1, u + 2)) for u in range(1, 7)]
+        service = RecommendService(sasrec_plan, k=5, max_batch=6)
+        with FaultPlan([Fault(site="serve.encode", action="raise")]):
+            results = service.recommend_many(requests)
+        assert not any(r.failed for r in results)
+        assert service.stats.chunk_retries == 1
+        assert service.stats.full_encodes == len(requests)
+        # The retried encodes landed in the LRU like any batched encode:
+        # exact repeats are pure cache hits, no re-encode.
+        again = service.recommend_many(requests)
+        assert all(r.from_cache for r in again)
+        assert service.stats.cache_hits == len(requests)
+        assert service.stats.full_encodes == len(requests)
+
+    def test_cached_entries_serve_through_encode_outage(self,
+                                                        sasrec_plan):
+        service = RecommendService(sasrec_plan, k=5, max_batch=4)
+        warm = (1, (2, 3, 4))
+        service.recommend(*warm)
+        with FaultPlan([Fault(site="serve.encode", action="raise",
+                              count=1000)]):
+            results = service.recommend_many([warm, (9, (8, 7))])
+        assert results[0].from_cache and not results[0].failed
+        assert results[1].failed
+        assert service.stats.errors == 1
+
+
 class TestFailureIsolation:
     """Injected faults at serve.encode / serve.score / serve.forward:
     one bad chunk must never take down the whole flush."""
