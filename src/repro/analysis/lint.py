@@ -62,6 +62,35 @@ rules:
     ``open(..., "w")``.  In-place writes leave torn files behind a
     crash; the atomic helpers publish via temp file + ``os.replace``.
 
+``dtype-discipline``
+    Substrate modules (``nn/``, ``serve/``) must allocate arrays with an
+    explicit dtype (``np.zeros``/``ones``/``empty``/``full``) and may
+    only pin ``np.float64`` in modules listed in
+    :data:`repro.analysis.signatures.FLOAT64_POLICY` — the visible
+    record of where float64 is intentional.  Silent dtype drift (a
+    float32 allocation feeding a float64 kernel, or an undocumented
+    float64 pin in a future quantized path) breaks the serving parity
+    tolerance without failing any test.
+
+``buffer-aliasing``
+    Substrate modules may not alias an input as the ``out=`` target of a
+    matmul-family call (``matmul``/``dot``/``tensordot``/``einsum`` read
+    their inputs while writing), optimizer ``step`` methods must update
+    parameters in place (augmented ``p.data -=``, never rebinding
+    ``p.data =`` which reallocates storage and breaks version-counter
+    aliasing), and methods must not ``return`` a reused ``self._buf*``
+    scratch buffer (the next call silently overwrites the caller's
+    result).
+
+``plan-signature``
+    Every public executor kernel (``serve/executors.py``) and every
+    ``X.<op>(...)`` call in ``serve/plan.py`` must have a transfer
+    function registered in ``analysis/signatures.py``, and every
+    ``FrozenPlan`` subclass must define a ``program()`` or
+    ``encode_program()`` — otherwise the plan verifier
+    (:mod:`repro.analysis.dataflow`) cannot check the plan at freeze
+    time and shape drift survives to a serving worker.
+
 To add a rule: write a function taking a :class:`Project` and returning
 a list of :class:`Violation`, and decorate it with ``@rule(name,
 description)``.  ``scripts/static_check.py`` is the CLI entry point.
@@ -73,6 +102,8 @@ import ast
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from .signatures import FLOAT64_POLICY
 
 #: Module (relative to the package root) allowed to create unseeded RNGs.
 RNG_ALLOWLIST = {"nn/rng.py"}
@@ -140,6 +171,25 @@ PERSISTENCE_MODULES = ("runs.py", "train/checkpoint.py")
 #: Call spellings that write a file in place (non-atomically).
 _NONATOMIC_WRITE_ATTRS = {"write_text", "write_bytes"}
 _NONATOMIC_NUMPY_WRITERS = {"save", "savez", "savez_compressed"}
+
+#: Module prefixes covered by the substrate dtype/aliasing rules.
+SUBSTRATE_PREFIXES = ("nn/", "serve/")
+
+#: Allocators that must state their dtype explicitly (position of the
+#: dtype argument when passed positionally).
+_DTYPE_ALLOCATORS = {"zeros": 2, "ones": 2, "empty": 2, "full": 3}
+
+#: Matmul-family ufuncs that read every input while writing ``out=``.
+_MATMUL_FAMILY = {"matmul", "dot", "tensordot", "einsum"}
+
+#: The executor module / plan compiler / signature registry triple the
+#: ``plan-signature`` rule keeps in sync.
+EXECUTORS_MODULE = "serve/executors.py"
+PLAN_MODULE = "serve/plan.py"
+SIGNATURES_MODULE = "analysis/signatures.py"
+
+#: Executor-alias name used by plan.py (``from . import executors as X``).
+_EXECUTOR_ALIAS = "X"
 
 
 @dataclass
@@ -614,6 +664,238 @@ def check_atomic_persistence(project: Project) -> List[Violation]:
                     path=project.display_path(rel), line=node.lineno,
                     message=message))
     return violations
+
+
+def _float64_pins(tree: ast.Module) -> List[ast.AST]:
+    """Nodes that explicitly pin float64: ``np.float64`` attribute chains
+    and ``dtype="float64"`` string constants."""
+    pins: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if chain in ("np.float64", "numpy.float64"):
+                pins.append(node)
+        elif (isinstance(node, ast.keyword) and node.arg == "dtype"
+              and isinstance(node.value, ast.Constant)
+              and node.value.value == "float64"):
+            pins.append(node)
+    return pins
+
+
+@rule("dtype-discipline",
+      "substrate (nn/, serve/) allocations must state an explicit dtype, "
+      "and float64 pins are only allowed in FLOAT64_POLICY modules")
+def check_dtype_discipline(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if not rel.startswith(SUBSTRATE_PREFIXES):
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_name(node)
+            if chain is None or not chain.startswith(("np.", "numpy.")):
+                continue
+            attr = chain.split(".", 1)[1]
+            pos = _DTYPE_ALLOCATORS.get(attr)
+            if pos is None:
+                continue
+            has_dtype = (len(node.args) >= pos
+                         or any(kw.arg == "dtype" for kw in node.keywords))
+            if not has_dtype:
+                violations.append(Violation(
+                    rule="dtype-discipline",
+                    path=project.display_path(rel), line=node.lineno,
+                    message=(f"np.{attr}() without an explicit dtype; "
+                             f"substrate allocations must state their "
+                             f"dtype so float64 discipline is visible, "
+                             f"not inherited")))
+        if rel in FLOAT64_POLICY:
+            continue
+        for pin in _float64_pins(tree):
+            violations.append(Violation(
+                rule="dtype-discipline", path=project.display_path(rel),
+                line=pin.lineno,
+                message=("explicit float64 pin outside FLOAT64_POLICY "
+                         "(repro.analysis.signatures); add the module "
+                         "with a reason or drop the pin")))
+    return violations
+
+
+@rule("buffer-aliasing",
+      "no out=-aliasing of matmul-family inputs, no p.data rebinding in "
+      "optimizer step(), no returning reused self._buf* scratch buffers")
+def check_buffer_aliasing(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel, tree in project.modules.items():
+        if not rel.startswith(SUBSTRATE_PREFIXES):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                chain = _call_name(node)
+                if (chain is None
+                        or not chain.startswith(("np.", "numpy."))
+                        or chain.split(".")[-1] not in _MATMUL_FAMILY):
+                    continue
+                out_expr = next((kw.value for kw in node.keywords
+                                 if kw.arg == "out"), None)
+                if out_expr is None:
+                    continue
+                out_name = _attr_chain(out_expr) or getattr(
+                    out_expr, "id", None)
+                if out_name is None:
+                    continue
+                for arg in node.args:
+                    arg_name = _attr_chain(arg) or getattr(arg, "id", None)
+                    if arg_name == out_name:
+                        violations.append(Violation(
+                            rule="buffer-aliasing",
+                            path=project.display_path(rel),
+                            line=node.lineno,
+                            message=(f"{chain}(..., out={out_name}) "
+                                     f"aliases input {arg_name!r}; "
+                                     f"matmul-family kernels read their "
+                                     f"inputs while writing out= — "
+                                     f"results are silently wrong")))
+                        break
+            elif (isinstance(node, ast.Return)
+                  and isinstance(node.value, ast.Attribute)
+                  and node.value.attr.startswith("_buf")
+                  and isinstance(node.value.value, ast.Name)
+                  and node.value.value.id == "self"):
+                violations.append(Violation(
+                    rule="buffer-aliasing", path=project.display_path(rel),
+                    line=node.lineno,
+                    message=(f"returns reused scratch buffer "
+                             f"self.{node.value.attr}; the next call "
+                             f"overwrites the caller's result — return "
+                             f"a copy")))
+        for cls in (n for n in ast.walk(tree)
+                    if isinstance(n, ast.ClassDef)):
+            for fn in (n for n in cls.body
+                       if isinstance(n, ast.FunctionDef)
+                       and n.name == "step"):
+                for sub in ast.walk(fn):
+                    if not isinstance(sub, ast.Assign):
+                        continue
+                    for target in sub.targets:
+                        if isinstance(target, ast.Attribute) and \
+                                target.attr == "data":
+                            violations.append(Violation(
+                                rule="buffer-aliasing",
+                                path=project.display_path(rel),
+                                line=sub.lineno,
+                                message=(f"{cls.name}.step() rebinds "
+                                         f".data, reallocating parameter "
+                                         f"storage; update in place with "
+                                         f"an augmented assignment "
+                                         f"(p.data -= ...)")))
+    return violations
+
+
+def _registered_signature_names(project: Project) -> Optional[Set[str]]:
+    """Op names registered via ``@signature(...)`` in the signatures
+    module, parsed statically (string-constant decorator args)."""
+    tree = project.modules.get(SIGNATURES_MODULE)
+    if tree is None:
+        return None
+    names: Set[str] = set()
+    for fn in _module_functions(tree):
+        for dec in fn.decorator_list:
+            if not isinstance(dec, ast.Call):
+                continue
+            if (_call_name(dec) or "").split(".")[-1] != "signature":
+                continue
+            for arg in dec.args:
+                if isinstance(arg, ast.Constant) and \
+                        isinstance(arg.value, str):
+                    names.add(arg.value)
+    return names
+
+
+@rule("plan-signature",
+      "every public executor kernel and every X.<op>() plan call needs a "
+      "registered transfer function, and every FrozenPlan subclass needs "
+      "a program()/encode_program()")
+def check_plan_signature(project: Project) -> List[Violation]:
+    registered = _registered_signature_names(project)
+    executors = project.modules.get(EXECUTORS_MODULE)
+    plan = project.modules.get(PLAN_MODULE)
+    if registered is None:
+        if executors is None and plan is None:
+            return []  # tree has no serving layer to check
+        registered = set()
+    violations: List[Violation] = []
+    if executors is not None:
+        for fn in _module_functions(executors):
+            if fn.name.startswith("_") or fn.name in registered:
+                continue
+            violations.append(Violation(
+                rule="plan-signature",
+                path=project.display_path(EXECUTORS_MODULE),
+                line=fn.lineno,
+                message=(f"executor {fn.name!r} has no transfer function "
+                         f"in {SIGNATURES_MODULE}; register one with "
+                         f'@signature("{fn.name}") so the plan verifier '
+                         f"can check its steps")))
+    if plan is None:
+        return violations
+    for node in ast.walk(plan):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == _EXECUTOR_ALIAS
+                and node.func.attr not in registered):
+            violations.append(Violation(
+                rule="plan-signature",
+                path=project.display_path(PLAN_MODULE), line=node.lineno,
+                message=(f"plan compiler calls "
+                         f"{_EXECUTOR_ALIAS}.{node.func.attr}() but "
+                         f"{SIGNATURES_MODULE} registers no "
+                         f"{node.func.attr!r} signature")))
+    classes = {n.name: n for n in plan.body if isinstance(n, ast.ClassDef)}
+    bases = {
+        name: [(_attr_chain(b) or getattr(b, "id", "")).split(".")[-1]
+               for b in cls.bases]
+        for name, cls in classes.items()}
+
+    def is_frozen_plan(name: str, seen: Optional[Set[str]] = None) -> bool:
+        if name == "FrozenPlan":
+            return True
+        seen = seen or set()
+        if name in seen:
+            return False
+        seen.add(name)
+        return any(is_frozen_plan(b, seen) for b in bases.get(name, ()))
+
+    for name, cls in classes.items():
+        if name == "FrozenPlan" or not is_frozen_plan(name):
+            continue
+        methods = {n.name for n in cls.body
+                   if isinstance(n, ast.FunctionDef)}
+        if not ({"program", "encode_program"} & methods):
+            violations.append(Violation(
+                rule="plan-signature",
+                path=project.display_path(PLAN_MODULE), line=cls.lineno,
+                message=(f"FrozenPlan subclass {name!r} defines neither "
+                         f"program() nor encode_program(); the verifier "
+                         f"cannot abstract-interpret its forward pass")))
+    return violations
+
+
+def dtype_policy_report(project: Project) -> Dict[str, Dict[str, object]]:
+    """Per-module float64-exemption summary for the lint report.
+
+    Every :data:`~repro.analysis.signatures.FLOAT64_POLICY` entry is
+    listed with its reason and the number of float64 sites actually
+    present, so an exemption can never hide by silence.
+    """
+    report: Dict[str, Dict[str, object]] = {}
+    for rel, reason in sorted(FLOAT64_POLICY.items()):
+        tree = project.modules.get(rel)
+        sites = len(_float64_pins(tree)) if tree is not None else 0
+        report[rel] = {"reason": reason, "float64_sites": sites}
+    return report
 
 
 # ----------------------------------------------------------------------

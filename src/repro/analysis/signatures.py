@@ -1,0 +1,658 @@
+"""Shape/dtype transfer functions for frozen-plan executor ops.
+
+This module is the declarative half of the plan verifier
+(:mod:`repro.analysis.dataflow`): a registry mapping every executor op
+(:mod:`repro.serve.executors`) — plus the pseudo-ops plan programs use
+for NumPy glue (embedding lookups, broadcasts, concatenation) — to a
+*transfer function* over :class:`AbstractValue` lattice values.
+
+A lattice value is ``(shape, dtype)`` where each dimension is either a
+concrete ``int`` or a symbolic name (the batch axis is always the symbol
+``"B"``; everything else is concrete at freeze time).  A transfer
+function receives the abstract inputs and the step's parameters (weight
+descriptors recorded from the real arrays at freeze time) and either
+returns the abstract outputs or raises :class:`SignatureError` with a
+message naming the mismatched operand.
+
+Adding an executor op
+---------------------
+Every public function in ``repro.serve.executors`` must have an entry
+here — the ``plan-signature`` lint rule (:mod:`repro.analysis.lint`)
+fails the build otherwise.  Register with::
+
+    @signature("my_op")
+    def sig_my_op(ins, params):
+        (x,) = ins
+        _require(x.dtype in _FLOATS, f"my_op input must be float, got {x}")
+        return [x]
+
+``ins`` is a list of :class:`AbstractValue`; ``params`` is the step's
+parameter dict where weights appear as ``{"shape": ..., "dtype": ...,
+"nbytes": ...}`` descriptors (convert with :func:`aval`).
+
+Float64 policy
+--------------
+The serving substrate computes in ``float64`` end to end — the parity
+contract with the training graph (<= 1e-6) depends on it, and the
+``NEG_INF`` masking sentinel is a float64 quantity.  The
+``dtype-discipline`` lint rule requires every array allocation to state
+its dtype *explicitly* and flags explicit ``np.float64`` pins in any
+module not listed in :data:`FLOAT64_POLICY` below.  The table is the
+single visible record of where float64 is intentional; matched site
+counts are reported into ``LINT_report.json`` so an exemption can never
+hide by silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
+
+import numpy as np
+
+Dim = Union[int, str]
+
+_FLOATS = {"float16", "float32", "float64"}
+_INTS = {"int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+         "uint64"}
+
+
+class SignatureError(ValueError):
+    """A transfer function rejected its abstract inputs."""
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One lattice point: a symbolic shape plus a dtype name."""
+
+    shape: Tuple[Dim, ...]
+    dtype: str
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.shape)
+        return f"{self.dtype}[{dims}]"
+
+    def nbytes(self, batch: int = 1) -> int:
+        """Concrete byte size with every symbolic dim bound to ``batch``."""
+        count = 1
+        for dim in self.shape:
+            count *= batch if isinstance(dim, str) else int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def concretize(self, batch: int) -> Tuple[int, ...]:
+        return tuple(batch if isinstance(d, str) else int(d)
+                     for d in self.shape)
+
+
+def aval(spec) -> AbstractValue:
+    """Coerce a weight descriptor / array / AbstractValue to a lattice value."""
+    if isinstance(spec, AbstractValue):
+        return spec
+    if isinstance(spec, np.ndarray):
+        return AbstractValue(tuple(int(s) for s in spec.shape),
+                             str(spec.dtype))
+    if isinstance(spec, dict):
+        return AbstractValue(tuple(spec["shape"]), str(spec["dtype"]))
+    raise SignatureError(f"cannot interpret {spec!r} as an abstract value")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SignatureError(message)
+
+
+def _dims_match(a: Dim, b: Dim) -> bool:
+    return a == b
+
+
+def _broadcast_dim(a: Dim, b: Dim) -> Dim:
+    if a == b:
+        return a
+    if a == 1:
+        return b
+    if b == 1:
+        return a
+    raise SignatureError(f"cannot broadcast dimensions {a} and {b}")
+
+
+def broadcast_shapes(a: Tuple[Dim, ...], b: Tuple[Dim, ...]) -> Tuple[Dim, ...]:
+    """NumPy-style right-aligned broadcast over symbolic shapes."""
+    out: List[Dim] = []
+    for i in range(max(len(a), len(b))):
+        da = a[len(a) - 1 - i] if i < len(a) else 1
+        db = b[len(b) - 1 - i] if i < len(b) else 1
+        try:
+            out.append(_broadcast_dim(da, db))
+        except SignatureError:
+            raise SignatureError(
+                f"shapes {a} and {b} are not broadcastable "
+                f"(axis -{i + 1}: {da} vs {db})")
+    return tuple(reversed(out))
+
+
+def _promote(*dtypes: str) -> str:
+    return str(np.result_type(*[np.dtype(d) for d in dtypes]))
+
+
+def _is_float(value: AbstractValue) -> bool:
+    return value.dtype in _FLOATS
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+TransferFn = Callable[[List[AbstractValue], dict], List[AbstractValue]]
+
+#: op name -> transfer function over (inputs, params).
+SIGNATURES: Dict[str, TransferFn] = {}
+
+
+def signature(*names: str):
+    """Register a transfer function under one or more op names."""
+
+    def register(fn: TransferFn) -> TransferFn:
+        for name in names:
+            SIGNATURES[name] = fn
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Executor-op signatures (mirror repro.serve.executors exactly)
+# ---------------------------------------------------------------------------
+@signature("sigmoid", "relu", "gelu", "tanh")
+def sig_elementwise_activation(ins, params):
+    (x,) = ins
+    _require(_is_float(x), f"activation input must be float, got {x}")
+    return [x]
+
+
+@signature("linear")
+def sig_linear(ins, params):
+    (x,) = ins
+    weight = aval(params["weight"])
+    _require(weight.ndim == 2, f"linear weight must be 2-D, got {weight}")
+    _require(x.ndim >= 1 and _dims_match(x.shape[-1], weight.shape[0]),
+             f"linear input {x} does not match weight {weight} "
+             f"(in_features {weight.shape[0]})")
+    _require(_is_float(x) and _is_float(weight),
+             f"linear needs float operands, got {x} @ {weight}")
+    out_shape = x.shape[:-1] + (weight.shape[1],)
+    dtype = _promote(x.dtype, weight.dtype)
+    bias = params.get("bias")
+    if bias is not None:
+        b = aval(bias)
+        _require(b.shape == (weight.shape[1],),
+                 f"linear bias {b} does not match out_features "
+                 f"{weight.shape[1]}")
+        dtype = _promote(dtype, b.dtype)
+    return [AbstractValue(out_shape, dtype)]
+
+
+@signature("layer_norm")
+def sig_layer_norm(ins, params):
+    (x,) = ins
+    gamma, beta = aval(params["gamma"]), aval(params["beta"])
+    _require(_is_float(x), f"layer_norm input must be float, got {x}")
+    _require(gamma.shape == (x.shape[-1],) and beta.shape == (x.shape[-1],),
+             f"layer_norm affine {gamma}/{beta} does not match last axis "
+             f"of {x}")
+    return [AbstractValue(x.shape, _promote(x.dtype, gamma.dtype,
+                                            beta.dtype))]
+
+
+@signature("masked_softmax")
+def sig_masked_softmax(ins, params):
+    x, mask = ins
+    _require(_is_float(x), f"masked_softmax input must be float, got {x}")
+    _require(mask.dtype == "bool", f"mask must be bool, got {mask}")
+    broadcast_shapes(mask.shape, x.shape)  # must be broadcastable
+    return [AbstractValue(x.shape, _promote(x.dtype, "float64"))]
+
+
+@signature("attention")
+def sig_attention(ins, params):
+    q, k, v = ins[:3]
+    _require(q.ndim == k.ndim == v.ndim,
+             f"attention q/k/v rank mismatch: {q}, {k}, {v}")
+    _require(_dims_match(q.shape[-1], k.shape[-1]),
+             f"attention q {q} and k {k} disagree on head dim")
+    _require(_dims_match(k.shape[-2], v.shape[-2]),
+             f"attention k {k} and v {v} disagree on key length")
+    out_shape = q.shape[:-1] + (v.shape[-1],)
+    return [AbstractValue(out_shape, _promote(q.dtype, k.dtype, v.dtype))]
+
+
+def _check_transformer_layer(x: AbstractValue, layer: dict,
+                             num_heads: int, index: int) -> None:
+    d = x.shape[-1]
+    _require(isinstance(d, int) and d % num_heads == 0,
+             f"layer {index}: model dim {d} not divisible by "
+             f"num_heads {num_heads}")
+    expect = {
+        "w_qkv": (d, 3 * d), "b_qkv": (3 * d,),
+        "w_out": (d, d), "b_out": (d,),
+        "ln1_g": (d,), "ln1_b": (d,), "ln2_g": (d,), "ln2_b": (d,),
+    }
+    w_fc1 = aval(layer["w_fc1"])
+    _require(w_fc1.ndim == 2 and _dims_match(w_fc1.shape[0], d),
+             f"layer {index}: w_fc1 {w_fc1} does not take model dim {d}")
+    hidden = w_fc1.shape[1]
+    expect.update({"b_fc1": (hidden,), "w_fc2": (hidden, d),
+                   "b_fc2": (d,)})
+    for name, shape in expect.items():
+        w = aval(layer[name])
+        _require(w.shape == shape,
+                 f"layer {index}: {name} has shape {w.shape}, "
+                 f"expected {shape}")
+        _require(_is_float(w) and w.dtype == "float64",
+                 f"layer {index}: {name} must be float64, got {w.dtype}")
+
+
+@signature("transformer_layer")
+def sig_transformer_layer(ins, params):
+    x, attn_mask = ins
+    _require(x.ndim == 3 and _is_float(x),
+             f"transformer_layer input must be float (B, L, d), got {x}")
+    _check_transformer_layer(x, params["params"], params["num_heads"], 0)
+    return [x]
+
+
+@signature("transformer_encoder")
+def sig_transformer_encoder(ins, params):
+    x, attn_mask = ins
+    _require(x.ndim == 3 and _is_float(x),
+             f"transformer_encoder input must be float (B, L, d), got {x}")
+    _require(attn_mask.dtype == "bool",
+             f"attention mask must be bool, got {attn_mask}")
+    num_heads = int(params["num_heads"])
+    length, d = x.shape[1], x.shape[2]
+    _require(attn_mask.ndim == 4,
+             f"attention mask must be 4-D (B, H, Lq, Lk), got {attn_mask}")
+    scores = ("B", num_heads, length, length)
+    broadcast_shapes(attn_mask.shape, scores)
+    for index, layer in enumerate(params["layers"]):
+        _check_transformer_layer(x, layer, num_heads, index)
+    for name in ("final_g", "final_b"):
+        w = aval(params[name])
+        _require(w.shape == (d,),
+                 f"final LayerNorm {name} has shape {w.shape}, "
+                 f"expected ({d},)")
+    return [x]
+
+
+@signature("gru_forward")
+def sig_gru_forward(ins, params):
+    x = ins[0]
+    _require(x.ndim == 3 and _is_float(x),
+             f"gru_forward input must be float (B, L, in), got {x}")
+    w_ih, w_hh = aval(params["w_ih"]), aval(params["w_hh"])
+    b_ih, b_hh = aval(params["b_ih"]), aval(params["b_hh"])
+    _require(w_hh.ndim == 2, f"w_hh must be 2-D, got {w_hh}")
+    hidden = w_hh.shape[0]
+    _require(w_hh.shape == (hidden, 3 * hidden),
+             f"w_hh has shape {w_hh.shape}, expected "
+             f"({hidden}, {3 * hidden})")
+    _require(w_ih.shape == (x.shape[-1], 3 * hidden),
+             f"w_ih {w_ih} does not map input dim {x.shape[-1]} to "
+             f"3*hidden {3 * hidden}")
+    _require(b_ih.shape == (3 * hidden,) and b_hh.shape == (3 * hidden,),
+             f"GRU biases {b_ih}/{b_hh} must have shape ({3 * hidden},)")
+    for w in (w_ih, w_hh, b_ih, b_hh):
+        _require(w.dtype == "float64",
+                 f"GRU weights must be float64, got {w.dtype}")
+    if len(ins) > 1:  # optional step_mask
+        mask = ins[1]
+        _require(mask.dtype == "bool" and mask.shape == x.shape[:2],
+                 f"step_mask {mask} must be bool (B, L) for input {x}")
+    return [AbstractValue((x.shape[0], x.shape[1], hidden), "float64")]
+
+
+@signature("gru_step")
+def sig_gru_step(ins, params):
+    gi, h = ins
+    w_hh = aval(params["w_hh"])
+    hidden = w_hh.shape[0]
+    _require(gi.ndim == 2 and _dims_match(gi.shape[-1], 3 * hidden),
+             f"gru_step gi {gi} must be (B, {3 * hidden})")
+    _require(h.ndim == 2 and _dims_match(h.shape[-1], hidden),
+             f"gru_step h {h} must be (B, {hidden})")
+    return [AbstractValue(h.shape, _promote(gi.dtype, h.dtype))]
+
+
+@signature("last_state")
+def sig_last_state(ins, params):
+    states, mask = ins
+    _require(states.ndim == 3,
+             f"last_state needs (B, L, d) states, got {states}")
+    _require(mask.dtype == "bool" and mask.shape == states.shape[:2],
+             f"last_state mask {mask} must be bool (B, L) for {states}")
+    return [AbstractValue((states.shape[0], states.shape[2]),
+                          states.dtype)]
+
+
+@signature("masked_mean")
+def sig_masked_mean(ins, params):
+    states, mask = ins
+    _require(states.ndim == 3 and _is_float(states),
+             f"masked_mean needs float (B, L, d) states, got {states}")
+    _require(mask.shape == states.shape[:2],
+             f"masked_mean mask {mask} must be (B, L) for {states}")
+    return [AbstractValue((states.shape[0], states.shape[2]),
+                          _promote(states.dtype, "float64"))]
+
+
+@signature("standardize")
+def sig_standardize(ins, params):
+    energy, mask = ins
+    _require(energy.ndim == 2 and _is_float(energy),
+             f"standardize needs float (B, L) energies, got {energy}")
+    _require(mask.shape == energy.shape,
+             f"standardize mask {mask} must match energies {energy}")
+    return [AbstractValue(energy.shape, _promote(energy.dtype, "float64"))]
+
+
+@signature("conv1d_relu_pool")
+def sig_conv1d_relu_pool(ins, params):
+    (image,) = ins
+    weight, bias = aval(params["weight"]), aval(params["bias"])
+    kernel = int(params["kernel"])
+    _require(image.ndim == 3 and _is_float(image),
+             f"conv1d_relu_pool needs float (B, C, L) image, got {image}")
+    channels, length = image.shape[1], image.shape[2]
+    _require(weight.ndim == 2
+             and _dims_match(weight.shape[1], channels * kernel),
+             f"conv weight {weight} must be (out_channels, "
+             f"{channels}*{kernel})")
+    out_channels = weight.shape[0]
+    _require(bias.shape == (out_channels,),
+             f"conv bias {bias} must have shape ({out_channels},)")
+    if isinstance(length, int):
+        _require(length >= kernel or params.get("allow_short", False),
+                 f"kernel {kernel} exceeds sequence length {length}")
+    return [AbstractValue((image.shape[0], out_channels),
+                          _promote(image.dtype, weight.dtype))]
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-ops: NumPy glue recorded in plan programs
+# ---------------------------------------------------------------------------
+@signature("embed")
+def sig_embed(ins, params):
+    (indices,) = ins
+    table = aval(params["table"])
+    _require(indices.dtype in _INTS,
+             f"embedding indices must be integer, got {indices}")
+    _require(table.ndim == 2, f"embedding table must be 2-D, got {table}")
+    return [AbstractValue(indices.shape + (table.shape[1],), table.dtype)]
+
+
+@signature("add_positions")
+def sig_add_positions(ins, params):
+    (x,) = ins
+    positions = aval(params["positions"])
+    length = int(params.get("length", x.shape[1]))
+    _require(x.ndim == 3 and _is_float(x),
+             f"add_positions needs float (B, L, d), got {x}")
+    _require(positions.ndim == 2
+             and _dims_match(positions.shape[1], x.shape[2]),
+             f"position table {positions} does not match model dim "
+             f"{x.shape[2]}")
+    _require(positions.shape[0] >= length,
+             f"position table holds {positions.shape[0]} rows but the "
+             f"plan addresses {length} positions")
+    return [AbstractValue(x.shape, _promote(x.dtype, positions.dtype))]
+
+
+@signature("causal_attn_mask")
+def sig_causal_attn_mask(ins, params):
+    (mask,) = ins
+    _require(mask.ndim == 2 and mask.dtype == "bool",
+             f"causal_attn_mask needs bool (B, L), got {mask}")
+    length = mask.shape[1]
+    return [AbstractValue((mask.shape[0], 1, length, length), "bool")]
+
+
+@signature("pad_attn_mask")
+def sig_pad_attn_mask(ins, params):
+    (mask,) = ins
+    _require(mask.ndim == 2 and mask.dtype == "bool",
+             f"pad_attn_mask needs bool (B, L), got {mask}")
+    return [AbstractValue((mask.shape[0], 1, 1, mask.shape[1]), "bool")]
+
+
+@signature("extend_mask_token")
+def sig_extend_mask_token(ins, params):
+    states, mask = ins
+    row = aval(params["row"])
+    _require(states.ndim == 3 and mask.shape == states.shape[:2],
+             f"extend_mask_token needs (B, L, d) + (B, L), got "
+             f"{states} and {mask}")
+    _require(row.shape == (states.shape[2],),
+             f"mask-token row {row} does not match model dim "
+             f"{states.shape[2]}")
+    batch, length, dim = states.shape
+    return [AbstractValue((batch, length + 1, dim),
+                          _promote(states.dtype, row.dtype)),
+            AbstractValue((batch, length + 1), "bool")]
+
+
+@signature("take_last")
+def sig_take_last(ins, params):
+    (states,) = ins
+    _require(states.ndim == 3, f"take_last needs (B, L, d), got {states}")
+    return [AbstractValue((states.shape[0], states.shape[2]),
+                          states.dtype)]
+
+
+@signature("expand_dims")
+def sig_expand_dims(ins, params):
+    (x,) = ins
+    axis = int(params.get("axis", 1))
+    shape = list(x.shape)
+    shape.insert(axis if axis >= 0 else len(shape) + 1 + axis, 1)
+    return [AbstractValue(tuple(shape), x.dtype)]
+
+
+@signature("squeeze_last")
+def sig_squeeze_last(ins, params):
+    (x,) = ins
+    _require(x.shape[-1] == 1,
+             f"squeeze_last needs a trailing axis of 1, got {x}")
+    return [AbstractValue(x.shape[:-1], x.dtype)]
+
+
+@signature("sum_last")
+def sig_sum_last(ins, params):
+    (x,) = ins
+    _require(x.ndim >= 1, f"sum_last needs at least 1-D input, got {x}")
+    return [AbstractValue(x.shape[:-1], _promote(x.dtype, "float64"))]
+
+
+@signature("add", "mul")
+def sig_elementwise_binary(ins, params):
+    a, b = ins
+    return [AbstractValue(broadcast_shapes(a.shape, b.shape),
+                          _promote(a.dtype, b.dtype))]
+
+
+@signature("concat_last")
+def sig_concat_last(ins, params):
+    _require(len(ins) >= 1, "concat_last needs at least one input")
+    first = ins[0]
+    total: Dim = 0
+    for x in ins:
+        _require(x.shape[:-1] == first.shape[:-1],
+                 f"concat_last operands disagree on leading shape: "
+                 f"{first} vs {x}")
+        _require(isinstance(x.shape[-1], int),
+                 f"concat_last needs concrete trailing dims, got {x}")
+        total += x.shape[-1]
+    return [AbstractValue(first.shape[:-1] + (total,),
+                          _promote(*[x.dtype for x in ins]))]
+
+
+@signature("weighted_sum")
+def sig_weighted_sum(ins, params):
+    states, weights = ins
+    _require(states.ndim == 3 and weights.shape == states.shape[:2],
+             f"weighted_sum needs (B, L, d) + (B, L), got {states} "
+             f"and {weights}")
+    return [AbstractValue((states.shape[0], states.shape[2]),
+                          _promote(states.dtype, weights.dtype))]
+
+
+@signature("mask_states")
+def sig_mask_states(ins, params):
+    states, mask = ins
+    _require(states.ndim == 3 and mask.shape == states.shape[:2],
+             f"mask_states needs (B, L, d) + (B, L), got {states} "
+             f"and {mask}")
+    return [AbstractValue(states.shape,
+                          _promote(states.dtype, "float64"))]
+
+
+@signature("to_image")
+def sig_to_image(ins, params):
+    (states,) = ins
+    _require(states.ndim == 3, f"to_image needs (B, L, d), got {states}")
+    batch, length, dim = states.shape
+    return [AbstractValue((batch, dim, length), states.dtype)]
+
+
+@signature("fit_length")
+def sig_fit_length(ins, params):
+    (image,) = ins
+    width = int(params["width"])
+    _require(image.ndim == 3, f"fit_length needs (B, d, L), got {image}")
+    return [AbstractValue((image.shape[0], image.shape[1], width),
+                          _promote(image.dtype, "float64"))]
+
+
+@signature("reshape_merge_last2")
+def sig_reshape_merge_last2(ins, params):
+    (x,) = ins
+    _require(x.ndim >= 2 and isinstance(x.shape[-1], int)
+             and isinstance(x.shape[-2], int),
+             f"reshape_merge_last2 needs concrete trailing dims, got {x}")
+    return [AbstractValue(x.shape[:-2] + (x.shape[-2] * x.shape[-1],),
+                          x.dtype)]
+
+
+@signature("user_inject")
+def sig_user_inject(ins, params):
+    states, mask, users = ins
+    table = aval(params["user_table"])
+    _require(users.dtype in _INTS and users.ndim == 1,
+             f"users must be integer (B,), got {users}")
+    _require(states.ndim == 3 and mask.shape == states.shape[:2],
+             f"user_inject needs (B, L, d) + (B, L), got {states} "
+             f"and {mask}")
+    _require(table.ndim == 2
+             and _dims_match(table.shape[1], states.shape[2]),
+             f"user table {table} does not match model dim "
+             f"{states.shape[2]}")
+    return [AbstractValue(states.shape,
+                          _promote(states.dtype, table.dtype))]
+
+
+@signature("gate_combine")
+def sig_gate_combine(ins, params):
+    a, b = ins
+    _require(a.shape == b.shape and a.ndim == 2,
+             f"gate_combine needs matching (B, L) energies, got {a} "
+             f"and {b}")
+    return [AbstractValue(a.shape, _promote(a.dtype, b.dtype, "float64"))]
+
+
+@signature("threshold_keep")
+def sig_threshold_keep(ins, params):
+    soft, mask = ins
+    _require(soft.ndim == 2 and _is_float(soft),
+             f"threshold_keep needs float (B, L) gate values, got {soft}")
+    _require(mask.dtype == "bool" and mask.shape == soft.shape,
+             f"threshold_keep mask {mask} must match gate {soft}")
+    return [AbstractValue(soft.shape, "float64"),
+            AbstractValue(soft.shape, "bool")]
+
+
+@signature("const_zeros")
+def sig_const_zeros(ins, params):
+    _require(not ins, "const_zeros takes no inputs")
+    return [AbstractValue(("B",) + tuple(params["shape"]),
+                          str(params.get("dtype", "float64")))]
+
+
+@signature("apply_keep")
+def sig_apply_keep(ins, params):
+    states, keep = ins
+    _require(states.ndim == 3 and keep.shape == states.shape[:2],
+             f"apply_keep needs (B, L, d) + (B, L), got {states} "
+             f"and {keep}")
+    return [AbstractValue(states.shape,
+                          _promote(states.dtype, keep.dtype))]
+
+
+@signature("score")
+def sig_score(ins, params):
+    (reprs,) = ins
+    table_t = aval(params["table_t"])
+    _require(reprs.ndim == 2 and _is_float(reprs),
+             f"score needs float (B, d) representations, got {reprs}")
+    _require(table_t.ndim == 2
+             and _dims_match(reprs.shape[-1], table_t.shape[0]),
+             f"representation {reprs} does not match the pinned score "
+             f"table {table_t} (model dim {table_t.shape[0]})")
+    vocab = table_t.shape[1]
+    for col in params.get("masked_columns", ()):
+        _require(0 <= int(col) < vocab,
+                 f"masked column {col} is outside the {vocab}-item "
+                 f"score table")
+    return [AbstractValue((reprs.shape[0], vocab),
+                          _promote(reprs.dtype, table_t.dtype))]
+
+
+# ---------------------------------------------------------------------------
+# Float64 policy (dtype-discipline exemptions)
+# ---------------------------------------------------------------------------
+#: Modules (relative to the package root) where explicit ``np.float64``
+#: pins are intentional, with the reason on record.  The
+#: ``dtype-discipline`` lint rule flags float64 pins anywhere else under
+#: ``nn/``/``serve/``; matched site counts per entry are reported into
+#: ``LINT_report.json`` by ``scripts/static_check.py`` and
+#: ``repro.cli lint``.
+FLOAT64_POLICY: Dict[str, str] = {
+    "nn/tensor.py": ("autograd substrate is float64 end to end; Tensor "
+                     "coerces all float data to float64 on construction"),
+    "nn/functional.py": ("fused kernels mirror the float64 substrate; "
+                         "loss weights are float64 probabilities"),
+    "nn/attention.py": ("SDPA kernel computes float64 scores against the "
+                        "float64 NEG_INF masking sentinel"),
+    "nn/reference.py": ("parity oracles must accumulate in float64 to "
+                        "serve as the <=1e-6 comparison baseline"),
+    "nn/module.py": ("load_state_dict casts checkpoint payloads to the "
+                     "substrate dtype explicitly"),
+    "nn/layers.py": ("LayerNorm affine parameters are float64 substrate "
+                     "state"),
+    "nn/init.py": "initializers allocate float64 parameter storage",
+    "nn/gumbel.py": ("Gumbel noise is added to float64 logits; sampling "
+                     "in lower precision would bias the soft-top-k"),
+    "serve/executors.py": ("frozen kernels must match the training "
+                           "substrate bit-for-bit; NEG_INF is a float64 "
+                           "sentinel"),
+    "serve/plan.py": ("freeze() snapshots weights as float64 — the "
+                      "parity tolerance (1e-6) assumes no precision "
+                      "drop; quantized plans must opt in explicitly"),
+    "serve/service.py": ("error Recommendations carry float64 score "
+                         "arrays to stay wire-compatible with real "
+                         "results"),
+    "serve/cluster.py": ("error Recommendations crossing the worker "
+                         "boundary mirror the service's float64 layout"),
+    "serve/load.py": ("latency accounting is float64 seconds; the plan "
+                      "path reuses the serving float64 contract"),
+}

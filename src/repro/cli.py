@@ -23,6 +23,12 @@ Commands
     traffic, open-loop QPS ramp, saturation throughput for 1/2/4
     workers, and a worker-kill chaos burst (``--gates`` enforces the
     load gates, as ``scripts/load_smoke.py`` does).
+``lint``
+    Run the AST static checker (:mod:`repro.analysis.lint`) over the
+    installed ``repro`` package: thin wrapper over ``run_lint`` honoring
+    ``--rules``/``--json``; exits non-zero on violations.
+    ``scripts/static_check.py`` is the fuller CI gate (report file,
+    scripts sweep, plan footprints).
 
 Examples
 --------
@@ -36,6 +42,7 @@ Examples
     python -m repro.cli serve-bench --models SASRec SSDRec --json bench.json
     python -m repro.cli serve-bench --models SASRec --workers 4
     python -m repro.cli load-bench --dataset ml-100k --gates
+    python -m repro.cli lint --rules dtype-discipline plan-signature
 """
 
 from __future__ import annotations
@@ -160,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "failure (what scripts/load_smoke.py does)")
     load.add_argument("--json", default=None,
                       help="also write the full report to this path")
+
+    lint = sub.add_parser("lint",
+                          help="run the AST static checker over the "
+                               "repro package")
+    lint.add_argument("--rules", nargs="*", default=None, metavar="RULE",
+                      help="subset of rules to run (default: all); an "
+                           "empty list is an error")
+    lint.add_argument("--json", default=None,
+                      help="also write the violation list to this path")
     return parser
 
 
@@ -278,6 +294,40 @@ def cmd_load_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis.lint import RULES, run_lint
+    from .analysis.report import write_json_report
+
+    if args.rules is not None and not args.rules:
+        print(f"--rules given with no rule names; available rules: "
+              f"{', '.join(sorted(RULES))}", file=sys.stderr)
+        return 2
+    package_root = Path(__file__).resolve().parent
+    tests_root = package_root.parent.parent / "tests"
+    try:
+        violations = run_lint(
+            package_root,
+            tests_root=tests_root if tests_root.is_dir() else None,
+            rules=args.rules)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    rules_run = sorted(args.rules if args.rules is not None else RULES)
+    print(f"lint over {package_root} ({len(rules_run)} rules)")
+    for v in violations:
+        print(f"  {v}")
+    if args.json:
+        write_json_report(args.json, {
+            "src_root": str(package_root), "rules": rules_run,
+            "violations": [v.as_dict() for v in violations]})
+        print(f"report written to {args.json}")
+    print("OK: no violations" if not violations
+          else f"FAIL: {len(violations)} violations")
+    return 1 if violations else 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
@@ -285,6 +335,7 @@ COMMANDS = {
     "explain": cmd_explain,
     "serve-bench": cmd_serve_bench,
     "load-bench": cmd_load_bench,
+    "lint": cmd_lint,
 }
 
 

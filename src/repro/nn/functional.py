@@ -129,7 +129,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
         weights = (targets != ignore_index).astype(np.float64)
         weights /= max(weights.sum(), 1.0)
     else:
-        weights = np.full(n, 1.0 / n)
+        weights = np.full(n, 1.0 / n, dtype=np.float64)
     out_data = np.asarray(-(logp_target * weights).sum())
     probs = exp / sumexp
 

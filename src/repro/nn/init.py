@@ -52,7 +52,7 @@ def normal(shape: Tuple[int, ...], std: float = 0.02,
 
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
     """All-zero initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)
 
 
 def orthogonal(shape: Tuple[int, ...],

@@ -87,8 +87,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim, dtype=np.float64))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float64))
 
     def forward(self, x: Tensor) -> Tensor:
         # Fused: normalization + affine recorded as a single graph node

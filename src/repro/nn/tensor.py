@@ -801,12 +801,14 @@ class Tensor:
 
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
     """Tensor of zeros."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=np.float64),
+                  requires_grad=requires_grad)
 
 
 def ones(*shape, requires_grad: bool = False) -> Tensor:
     """Tensor of ones."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=np.float64),
+                  requires_grad=requires_grad)
 
 
 def randn(*shape, rng: Optional[np.random.Generator] = None,

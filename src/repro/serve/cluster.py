@@ -69,26 +69,32 @@ def _unwire(payload: tuple) -> Recommendation:
                           error=error)
 
 
-def _worker_main(shard: int, plan_path: str, config: dict, conn,
-                 fault_plan: Optional[str]) -> None:
-    """Worker entry point: load the plan once, serve batches until stop.
+def _load_service(plan_path: str, config: dict) -> RecommendService:
+    """Load the spooled plan and build the shard's service.
 
-    Arguments are primitives only (the pipe connection aside): the plan
-    arrives as a *path* into the spool directory, the fault schedule as
-    a JSON string.  A ``SimulatedCrash`` from the chaos site exits the
-    process with the kill code — exactly what the front-end's revival
-    path must absorb.
+    With ``config["verify"]`` (the default) the unpickled plan is
+    abstract-interpreted against its recorded weight shapes *before* the
+    worker reports ready — a corrupted or drifted spool fails the
+    ``_spawn`` handshake with a ``PlanVerificationError`` message naming
+    the step, instead of crashing mid-batch.  The inner service skips
+    re-verification (the spool-load check just ran).
     """
-    inherited = active_plan()
-    if inherited is not None:      # fork leaks the parent's armed plan
-        inherited.disarm()
-    arm_json(fault_plan)
     with open(plan_path, "rb") as fh:
-        plan = pickle.load(fh)
-    service = RecommendService(plan, k=config["k"],
-                               max_batch=config["max_batch"],
-                               cache_size=config["cache_size"],
-                               padding=config["padding"])
+        loaded = pickle.load(fh)
+    if config.get("verify", True):
+        loaded.verify()
+    return RecommendService(loaded, k=config["k"],
+                            max_batch=config["max_batch"],
+                            cache_size=config["cache_size"],
+                            padding=config["padding"], verify=False)
+
+
+def _worker_main(shard: int, service: RecommendService, conn) -> None:
+    """Worker serve loop: answer batches until stop.
+
+    A ``SimulatedCrash`` from the chaos site exits the process with the
+    kill code — exactly what the front-end's revival path must absorb.
+    """
     while True:
         try:
             message = conn.recv()
@@ -121,8 +127,27 @@ def _worker_ready(shard: int, conn) -> None:
 
 def _worker_entry(shard: int, plan_path: str, config: dict, conn,
                   fault_plan: Optional[str]) -> None:
+    """Worker bootstrap: primitives only (the pipe connection aside).
+
+    The plan arrives as a *path* into the spool directory, the fault
+    schedule as a JSON string.  Spool load + verification runs before
+    the ready handshake; a failure answers ``_spawn`` with a ``_FAILED``
+    message carrying the structured error text.
+    """
+    inherited = active_plan()
+    if inherited is not None:      # fork leaks the parent's armed plan
+        inherited.disarm()
+    arm_json(fault_plan)
+    try:
+        service = _load_service(plan_path, config)
+    except Exception as exc:  # noqa: BLE001 — report, don't hang _spawn
+        try:
+            conn.send((_FAILED, shard, f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        return
     _worker_ready(shard, conn)
-    _worker_main(shard, plan_path, config, conn, fault_plan)
+    _worker_main(shard, service, conn)
 
 
 @dataclass
@@ -179,6 +204,11 @@ class ClusterService:
         worker at startup — the chaos harness's handle on the
         ``serve.worker.batch`` kill site.  Respawned workers never
         inherit a fault plan.
+    verify:
+        Verify the plan's program at freeze time *and* at every worker's
+        spool load (default True): a corrupted spool fails the spawn
+        handshake with the verifier's structured error instead of
+        crashing mid-batch.
     """
 
     def __init__(self, model_or_plan, num_workers: int = 2, k: int = 10,
@@ -186,9 +216,14 @@ class ClusterService:
                  padding: str = "model",
                  start_method: Optional[str] = None,
                  dispatch_timeout: float = 60.0,
-                 worker_fault_plans: Optional[Dict[int, str]] = None):
-        plan = (model_or_plan if isinstance(model_or_plan, FrozenPlan)
-                else freeze(model_or_plan))
+                 worker_fault_plans: Optional[Dict[int, str]] = None,
+                 verify: bool = True):
+        if isinstance(model_or_plan, FrozenPlan):
+            plan = model_or_plan
+            if verify:
+                plan.verify()
+        else:
+            plan = freeze(model_or_plan, verify=verify)
         if not plan.supports_encode:
             raise ValueError(
                 f"{plan.model_name} plan wraps a live model (fallback "
@@ -217,7 +252,8 @@ class ClusterService:
         self.router = Router(self.num_workers)
         self.dispatch_timeout = float(dispatch_timeout)
         self._config = {"k": int(k), "max_batch": max(1, int(max_batch)),
-                        "cache_size": int(cache_size), "padding": padding}
+                        "cache_size": int(cache_size), "padding": padding,
+                        "verify": bool(verify)}
         self.k = int(k)
         self.max_len = plan.max_len
         self.stats = ClusterStats()
@@ -252,7 +288,12 @@ class ClusterService:
         if not parent_conn.poll(self.dispatch_timeout):
             raise RuntimeError(f"worker {shard} did not come up within "
                                f"{self.dispatch_timeout}s")
-        tag, ready_shard, _ = parent_conn.recv()
+        tag, ready_shard, payload = parent_conn.recv()
+        if tag == _FAILED:
+            worker.process.join(timeout=5.0)
+            parent_conn.close()
+            raise RuntimeError(f"worker {shard} failed to load the plan "
+                               f"spool: {payload}")
         if tag != _READY or ready_shard != shard:
             raise RuntimeError(f"worker {shard} sent unexpected "
                                f"handshake {tag!r}")

@@ -181,9 +181,9 @@ def gru_forward(x: np.ndarray, w_ih: np.ndarray, w_hh: np.ndarray,
     gi = x_tm.reshape(length * batch, in_dim) @ w_ih
     gi += b_ih
     gi = gi.reshape(length, batch, 3 * hidden)
-    h = np.zeros((batch, hidden)) if h0 is None else np.array(
-        h0, dtype=np.float64)
-    out = np.empty((length, batch, hidden))
+    h = (np.zeros((batch, hidden), dtype=np.float64) if h0 is None
+         else np.array(h0, dtype=np.float64))
+    out = np.empty((length, batch, hidden), dtype=np.float64)
     for t in range(length):
         h_new = gru_step(gi[t], h, w_hh, b_hh, hidden)
         if step_mask is not None:

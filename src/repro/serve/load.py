@@ -162,7 +162,7 @@ def run_open_loop(cluster: ClusterService,
     """
     count = len(requests)
     arrivals = np.arange(count) / qps
-    latencies = np.empty(count)
+    latencies = np.empty(count, dtype=np.float64)
     error_count = 0
     start = time.perf_counter()
     i = 0

@@ -85,6 +85,49 @@ def _compile_gru(gru) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Plan programs: symbolic step lists for the verifier (analysis.dataflow)
+# ---------------------------------------------------------------------------
+
+def _aa(arr: np.ndarray) -> dict:
+    """Abstract-array descriptor: what the verifier needs from a weight.
+
+    Programs are pure data — weights cross into ``repro.analysis`` as
+    ``{shape, dtype, nbytes}`` descriptors, never as live arrays, so the
+    analysis layer stays decoupled from the serving layer.
+    """
+    arr = np.asarray(arr)
+    return {"shape": tuple(int(s) for s in arr.shape),
+            "dtype": str(arr.dtype), "nbytes": int(arr.nbytes)}
+
+
+def _step(op: str, ins, outs, traced: bool = False, **params) -> dict:
+    """One program step.  ``traced=True`` marks steps whose op is a real
+    ``X.<op>`` executor call in the plan source (not NumPy glue) — the
+    runtime cross-validator matches exactly these against recorded
+    executor calls."""
+    return {"op": op, "in": list(ins), "out": list(outs),
+            "traced": traced, "params": params}
+
+
+def _transformer_program(enc: dict) -> dict:
+    layers = []
+    for layer in enc["layers"]:
+        entry = {key: _aa(value) for key, value in layer.items()
+                 if isinstance(value, np.ndarray)}
+        entry["eps"] = layer["eps"]
+        entry["activation"] = layer["activation"].__name__
+        layers.append(entry)
+    return {"layers": layers, "num_heads": int(enc["num_heads"]),
+            "final_g": _aa(enc["final_g"]), "final_b": _aa(enc["final_b"]),
+            "eps": enc["eps"]}
+
+
+def _gru_program(p: dict) -> dict:
+    return {name: _aa(p[name])
+            for name in ("w_ih", "w_hh", "b_ih", "b_hh")}
+
+
 class FrozenPlan:
     """Base plan: embedding lookup + pinned-table scoring + pad masking.
 
@@ -126,6 +169,46 @@ class FrozenPlan:
 
     def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    # -- symbolic program ----------------------------------------------
+    def program(self) -> list:
+        """Symbolic step list describing one ``forward`` at ``max_len``.
+
+        Steps are ``{"op", "in", "out", "traced", "params"}`` dicts over
+        named intermediate values; the abstract interpreter
+        (:mod:`repro.analysis.dataflow`) executes them over a
+        ``(shape, dtype)`` lattice with the batch axis symbolic.  The
+        program describes the canonical ``padding="model"`` layout
+        (sequences padded to ``max_len``).
+        """
+        steps = [_step("embed", ["items"], ["states"],
+                       table=_aa(self.item_table))]
+        steps += self.encode_program("states", "mask", "rep")
+        steps.append(_step("score", ["rep"], ["scores"],
+                           table_t=_aa(self.table_t),
+                           masked_columns=list(self.masked_columns)))
+        return steps
+
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        """Steps from embedded ``states`` + ``mask`` to the ``out`` repr.
+
+        Split out from :meth:`program` so SSDRec can splice a backbone's
+        encode stage after its denoising gate (``prefix`` namespaces the
+        intermediates).
+        """
+        raise NotImplementedError
+
+    def verify(self):
+        """Abstract-interpret the program against the recorded weights.
+
+        Raises :class:`repro.analysis.dataflow.PlanVerificationError`
+        naming the offending step on any shape/dtype mismatch; returns
+        the per-step trace on success.  Called by ``freeze()`` unless
+        ``verify=False``.
+        """
+        from ..analysis.dataflow import verify_plan
+        return verify_plan(self)
 
     def encode(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
                users: Optional[np.ndarray] = None) -> np.ndarray:
@@ -198,6 +281,19 @@ class SASRecPlan(FrozenPlan):
                                        enc["final_b"], enc["eps"])
         return X.last_state(hidden, mask)
 
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        return [
+            _step("add_positions", [states], [p + "x"],
+                  positions=_aa(self.positions)),
+            _step("causal_attn_mask", [mask], [p + "attn"]),
+            _step("transformer_encoder", [p + "x", p + "attn"],
+                  [p + "hidden"], traced=True,
+                  **_transformer_program(self.encoder)),
+            _step("last_state", [p + "hidden", mask], [out], traced=True),
+        ]
+
 
 class BERT4RecPlan(FrozenPlan):
     model_name = "BERT4Rec"
@@ -211,7 +307,7 @@ class BERT4RecPlan(FrozenPlan):
 
     def encode_states(self, states: np.ndarray, mask: np.ndarray) -> np.ndarray:
         batch, length, dim = states.shape
-        extended = np.empty((batch, length + 1, dim))
+        extended = np.empty((batch, length + 1, dim), dtype=np.float64)
         extended[:, :length] = states
         extended[:, length] = self.item_table[self.mask_token]
         ext_mask = np.concatenate(
@@ -223,6 +319,22 @@ class BERT4RecPlan(FrozenPlan):
                                        enc["num_heads"], enc["final_g"],
                                        enc["final_b"], enc["eps"])
         return hidden[:, -1, :]
+
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        return [
+            _step("extend_mask_token", [states, mask],
+                  [p + "ext", p + "ext_mask"],
+                  row=_aa(self.item_table[self.mask_token])),
+            _step("add_positions", [p + "ext"], [p + "x"],
+                  positions=_aa(self.positions)),
+            _step("pad_attn_mask", [p + "ext_mask"], [p + "attn"]),
+            _step("transformer_encoder", [p + "x", p + "attn"],
+                  [p + "hidden"], traced=True,
+                  **_transformer_program(self.encoder)),
+            _step("take_last", [p + "hidden"], [out]),
+        ]
 
 
 class GRU4RecPlan(FrozenPlan):
@@ -244,6 +356,22 @@ class GRU4RecPlan(FrozenPlan):
             hidden = X.gru_forward(hidden, p["w_ih"], p["w_hh"], p["b_ih"],
                                    p["b_hh"], step_mask=step_mask)
         return X.linear(X.last_state(hidden, mask), self.w_out, self.b_out)
+
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        steps = []
+        current = states
+        for index, gru in enumerate(self.grus):
+            nxt = f"{p}h{index}"
+            steps.append(_step("gru_forward", [current], [nxt],
+                               traced=True, **_gru_program(gru)))
+            current = nxt
+        steps.append(_step("last_state", [current, mask], [p + "last"],
+                           traced=True))
+        steps.append(_step("linear", [p + "last"], [out], traced=True,
+                           weight=_aa(self.w_out), bias=_aa(self.b_out)))
+        return steps
 
     def encode_tight(self, items: np.ndarray,
                      mask: Optional[np.ndarray] = None,
@@ -276,7 +404,8 @@ class GRU4RecPlan(FrozenPlan):
 
     # -- incremental (tight-padding) state API -------------------------
     def init_state(self) -> list:
-        return [np.zeros((1, p["hidden"])) for p in self.grus]
+        return [np.zeros((1, p["hidden"]), dtype=np.float64)
+                for p in self.grus]
 
     def append_item(self, state: list, item: int) -> list:
         """Advance each layer's hidden state by one item (tight stepping)."""
@@ -319,6 +448,34 @@ class NARMPlan(FrozenPlan):
         combined = np.concatenate([final, local], axis=1)
         return combined @ self.w_out
 
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        return [
+            _step("gru_forward", [states], [p + "hidden"], traced=True,
+                  **_gru_program(self.gru)),
+            _step("last_state", [p + "hidden", mask], [p + "final"],
+                  traced=True),
+            _step("linear", [p + "final"], [p + "q0"],
+                  weight=_aa(self.w_query)),
+            _step("expand_dims", [p + "q0"], [p + "query"], axis=1),
+            _step("linear", [p + "hidden"], [p + "keys"],
+                  weight=_aa(self.w_key)),
+            _step("add", [p + "query", p + "keys"], [p + "pre"]),
+            _step("sigmoid", [p + "pre"], [p + "act"], traced=True),
+            _step("linear", [p + "act"], [p + "e3"],
+                  weight=_aa(self.w_energy)),
+            _step("squeeze_last", [p + "e3"], [p + "energy"]),
+            _step("masked_softmax", [p + "energy", mask], [p + "weights"],
+                  traced=True),
+            _step("weighted_sum", [p + "hidden", p + "weights"],
+                  [p + "local"]),
+            _step("concat_last", [p + "final", p + "local"],
+                  [p + "combined"]),
+            _step("linear", [p + "combined"], [out],
+                  weight=_aa(self.w_out)),
+        ]
+
     def encode_tight(self, items: np.ndarray,
                      mask: Optional[np.ndarray] = None,
                      users: Optional[np.ndarray] = None) -> np.ndarray:
@@ -354,6 +511,36 @@ class STAMPPlan(FrozenPlan):
         h_t = np.tanh(X.linear(last, self.wt_w, self.wt_b))
         return h_s * h_t
 
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        return [
+            _step("last_state", [states, mask], [p + "last"], traced=True),
+            _step("masked_mean", [states, mask], [p + "mean"], traced=True),
+            _step("linear", [states], [p + "pre0"], weight=_aa(self.w1)),
+            _step("linear", [p + "last"], [p + "lastp"],
+                  weight=_aa(self.w2)),
+            _step("expand_dims", [p + "lastp"], [p + "lastp1"], axis=1),
+            _step("add", [p + "pre0", p + "lastp1"], [p + "pre1"]),
+            _step("linear", [p + "mean"], [p + "meanp"],
+                  weight=_aa(self.w3)),
+            _step("expand_dims", [p + "meanp"], [p + "meanp1"], axis=1),
+            _step("add", [p + "pre1", p + "meanp1"], [p + "pre"]),
+            _step("sigmoid", [p + "pre"], [p + "act"], traced=True),
+            _step("linear", [p + "act"], [p + "e3"], weight=_aa(self.w0)),
+            _step("squeeze_last", [p + "e3"], [p + "energy"]),
+            _step("masked_softmax", [p + "energy", mask], [p + "weights"],
+                  traced=True),
+            _step("weighted_sum", [states, p + "weights"], [p + "memory"]),
+            _step("linear", [p + "memory"], [p + "hs0"], traced=True,
+                  weight=_aa(self.ws_w), bias=_aa(self.ws_b)),
+            _step("tanh", [p + "hs0"], [p + "h_s"]),
+            _step("linear", [p + "last"], [p + "ht0"], traced=True,
+                  weight=_aa(self.wt_w), bias=_aa(self.wt_b)),
+            _step("tanh", [p + "ht0"], [p + "h_t"]),
+            _step("mul", [p + "h_s", p + "h_t"], [out]),
+        ]
+
 
 class CaserPlan(FrozenPlan):
     model_name = "Caser"
@@ -378,7 +565,8 @@ class CaserPlan(FrozenPlan):
         for (weight, bias, out_channels), height in zip(self.h_convs,
                                                         self.filter_heights):
             if length < height:
-                features.append(np.zeros((batch, out_channels)))
+                features.append(np.zeros((batch, out_channels),
+                                         dtype=np.float64))
                 continue
             features.append(X.conv1d_relu_pool(image, weight, bias, height))
         padded = self._fit_length(image, self.v_width)
@@ -387,6 +575,40 @@ class CaserPlan(FrozenPlan):
         return X.linear(np.concatenate(features, axis=1),
                         self.w_fc, self.b_fc)
 
+    def encode_program(self, states: str, mask: str, out: str,
+                       prefix: str = "") -> list:
+        p = prefix
+        steps = [
+            _step("mask_states", [states, mask], [p + "masked"]),
+            _step("to_image", [p + "masked"], [p + "image"]),
+        ]
+        features = []
+        length = int(self.max_len)
+        for index, ((weight, bias, out_channels), height) in enumerate(
+                zip(self.h_convs, self.filter_heights)):
+            name = f"{p}feat{index}"
+            if length < height:
+                steps.append(_step("const_zeros", [], [name],
+                                   shape=(int(out_channels),)))
+            else:
+                steps.append(_step("conv1d_relu_pool", [p + "image"],
+                                   [name], traced=True, weight=_aa(weight),
+                                   bias=_aa(bias), kernel=int(height)))
+            features.append(name)
+        steps += [
+            _step("fit_length", [p + "image"], [p + "padded"],
+                  width=int(self.v_width)),
+            _step("linear", [p + "padded"], [p + "vert0"],
+                  weight=_aa(self.w_vert)),
+            _step("relu", [p + "vert0"], [p + "vert"], traced=True),
+            _step("reshape_merge_last2", [p + "vert"], [p + "vflat"]),
+            _step("concat_last", features + [p + "vflat"],
+                  [p + "features"]),
+            _step("linear", [p + "features"], [out], traced=True,
+                  weight=_aa(self.w_fc), bias=_aa(self.b_fc)),
+        ]
+        return steps
+
     @staticmethod
     def _fit_length(image: np.ndarray, width: int) -> np.ndarray:
         batch, dim, length = image.shape
@@ -394,7 +616,7 @@ class CaserPlan(FrozenPlan):
             return image
         if length > width:
             return image[:, :, length - width:]
-        padded = np.zeros((batch, dim, width))
+        padded = np.zeros((batch, dim, width), dtype=np.float64)
         padded[:, :, width - length:] = image
         return padded
 
@@ -475,6 +697,55 @@ class SSDRecPlan(FrozenPlan):
             final_mask = keep_mask
         return self.backbone_plan.encode_states(states, final_mask)
 
+    def program(self) -> list:
+        """Denoise-then-encode program: gate, keep mask, backbone splice.
+
+        Describes the ``users``-present path (the serving path always
+        routes a user id); a ``users=None`` call skips the injection but
+        shares every downstream shape.
+        """
+        steps = [
+            _step("embed", ["items"], ["h_v"], table=_aa(self.item_table)),
+            _step("user_inject", ["h_v", "mask", "users"], ["states"],
+                  user_table=_aa(self.user_table)),
+        ]
+        if self.gate is not None:
+            g = self.gate
+            steps += [
+                _step("gru_forward", ["states"], ["context"], traced=True,
+                      **_gru_program(g["gru"])),
+                _step("mul", ["states", "context"], ["sc"]),
+                _step("linear", ["sc"], ["se3"], weight=_aa(g["seq_w"]),
+                      bias=_aa(g["seq_b"])),
+                _step("squeeze_last", ["se3"], ["seq_energy"]),
+                _step("masked_mean", ["states", "mask"], ["interest"]),
+                _step("linear", ["interest"], ["projected"],
+                      weight=_aa(g["interest_w"])),
+                _step("expand_dims", ["projected"], ["proj1"], axis=1),
+                _step("mul", ["states", "proj1"], ["up"]),
+                _step("sum_last", ["up"], ["user_energy"]),
+                _step("standardize", ["seq_energy", "mask"], ["z_seq"],
+                      traced=True),
+                _step("standardize", ["user_energy", "mask"], ["z_user"],
+                      traced=True),
+                _step("gate_combine", ["z_seq", "z_user"], ["logits"],
+                      w_seq=float(g["w_seq"]), w_user=float(g["w_user"]),
+                      bias=float(g["bias"]), tau=float(g["tau"])),
+                _step("sigmoid", ["logits"], ["soft"], traced=True),
+                _step("threshold_keep", ["soft", "mask"],
+                      ["keep", "keep_mask"]),
+                _step("apply_keep", ["states", "keep"], ["gated"]),
+            ]
+            steps += self.backbone_plan.encode_program(
+                "gated", "keep_mask", "rep", prefix="bb.")
+        else:
+            steps += self.backbone_plan.encode_program(
+                "states", "mask", "rep", prefix="bb.")
+        steps.append(_step("score", ["rep"], ["scores"],
+                           table_t=_aa(self.table_t),
+                           masked_columns=list(self.masked_columns)))
+        return steps
+
 
 class FallbackPlan(FrozenPlan):
     """Wrap an arbitrary ``forward_batch``/``forward`` model under no_grad.
@@ -492,6 +763,14 @@ class FallbackPlan(FrozenPlan):
         self.model = model
         self.max_len = getattr(model, "max_len", None)
         self.masked_columns = (PAD_ID,)
+
+    def program(self) -> list:
+        raise NotImplementedError(
+            "FallbackPlan wraps a live model graph; there is no compiled "
+            "step list to verify")
+
+    def verify(self):
+        return None
 
     def _call(self, fn, *args, **kwargs) -> np.ndarray:
         with inference_mode(self.model):
@@ -556,14 +835,25 @@ _REGISTRY = {
 }
 
 
-def freeze(model) -> FrozenPlan:
+def freeze(model, verify: bool = True) -> FrozenPlan:
     """Compile ``model`` into a frozen forward plan.
 
     Exact-type dispatch: subclasses that override ``encode_states`` would
     silently diverge from the compiled executor, so anything not in the
     registry (by exact class name) gets the :class:`FallbackPlan`.
+
+    With ``verify=True`` (the default) the compiled plan's program is
+    abstract-interpreted against the recorded weight shapes/dtypes
+    before it is returned — a drifted weight layout raises a
+    :class:`~repro.analysis.dataflow.PlanVerificationError` here, at
+    compile time, instead of crashing inside a serving worker.
     """
     if type(model).__name__ == "SSDRec":
-        return _freeze_ssdrec(model)
-    plan = _compile_backbone(model)
-    return plan if plan is not None else FallbackPlan(model)
+        plan = _freeze_ssdrec(model)
+    else:
+        plan = _compile_backbone(model)
+        if plan is None:
+            plan = FallbackPlan(model)
+    if verify:
+        plan.verify()
+    return plan

@@ -103,12 +103,23 @@ class RecommendService:
         LRU capacity of the user-state cache (0 disables caching).
     padding:
         ``"model"`` or ``"tight"`` (see module docstring).
+    verify:
+        Abstract-interpret the plan's program against its recorded
+        weight shapes/dtypes before serving (default True; see
+        :mod:`repro.analysis.dataflow`).  A drifted or corrupted plan
+        raises ``PlanVerificationError`` here instead of failing mid
+        request.
     """
 
     def __init__(self, model_or_plan, k: int = 10, max_batch: int = 64,
-                 cache_size: int = 1024, padding: str = "model"):
-        plan = (model_or_plan if isinstance(model_or_plan, FrozenPlan)
-                else freeze(model_or_plan))
+                 cache_size: int = 1024, padding: str = "model",
+                 verify: bool = True):
+        if isinstance(model_or_plan, FrozenPlan):
+            plan = model_or_plan
+            if verify:
+                plan.verify()
+        else:
+            plan = freeze(model_or_plan, verify=verify)
         if padding not in ("model", "tight"):
             raise ValueError(f"padding must be 'model' or 'tight', got {padding!r}")
         if padding == "tight" and not plan.padding_invariant:

@@ -6,6 +6,7 @@ and subprocess checks of ``scripts/static_check.py`` exit codes.
 """
 
 import json
+import os
 import subprocess
 import sys
 import textwrap
@@ -39,7 +40,8 @@ class TestLiveTree:
                               "eval-no-grad", "bare-parameter",
                               "serve-graph-free", "worker-boundary",
                               "experiments-via-registry",
-                              "atomic-persistence"}
+                              "atomic-persistence", "dtype-discipline",
+                              "buffer-aliasing", "plan-signature"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -352,6 +354,153 @@ class TestAtomicPersistenceRule:
         assert run_lint(root, rules=["atomic-persistence"]) == []
 
 
+class TestDtypeDisciplineRule:
+    def test_flags_dtypeless_allocations_and_rogue_pins(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/alloc.py": """
+            import numpy as np
+
+            def make(n):
+                a = np.zeros(n)
+                b = np.full(n, 1.0)
+                c = np.float64(0.0)
+                return a, b, c
+        """})
+        violations = run_lint(root, rules=["dtype-discipline"])
+        assert [v.line for v in violations] == [5, 6, 7]
+        messages = [v.message for v in violations]
+        assert any("explicit dtype" in m for m in messages)
+        assert any("FLOAT64_POLICY" in m for m in messages)
+
+    def test_clean_with_explicit_dtypes_in_policy_module(self, tmp_path):
+        # nn/tensor.py is in FLOAT64_POLICY, so its pins are exempt.
+        root = write_tree(tmp_path / "repro", {"nn/tensor.py": """
+            import numpy as np
+
+            def make(n):
+                a = np.zeros(n, dtype=np.float64)
+                b = np.empty(n, "float64")
+                return a, b
+        """})
+        assert run_lint(root, rules=["dtype-discipline"]) == []
+
+    def test_non_substrate_modules_untouched(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"data/gen.py": """
+            import numpy as np
+
+            def make(n):
+                return np.zeros(n), np.float64(0.0)
+        """})
+        assert run_lint(root, rules=["dtype-discipline"]) == []
+
+
+class TestBufferAliasingRule:
+    def test_flags_aliasing_rebinding_and_scratch_returns(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/optim.py": """
+            import numpy as np
+
+            class SGD:
+                def step(self):
+                    for p in self.params:
+                        p.data = p.data - p.grad
+
+            def square(x):
+                np.matmul(x, x, out=x)
+                return x
+
+            class Kernel:
+                def forward(self, x):
+                    np.multiply(x, x, out=x)
+                    return self._buf_out
+        """})
+        violations = run_lint(root, rules=["buffer-aliasing"])
+        assert [v.line for v in violations] == [7, 10, 16]
+        messages = [v.message for v in violations]
+        assert any("augmented assignment" in m for m in messages)
+        assert any("aliases input" in m for m in messages)
+        assert any("scratch buffer" in m for m in messages)
+
+    def test_clean_with_inplace_update_and_fresh_out(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/optim.py": """
+            import numpy as np
+
+            class SGD:
+                def step(self):
+                    for p in self.params:
+                        p.data -= p.grad
+
+            def project(x, w, out):
+                np.matmul(x, w, out=out)
+                return out.copy()
+        """})
+        assert run_lint(root, rules=["buffer-aliasing"]) == []
+
+
+class TestPlanSignatureRule:
+    def test_flags_unregistered_ops_and_programless_plans(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "analysis/signatures.py": """
+                def signature(*names):
+                    def register(fn):
+                        return fn
+                    return register
+
+                @signature("linear")
+                def sig_linear(ins, params):
+                    return ins
+            """,
+            "serve/executors.py": """
+                def linear(x, w, b):
+                    return x @ w + b
+
+                def mystery(x):
+                    return x
+
+                def _helper(x):
+                    return x
+            """,
+            "serve/plan.py": """
+                from . import executors as X
+
+                class FrozenPlan:
+                    pass
+
+                class GoodPlan(FrozenPlan):
+                    def encode_program(self, states, mask, out, prefix=""):
+                        return []
+
+                class BadPlan(FrozenPlan):
+                    def forward(self, items):
+                        return X.mystery(X.linear(items, None, None))
+            """,
+        })
+        violations = run_lint(root, rules=["plan-signature"])
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("executor 'mystery'" in m for m in messages)
+        assert any("X.mystery()" in m for m in messages)
+        assert any("'BadPlan'" in m for m in messages)
+
+    def test_tree_without_serving_layer_is_clean(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"models/net.py": "x = 1\n"})
+        assert run_lint(root, rules=["plan-signature"]) == []
+
+
+class TestProjectRobustness:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"nn/broken.py": "def f(:\n"})
+        violations = run_lint(root, rules=["unseeded-rng"])
+        assert len(violations) == 1
+        assert violations[0].rule == "parse-error"
+        assert "broken.py" in violations[0].path
+
+    def test_empty_modules_run_clean_under_every_rule(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "nn/empty.py": "", "serve/empty.py": "", "eval/empty.py": "",
+            "experiments/empty.py": "", "runs.py": "",
+        })
+        assert run_lint(root) == []
+
+
 class TestStaticCheckScript:
     def _run(self, *extra_args):
         return subprocess.run(
@@ -363,7 +512,51 @@ class TestStaticCheckScript:
         proc = self._run("--json", str(report))
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "OK" in proc.stdout
-        assert json.loads(report.read_text())["violations"] == []
+        payload = json.loads(report.read_text())
+        assert payload["violations"] == []
+        # The report carries the float64 exemption table and per-plan
+        # abstract memory footprints.
+        exemptions = payload["dtype_exemptions"]
+        assert "serve/plan.py" in exemptions
+        assert exemptions["serve/plan.py"]["reason"]
+        assert exemptions["serve/plan.py"]["float64_sites"] > 0
+        footprints = payload["plan_footprints"]
+        assert {f["model"] for f in footprints} >= {"SASRec", "GRU4Rec"}
+        assert all(f["weight_bytes"] > 0 for f in footprints)
+        assert all("1" in f["activations"] and "64" in f["activations"]
+                   for f in footprints)
+
+    def test_empty_rules_list_fails_loudly(self):
+        proc = self._run("--rules")
+        assert proc.returncode == 2
+        assert "no rule names" in proc.stderr
+        assert "dtype-discipline" in proc.stderr  # lists valid rules
+
+    def test_unknown_rule_fails_loudly(self):
+        proc = self._run("--rules", "no-such-rule")
+        assert proc.returncode == 2
+        assert "unknown rules: no-such-rule" in proc.stderr
+        assert "plan-signature" in proc.stderr
+
+    def test_scripts_root_swept_for_unseeded_rng(self, tmp_path):
+        src = write_tree(tmp_path / "repro", {"models/ok.py": "x = 1\n"})
+        scripts = write_tree(tmp_path / "scripts", {"tool.py": """
+            import numpy as np
+
+            def main():
+                return np.random.rand(3)
+        """})
+        report = tmp_path / "report.json"
+        proc = self._run("--src-root", str(src),
+                         "--tests-root", str(tmp_path / "missing"),
+                         "--scripts-root", str(scripts),
+                         "--rules", "unseeded-rng",
+                         "--json", str(report))
+        assert proc.returncode == 1
+        payload = json.loads(report.read_text())
+        assert len(payload["violations"]) == 1
+        assert payload["violations"][0]["rule"] == "unseeded-rng"
+        assert "tool.py" in payload["violations"][0]["path"]
 
     def test_exit_nonzero_on_seeded_violation(self, tmp_path):
         root = write_tree(tmp_path / "repro", {"models/bad.py": """
@@ -387,3 +580,34 @@ class TestStaticCheckScript:
         assert v.as_dict() == {"rule": "unseeded-rng", "path": "x.py",
                                "line": 3, "message": "m"}
         assert str(v) == "x.py:3: [unseeded-rng] m"
+
+
+class TestCliLintSubcommand:
+    def _run(self, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *extra_args],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env)
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        report = tmp_path / "report.json"
+        proc = self._run("--json", str(report))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK: no violations" in proc.stdout
+        assert json.loads(report.read_text())["violations"] == []
+
+    def test_rule_subset_runs(self):
+        proc = self._run("--rules", "unseeded-rng", "plan-signature")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "2 rules" in proc.stdout
+
+    def test_empty_rules_list_fails_loudly(self):
+        proc = self._run("--rules")
+        assert proc.returncode == 2
+        assert "available rules" in proc.stderr
+
+    def test_unknown_rule_fails_loudly(self):
+        proc = self._run("--rules", "no-such-rule")
+        assert proc.returncode == 2
+        assert "unknown lint rules" in proc.stderr
