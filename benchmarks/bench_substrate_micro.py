@@ -284,3 +284,44 @@ def test_micro_topk_argpartition(benchmark):
 def test_micro_topk_full_argsort(benchmark):
     scores, _ = _rank_inputs()
     benchmark(lambda: np.argsort(-scores, axis=1, kind="stable")[:, :20])
+
+
+def _tie_heavy_scores():
+    """Scores quantized to few distinct values: nearly every row has a
+    tie group straddling the k-th boundary, so the tie re-rank path
+    dominates ``topk_from_scores``.  Many narrow rows — the shape of a
+    micro-batched shard-local catalog — is where the per-row Python
+    loop's overhead shows."""
+    rng = np.random.default_rng(5)
+    return np.round(rng.normal(size=(8192, 64)) * 2.0) / 2.0
+
+
+def _legacy_loop_tiebreak_topk(scores, k):
+    """Pre-PR8 topk_from_scores boundary handling: a per-row Python loop
+    re-ranking each affected row with its own lexsort."""
+    rows, vocab = scores.shape
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    sel = np.take_along_axis(scores, part, axis=1)
+    rank = np.lexsort((part, -sel), axis=-1)
+    top = np.take_along_axis(part, rank, axis=1)
+    kth = np.take_along_axis(scores, top[:, -1:], axis=1)
+    outside = (scores == kth).sum(axis=1) > (
+        np.take_along_axis(scores, top, axis=1) == kth).sum(axis=1)
+    for row in np.nonzero(outside)[0]:
+        order = np.lexsort((np.arange(vocab), -scores[row]))
+        top[row] = order[:k]
+    return top
+
+
+@pytest.mark.benchmark(group="topk-tiebreak")
+def test_micro_topk_tiebreak_batched(benchmark):
+    from repro.serve import topk_from_scores
+
+    scores = _tie_heavy_scores()
+    benchmark(lambda: topk_from_scores(scores, 10))
+
+
+@pytest.mark.benchmark(group="topk-tiebreak")
+def test_micro_topk_tiebreak_row_loop(benchmark):
+    scores = _tie_heavy_scores()
+    benchmark(lambda: _legacy_loop_tiebreak_topk(scores, 10))

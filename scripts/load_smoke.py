@@ -53,10 +53,18 @@ def main() -> int:
                         choices=sorted(SCALES))
     parser.add_argument("--quick", action="store_true",
                         help="smaller request pools (half-size bursts)")
+    parser.add_argument("--retrieval", choices=("exact", "ann"),
+                        default="exact",
+                        help="top-k path inside every worker: exact "
+                             "scoring or the clustered ANN index")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="clusters probed per query when "
+                             "--retrieval ann")
     args = parser.parse_args()
 
     config = LoadConfig(profile=args.profile, model=args.model,
-                        seed=args.seed)
+                        seed=args.seed, retrieval=args.retrieval,
+                        nprobe=args.nprobe)
     if args.quick:
         config.saturation_requests //= 2
         config.chaos_requests //= 2

@@ -91,6 +91,15 @@ rules:
     (:mod:`repro.analysis.dataflow`) cannot check the plan at freeze
     time and shape drift survives to a serving worker.
 
+``exact-oracle``
+    Any module touching the approximate retrieval path (``ANNIndex`` /
+    ``build_ann_index`` / ``attach_ann_index`` / ``ann_topk``) obliges
+    the test suite to pin ANN results against the exact oracle: at
+    least one test file must co-reference an ANN name with
+    ``topk_from_scores`` (or ``ranks_from_scores``).  Approximate
+    retrieval without an exact-parity anchor can drift arbitrarily —
+    recall regressions would look like model changes.
+
 To add a rule: write a function taking a :class:`Project` and returning
 a list of :class:`Violation`, and decorate it with ``@rule(name,
 description)``.  ``scripts/static_check.py`` is the CLI entry point.
@@ -190,6 +199,15 @@ SIGNATURES_MODULE = "analysis/signatures.py"
 
 #: Executor-alias name used by plan.py (``from . import executors as X``).
 _EXECUTOR_ALIAS = "X"
+
+#: Names that mark a module as using the approximate (ANN) retrieval
+#: path; any such module obliges exact-oracle test coverage.
+ANN_NAMES = frozenset({"ANNIndex", "build_ann_index", "attach_ann_index",
+                       "ann_topk"})
+
+#: Exact-oracle spellings, at least one of which must appear alongside
+#: an ANN name in some test file.
+EXACT_ORACLE_NAMES = ("topk_from_scores", "ranks_from_scores")
 
 
 @dataclass
@@ -881,6 +899,49 @@ def check_plan_signature(project: Project) -> List[Violation]:
                          f"program() nor encode_program(); the verifier "
                          f"cannot abstract-interpret its forward pass")))
     return violations
+
+
+def _ann_reference(tree: ast.Module) -> Optional[tuple]:
+    """First ANN-name reference in a module as ``(name, lineno)``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in ANN_NAMES:
+            return node.id, node.lineno
+        if isinstance(node, ast.Attribute) and node.attr in ANN_NAMES:
+            return node.attr, node.lineno
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                leaf = alias.name.split(".")[-1]
+                if leaf in ANN_NAMES:
+                    return leaf, node.lineno
+    return None
+
+
+@rule("exact-oracle",
+      "modules using ANN retrieval (ANNIndex/build_ann_index/"
+      "attach_ann_index/ann_topk) require a test file pinning ANN "
+      "results against the exact topk_from_scores oracle")
+def check_exact_oracle(project: Project) -> List[Violation]:
+    users = []
+    for rel, tree in sorted(project.modules.items()):
+        ref = _ann_reference(tree)
+        if ref is not None:
+            users.append((rel, ref))
+    if not users or project.tests_root is None:
+        return []
+    for path in sorted(project.tests_root.rglob("*.py")):
+        text = path.read_text()
+        if any(name in text for name in ANN_NAMES) and \
+                any(oracle in text for oracle in EXACT_ORACLE_NAMES):
+            return []  # the exact-parity anchor exists
+    oracles = "/".join(EXACT_ORACLE_NAMES)
+    return [Violation(
+        rule="exact-oracle", path=project.display_path(rel),
+        line=lineno,
+        message=(f"module references ANN retrieval ({name!r}) but no "
+                 f"test file co-references an ANN name with the exact "
+                 f"oracle ({oracles}); add a parity test pinning ANN "
+                 f"results to the exact top-k"))
+        for rel, (name, lineno) in users]
 
 
 def dtype_policy_report(project: Project) -> Dict[str, Dict[str, object]]:

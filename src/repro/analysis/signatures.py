@@ -617,6 +617,73 @@ def sig_score(ins, params):
                           _promote(reprs.dtype, table_t.dtype))]
 
 
+@signature("centroid_scores")
+def sig_centroid_scores(ins, params):
+    (reprs,) = ins
+    centroids = aval(params["centroids"])
+    _require(reprs.ndim == 2 and _is_float(reprs),
+             f"centroid_scores needs float (B, d) representations, "
+             f"got {reprs}")
+    _require(centroids.ndim == 2 and _is_float(centroids)
+             and centroids.shape[0] >= 1,
+             f"ANN centroid table must be float (C, d+1), got {centroids}")
+    dim = reprs.shape[-1]
+    _require(not isinstance(dim, int) or centroids.shape[1] == dim + 1,
+             f"norm-augmented centroids {centroids} do not match "
+             f"representation {reprs}: expected trailing dim {dim} + 1")
+    return [AbstractValue((reprs.shape[0], centroids.shape[0]),
+                          _promote(reprs.dtype, centroids.dtype))]
+
+
+@signature("probe_clusters")
+def sig_probe_clusters(ins, params):
+    (cluster_scores,) = ins
+    _require(cluster_scores.ndim == 2 and _is_float(cluster_scores),
+             f"probe_clusters needs float (B, C) centroid scores, "
+             f"got {cluster_scores}")
+    nprobe = int(params["nprobe"])
+    clusters = cluster_scores.shape[1]
+    _require(nprobe >= 1, f"nprobe must be >= 1, got {nprobe}")
+    _require(not isinstance(clusters, int) or nprobe <= clusters,
+             f"nprobe {nprobe} exceeds the {clusters} index clusters")
+    return [AbstractValue((cluster_scores.shape[0], nprobe), "int64")]
+
+
+@signature("ann_gather_topk")
+def sig_ann_gather_topk(ins, params):
+    reprs, probes = ins
+    packed_table = aval(params["packed_table"])
+    packed_ids = aval(params["packed_ids"])
+    offsets = aval(params["offsets"])
+    clusters = int(params["num_clusters"])
+    k = int(params["k"])
+    _require(reprs.ndim == 2 and _is_float(reprs),
+             f"ann_gather_topk needs float (B, d) representations, "
+             f"got {reprs}")
+    _require(probes.ndim == 2 and probes.dtype in _INTS,
+             f"ann_gather_topk needs integer (B, nprobe) probes, "
+             f"got {probes}")
+    nprobe = probes.shape[1]
+    _require(not isinstance(nprobe, int) or nprobe <= clusters,
+             f"{nprobe} probes exceed the {clusters} index clusters")
+    _require(packed_table.ndim == 2
+             and _dims_match(reprs.shape[-1], packed_table.shape[1]),
+             f"packed item table {packed_table} does not match "
+             f"representation {reprs}")
+    _require(packed_ids.ndim == 1 and packed_ids.dtype in _INTS
+             and packed_ids.shape[0] == packed_table.shape[0],
+             f"packed ids {packed_ids} do not pair with the packed "
+             f"table {packed_table}")
+    _require(offsets.ndim == 1 and offsets.dtype in _INTS
+             and offsets.shape[0] == clusters + 1,
+             f"cluster offsets {offsets} must be int64 "
+             f"({clusters} clusters + 1)")
+    _require(1 <= k <= max(1, packed_ids.shape[0]),
+             f"k={k} is outside the {packed_ids.shape[0]}-item index")
+    return [AbstractValue((reprs.shape[0], k), "int64"),
+            AbstractValue((reprs.shape[0], k), reprs.dtype)]
+
+
 # ---------------------------------------------------------------------------
 # Float64 policy (dtype-discipline exemptions)
 # ---------------------------------------------------------------------------
@@ -655,4 +722,10 @@ FLOAT64_POLICY: Dict[str, str] = {
                          "boundary mirror the service's float64 layout"),
     "serve/load.py": ("latency accounting is float64 seconds; the plan "
                       "path reuses the serving float64 contract"),
+    "serve/ann.py": ("the MIPS index packs float64 copies of the frozen "
+                     "item table so candidate scores match the exact "
+                     "float64 oracle bitwise on probed clusters"),
+    "serve/quant.py": ("dequantization reconstructs the float64 serving "
+                       "substrate from int8/fp16 codes; the scale "
+                       "vectors themselves are float64"),
 }

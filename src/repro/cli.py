@@ -149,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="also time a sharded ClusterService with this "
                             "many worker processes (cluster_* keys)")
+    serve.add_argument("--retrieval", default="exact",
+                       choices=["exact", "ann"],
+                       help="serving retrieval path: exact full-table "
+                            "scoring or the clustered MIPS index")
+    serve.add_argument("--nprobe", type=int, default=8,
+                       help="clusters probed per request with "
+                            "--retrieval ann")
     serve.add_argument("--json", default=None,
                        help="also write the result grid to this path")
 
@@ -165,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--gates", action="store_true",
                       help="evaluate the load gates and exit nonzero on "
                            "failure (what scripts/load_smoke.py does)")
+    load.add_argument("--retrieval", default="exact",
+                      choices=["exact", "ann"],
+                      help="per-worker retrieval path (the chaos and "
+                           "parity gates apply unchanged)")
+    load.add_argument("--nprobe", type=int, default=8,
+                      help="clusters probed per request with "
+                           "--retrieval ann")
     load.add_argument("--json", default=None,
                       help="also write the full report to this path")
 
@@ -265,7 +279,9 @@ def cmd_serve_bench(args) -> int:
                               scale=SCALES[args.scale], seed=args.seed,
                               rounds=args.rounds, requests=args.requests,
                               k=args.k, trained=args.trained,
-                              workers=args.workers)
+                              workers=args.workers,
+                              retrieval=args.retrieval,
+                              nprobe=args.nprobe)
     print(render(results))
     if args.json:
         write_json_report(args.json, {"scale": args.scale,
@@ -280,7 +296,8 @@ def cmd_load_bench(args) -> int:
                              run_load_bench)
 
     config = LoadConfig(profile=args.dataset, model=args.model,
-                        seed=args.seed)
+                        seed=args.seed, retrieval=args.retrieval,
+                        nprobe=args.nprobe)
     report = run_load_bench(config, SCALES[args.scale])
     print(render(report))
     failures = evaluate_gates(report, config) if args.gates else []

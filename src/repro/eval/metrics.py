@@ -30,6 +30,28 @@ def ranks_from_scores(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
     return (scores >= target_scores).sum(axis=1).astype(np.int64)
 
 
+def recall_against_oracle(approx_items: np.ndarray,
+                          exact_items: np.ndarray) -> float:
+    """Mean per-row overlap fraction of an approximate top-K retrieval.
+
+    ``exact_items`` is the oracle top-K (``topk_from_scores`` over the
+    full catalog); ``approx_items`` the candidate lists under test (ANN
+    probes — ``-1`` padding entries are ignored).  The retrieval gate in
+    ``scripts/perf_smoke.py`` reports this as recall@k.
+    """
+    approx_items = np.asarray(approx_items)
+    exact_items = np.asarray(exact_items)
+    if approx_items.ndim != 2 or exact_items.ndim != 2 \
+            or len(approx_items) != len(exact_items):
+        raise ValueError("approx_items and exact_items must be (N, k) "
+                         "with matching row counts")
+    if not len(exact_items) or not exact_items.shape[1]:
+        return 0.0
+    hits = sum(np.intersect1d(a[a >= 0], e).size
+               for a, e in zip(approx_items, exact_items))
+    return float(hits) / float(exact_items.size)
+
+
 def hit_ratio(ranks: np.ndarray, k: int) -> float:
     """HR@K: fraction of examples whose target ranks within the top K."""
     _check_k(k)

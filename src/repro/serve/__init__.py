@@ -11,18 +11,31 @@ for the design and ``repro.cli serve-bench`` / ``load-bench`` plus
 ``scripts/perf_smoke.py`` / ``scripts/load_smoke.py`` for the numbers.
 """
 
+from .ann import ANNIndex, DEFAULT_NPROBE, build_ann_index
 from .cluster import ClusterService, ClusterStats
-from .plan import (FallbackPlan, FrozenPlan, freeze)
+from .plan import (FallbackPlan, FrozenPlan, attach_ann_index, freeze)
+from .quant import (QuantizedArray, QuantizedPlan, dequantize_array,
+                    max_abs_error, quantize_array, quantize_plan)
 from .retrieval import merge_topk, topk_from_scores
 from .router import Router, shard_of
 from .service import Recommendation, RecommendService, ServiceStats
 
 __all__ = [
+    "ANNIndex",
+    "DEFAULT_NPROBE",
+    "build_ann_index",
+    "attach_ann_index",
     "ClusterService",
     "ClusterStats",
     "FallbackPlan",
     "FrozenPlan",
     "freeze",
+    "QuantizedArray",
+    "QuantizedPlan",
+    "quantize_array",
+    "quantize_plan",
+    "dequantize_array",
+    "max_abs_error",
     "merge_topk",
     "topk_from_scores",
     "Router",

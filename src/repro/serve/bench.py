@@ -46,7 +46,8 @@ from ..eval import Evaluator
 from ..experiments.common import prepare
 from ..experiments.config import Scale, default_scale
 from ..registry import build, model_spec
-from .plan import freeze
+from .ann import DEFAULT_NPROBE
+from .plan import attach_ann_index, freeze
 from .service import RecommendService
 
 DEFAULT_MODELS = ("SASRec", "SSDRec")
@@ -98,13 +99,23 @@ def _graph_serve(model, reqs, max_len: int, k: int) -> None:
 
 def bench_model(model, prepared, scale: Scale, rounds: int = 3,
                 requests: int = 128, k: int = 10,
-                workers: int = 1) -> Dict[str, float]:
-    """Benchmark one model on one prepared dataset."""
+                workers: int = 1, retrieval: str = "exact",
+                nprobe: int = DEFAULT_NPROBE) -> Dict[str, float]:
+    """Benchmark one model on one prepared dataset.
+
+    ``retrieval="ann"`` serves the frozen path through the clustered
+    MIPS index at the given ``nprobe`` (the graph baseline stays exact —
+    the speedup then includes the approximate-retrieval win).
+    """
     evaluator = Evaluator(prepared.split.test, batch_size=scale.batch_size,
                           max_len=prepared.max_len)
 
     freeze_s = _best(lambda: freeze(model), rounds)
     plan = freeze(model)
+    ann_ok = retrieval == "ann" and plan.supports_encode
+    if ann_ok:
+        attach_ann_index(plan)
+    serve_kwargs = {"retrieval": "ann", "nprobe": nprobe} if ann_ok else {}
 
     eval_graph_s = _best(lambda: evaluator.ranks(model), rounds)
     eval_frozen_s = _best(lambda: evaluator.ranks_frozen(plan), rounds)
@@ -120,13 +131,13 @@ def bench_model(model, prepared, scale: Scale, rounds: int = 3,
     # first flush pays one-time costs — allocator warmup, lazy imports —
     # that belong to startup, not to the p95), then sample every request
     # across ``rounds`` full passes.
-    service = RecommendService(plan, k=k, cache_size=0)
+    service = RecommendService(plan, k=k, cache_size=0, **serve_kwargs)
     for user, seq in reqs[:8]:
         service.recommend(user, seq)
     latencies = np.array([_timed(lambda r=r: service.recommend(*r))
                           for _ in range(max(1, rounds)) for r in reqs])
 
-    service = RecommendService(plan, k=k, cache_size=0)
+    service = RecommendService(plan, k=k, cache_size=0, **serve_kwargs)
     frozen_s = _best(lambda: service.recommend_many(reqs), rounds)
 
     metrics = {
@@ -144,12 +155,15 @@ def bench_model(model, prepared, scale: Scale, rounds: int = 3,
                                    else float("inf")),
         "requests": len(reqs),
         "latency_rounds": max(1, rounds),
+        "retrieval": "ann" if ann_ok else "exact",
     }
+    if ann_ok:
+        metrics["nprobe"] = int(nprobe)
     if workers > 1:
         from .cluster import ClusterService
 
         with ClusterService(plan, num_workers=workers, k=k,
-                            cache_size=0) as cluster:
+                            cache_size=0, **serve_kwargs) as cluster:
             cluster_s = _best(lambda: cluster.recommend_many(reqs), rounds)
         metrics.update({
             "cluster_workers": workers,
@@ -164,8 +178,9 @@ def run_serve_bench(models: Sequence[str] = DEFAULT_MODELS,
                     profiles: Sequence[str] = DEFAULT_PROFILES,
                     scale: Optional[Scale] = None, seed: int = 0,
                     rounds: int = 3, requests: int = 128, k: int = 10,
-                    trained: bool = False,
-                    workers: int = 1) -> Dict[str, dict]:
+                    trained: bool = False, workers: int = 1,
+                    retrieval: str = "exact",
+                    nprobe: int = DEFAULT_NPROBE) -> Dict[str, dict]:
     """Full benchmark grid; returns ``{model: {profile: metrics}}``.
 
     ``trained=True`` restores each model from the run store (training it
@@ -190,7 +205,7 @@ def run_serve_bench(models: Sequence[str] = DEFAULT_MODELS,
                 model = build(model_spec(name), prepared, scale, rng=seed)
             results.setdefault(name, {})[profile] = bench_model(
                 model, prepared, scale, rounds=rounds, requests=requests,
-                k=k, workers=workers)
+                k=k, workers=workers, retrieval=retrieval, nprobe=nprobe)
     return results
 
 

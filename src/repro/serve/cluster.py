@@ -47,7 +47,9 @@ import numpy as np
 
 from ..resilience.faults import (KILL_EXIT_CODE, SERVE_WORKER_SITE,
                                  active_plan, arm_json, fault_point)
-from .plan import FrozenPlan, freeze
+from .ann import DEFAULT_NPROBE
+from .plan import FrozenPlan, attach_ann_index, freeze
+from .quant import QuantizedPlan, quantize_plan
 from .router import Router
 from .service import Recommendation, RecommendService
 
@@ -81,12 +83,18 @@ def _load_service(plan_path: str, config: dict) -> RecommendService:
     """
     with open(plan_path, "rb") as fh:
         loaded = pickle.load(fh)
-    if config.get("verify", True):
+    if isinstance(loaded, QuantizedPlan):
+        # Quantized spool: reconstruct the float64 plan (validating
+        # every scale/codes record) and re-verify the result.
+        loaded = loaded.dequantize(verify=config.get("verify", True))
+    elif config.get("verify", True):
         loaded.verify()
     return RecommendService(loaded, k=config["k"],
                             max_batch=config["max_batch"],
                             cache_size=config["cache_size"],
-                            padding=config["padding"], verify=False)
+                            padding=config["padding"], verify=False,
+                            retrieval=config.get("retrieval", "exact"),
+                            nprobe=config.get("nprobe", DEFAULT_NPROBE))
 
 
 def _worker_main(shard: int, service: RecommendService, conn) -> None:
@@ -209,6 +217,19 @@ class ClusterService:
         spool load (default True): a corrupted spool fails the spawn
         handshake with the verifier's structured error instead of
         crashing mid-batch.
+    retrieval / nprobe:
+        Per-shard retrieval path (see
+        :class:`~repro.serve.service.RecommendService`).  With
+        ``retrieval="ann"`` the index is built **once**, before the
+        plan is spooled, so every worker (and every respawn) loads the
+        identical cluster partition — per-shard results stay bitwise
+        deterministic.
+    quantize_spool:
+        ``"int8"`` / ``"fp16"`` spool a quantized plan instead of the
+        float64 snapshot (8x / 4x smaller on disk); workers dequantize
+        on load, validating every scale/codes record.  Dequantized
+        weights carry the documented quantization error, so this mode
+        trades exact single-process parity for spool size.
     """
 
     def __init__(self, model_or_plan, num_workers: int = 2, k: int = 10,
@@ -217,7 +238,9 @@ class ClusterService:
                  start_method: Optional[str] = None,
                  dispatch_timeout: float = 60.0,
                  worker_fault_plans: Optional[Dict[int, str]] = None,
-                 verify: bool = True):
+                 verify: bool = True, retrieval: str = "exact",
+                 nprobe: int = DEFAULT_NPROBE,
+                 quantize_spool: Optional[str] = None):
         if isinstance(model_or_plan, FrozenPlan):
             plan = model_or_plan
             if verify:
@@ -242,6 +265,11 @@ class ClusterService:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, "
                              f"got {num_workers}")
+        if retrieval not in ("exact", "ann"):
+            raise ValueError(
+                f"retrieval must be 'exact' or 'ann', got {retrieval!r}")
+        if retrieval == "ann" and plan.ann_index is None:
+            attach_ann_index(plan, verify=verify)
         import multiprocessing
 
         if start_method is None:
@@ -253,7 +281,8 @@ class ClusterService:
         self.dispatch_timeout = float(dispatch_timeout)
         self._config = {"k": int(k), "max_batch": max(1, int(max_batch)),
                         "cache_size": int(cache_size), "padding": padding,
-                        "verify": bool(verify)}
+                        "verify": bool(verify), "retrieval": retrieval,
+                        "nprobe": int(nprobe)}
         self.k = int(k)
         self.max_len = plan.max_len
         self.stats = ClusterStats()
@@ -265,8 +294,10 @@ class ClusterService:
         # from here instead of receiving a pickled object over a pipe.
         self._spool_dir = tempfile.mkdtemp(prefix="repro-cluster-")
         self._plan_path = os.path.join(self._spool_dir, "plan.pkl")
+        payload = plan if quantize_spool is None \
+            else quantize_plan(plan, quantize_spool)
         with open(self._plan_path, "wb") as fh:
-            pickle.dump(plan, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
         fault_plans = dict(worker_fault_plans or {})
         self._workers: List[_Worker] = [

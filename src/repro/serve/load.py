@@ -100,6 +100,18 @@ class LoadConfig:
     #: fallback bar on small hosts: multi-worker throughput must stay
     #: within this fraction of single-worker (bounded cluster overhead).
     min_cluster_efficiency: float = 0.2
+    #: retrieval path inside every worker: ``"exact"`` or ``"ann"``
+    #: (clustered MIPS index built once, before the plan is spooled —
+    #: see :mod:`repro.serve.ann`).  The zero-drop chaos and bitwise
+    #: parity gates apply unchanged on the ANN path.
+    retrieval: str = "exact"
+    #: clusters probed per request when ``retrieval="ann"``.
+    nprobe: int = 8
+
+    def service_kwargs(self) -> dict:
+        """Retrieval kwargs shared by every service/cluster this config
+        builds (parity demands both sides rank identically)."""
+        return {"retrieval": self.retrieval, "nprobe": self.nprobe}
 
 
 # ----------------------------------------------------------------------
@@ -140,11 +152,17 @@ def synth_requests(rng: np.random.Generator, count: int, num_users: int,
 
 
 def build_plan(config: LoadConfig, scale: Scale) -> FrozenPlan:
-    """Freeze the benchmark model on the configured dataset profile."""
+    """Freeze the benchmark model on the configured dataset profile.
+
+    With ``retrieval="ann"`` the MIPS index is built here, once —
+    every cluster/service constructed from this plan shares the
+    identical partition, keeping the parity section bitwise.
+    """
     prepared = prepare(config.profile, scale, seed=config.seed)
     model = build(model_spec(config.model), prepared, scale,
                   rng=config.seed)
-    return freeze(model)
+    return freeze(model, ann=config.retrieval == "ann",
+                  ann_seed=config.seed)
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +221,8 @@ def run_saturation(plan: FrozenPlan, config: LoadConfig,
     for workers in config.worker_counts:
         cluster = ClusterService(plan, num_workers=workers, k=config.k,
                                  max_batch=config.max_batch,
-                                 cache_size=config.cache_size)
+                                 cache_size=config.cache_size,
+                                 **config.service_kwargs())
         try:
             cluster.recommend_many(requests[:config.dispatch_batch])
             best = float("inf")
@@ -239,7 +258,8 @@ def run_chaos(plan: FrozenPlan, config: LoadConfig,
     cluster = ClusterService(plan, num_workers=config.chaos_workers,
                              k=config.k, max_batch=config.max_batch,
                              cache_size=config.cache_size,
-                             worker_fault_plans={victim: kill.to_json()})
+                             worker_fault_plans={victim: kill.to_json()},
+                             **config.service_kwargs())
     answered = errors = 0
     try:
         for at in range(0, len(requests), config.chaos_batch):
@@ -273,7 +293,8 @@ def run_parity(plan: FrozenPlan, config: LoadConfig,
     """
     workers = max(config.worker_counts)
     cluster = ClusterService(plan, num_workers=workers, k=config.k,
-                             max_batch=config.max_batch, cache_size=0)
+                             max_batch=config.max_batch, cache_size=0,
+                             **config.service_kwargs())
     try:
         actual = cluster.recommend_many(requests)
     finally:
@@ -281,7 +302,8 @@ def run_parity(plan: FrozenPlan, config: LoadConfig,
     router = Router(workers)
     reference: List[Optional[object]] = [None] * len(requests)
     service = RecommendService(plan, k=config.k,
-                               max_batch=config.max_batch, cache_size=0)
+                               max_batch=config.max_batch, cache_size=0,
+                               **config.service_kwargs())
     groups = router.partition(requests)
     for shard in sorted(groups):
         indices = groups[shard]
@@ -321,7 +343,8 @@ def run_load_bench(config: Optional[LoadConfig] = None,
     gate_workers = max(config.worker_counts)
     cluster = ClusterService(plan, num_workers=gate_workers, k=config.k,
                              max_batch=config.max_batch,
-                             cache_size=config.cache_size)
+                             cache_size=config.cache_size,
+                             **config.service_kwargs())
     try:
         cluster.recommend_many(requests[:config.dispatch_batch])  # warm
         for qps in config.qps_levels:
@@ -346,6 +369,9 @@ def run_load_bench(config: Optional[LoadConfig] = None,
             "append_probability": config.append_probability,
             "pool_requests": pool,
         },
+        "retrieval": {"mode": config.retrieval,
+                      "nprobe": config.nprobe
+                      if config.retrieval == "ann" else None},
         "saturation": saturation,
         "latency": latency,
         "chaos": chaos,

@@ -24,6 +24,7 @@ import numpy as np
 from ..data.dataset import PAD_ID
 from ..nn import inference_mode, no_grad
 from . import executors as X
+from .ann import DEFAULT_NPROBE, build_ann_index
 
 NEG_INF = X.NEG_INF
 
@@ -145,6 +146,9 @@ class FrozenPlan:
     #: True when the plan can extend a cached recurrent state by one item
     #: (``padding="tight"`` mode only).
     supports_incremental = False
+    #: Optional :class:`repro.serve.ann.ANNIndex` over the item table
+    #: (set by :func:`attach_ann_index` / ``freeze(model, ann=True)``).
+    ann_index = None
 
     def __init__(self, item_table: np.ndarray, max_len: int,
                  masked_columns=(PAD_ID,)):
@@ -187,7 +191,32 @@ class FrozenPlan:
         steps.append(_step("score", ["rep"], ["scores"],
                            table_t=_aa(self.table_t),
                            masked_columns=list(self.masked_columns)))
+        steps += self._ann_program()
         return steps
+
+    def _ann_program(self) -> list:
+        """Index pseudo-op steps, present iff an ANN index is attached.
+
+        Non-``traced`` (the search path is NumPy glue, not ``X.<op>``
+        executors); ``nprobe``/``k`` are nominal serving defaults — the
+        verifier checks index geometry, which is request-independent.
+        """
+        index = self.ann_index
+        if index is None:
+            return []
+        return [
+            _step("centroid_scores", ["rep"], ["cluster_scores"],
+                  centroids=_aa(index.centroids)),
+            _step("probe_clusters", ["cluster_scores"], ["probes"],
+                  nprobe=int(min(DEFAULT_NPROBE, index.num_clusters))),
+            _step("ann_gather_topk", ["rep", "probes"],
+                  ["ann_items", "ann_scores"],
+                  packed_table=_aa(index.packed_table),
+                  packed_ids=_aa(index.packed_ids),
+                  offsets=_aa(index.offsets),
+                  num_clusters=int(index.num_clusters),
+                  k=int(min(10, index.size))),
+        ]
 
     def encode_program(self, states: str, mask: str, out: str,
                        prefix: str = "") -> list:
@@ -245,6 +274,23 @@ class FrozenPlan:
         for col in self.masked_columns:
             logits[:, col] = NEG_INF
         return logits
+
+    def ann_topk(self, reprs: np.ndarray, k: int,
+                 nprobe: int = DEFAULT_NPROBE):
+        """``(B, d) -> ((B, k) ids, (B, k) scores)`` via the ANN index.
+
+        Sub-linear alternative to ``score()`` + ``topk_from_scores``:
+        only the ``nprobe`` probed clusters are scored.  Rows whose
+        probed clusters hold fewer than ``k`` items come back
+        right-padded with ``-1`` / ``NEG_INF``.  Requires an attached
+        index (:func:`attach_ann_index` or ``freeze(model, ann=True)``).
+        """
+        if self.ann_index is None:
+            raise ValueError(
+                f"{type(self).__name__} has no ANN index; build one with "
+                "attach_ann_index(plan) or freeze(model, ann=True)")
+        return self.ann_index.search(
+            np.asarray(reprs, dtype=np.float64), k, nprobe)
 
     def forward(self, items: np.ndarray, mask: Optional[np.ndarray] = None,
                 users: Optional[np.ndarray] = None) -> np.ndarray:
@@ -744,6 +790,7 @@ class SSDRecPlan(FrozenPlan):
         steps.append(_step("score", ["rep"], ["scores"],
                            table_t=_aa(self.table_t),
                            masked_columns=list(self.masked_columns)))
+        steps += self._ann_program()
         return steps
 
 
@@ -835,7 +882,32 @@ _REGISTRY = {
 }
 
 
-def freeze(model, verify: bool = True) -> FrozenPlan:
+def attach_ann_index(plan: FrozenPlan, seed: int = 0,
+                     num_clusters: Optional[int] = None,
+                     verify: bool = True) -> FrozenPlan:
+    """Build a clustered MIPS index over ``plan``'s item table.
+
+    The index (:class:`repro.serve.ann.ANNIndex`) rides the plan —
+    through pickles, the cluster spool, everywhere — and extends the
+    plan's symbolic program with index pseudo-ops, so ``verify_plan``
+    abstract-interprets the ANN path at freeze time and again at
+    spool-load re-verification.  Masked columns are excluded from the
+    index.  Deterministic in ``(item_table, seed, num_clusters)``.
+    """
+    if not plan.supports_encode:
+        raise ValueError(
+            "ANN retrieval needs a compiled encode/score plan; "
+            f"{type(plan).__name__} scores through the live model graph")
+    plan.ann_index = build_ann_index(plan.item_table, plan.masked_columns,
+                                     seed=seed, num_clusters=num_clusters)
+    if verify:
+        plan.verify()
+    return plan
+
+
+def freeze(model, verify: bool = True, ann: bool = False,
+           ann_seed: int = 0,
+           ann_clusters: Optional[int] = None) -> FrozenPlan:
     """Compile ``model`` into a frozen forward plan.
 
     Exact-type dispatch: subclasses that override ``encode_states`` would
@@ -847,6 +919,11 @@ def freeze(model, verify: bool = True) -> FrozenPlan:
     before it is returned — a drifted weight layout raises a
     :class:`~repro.analysis.dataflow.PlanVerificationError` here, at
     compile time, instead of crashing inside a serving worker.
+
+    ``ann=True`` additionally clusters the item table into an
+    approximate-retrieval index (see :func:`attach_ann_index`), seeded
+    by ``ann_seed`` with ``ann_clusters`` centroids (default
+    ``~sqrt(V)``).
     """
     if type(model).__name__ == "SSDRec":
         plan = _freeze_ssdrec(model)
@@ -856,4 +933,7 @@ def freeze(model, verify: bool = True) -> FrozenPlan:
             plan = FallbackPlan(model)
     if verify:
         plan.verify()
+    if ann:
+        attach_ann_index(plan, seed=ann_seed, num_clusters=ann_clusters,
+                         verify=verify)
     return plan

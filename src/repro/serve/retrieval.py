@@ -50,14 +50,18 @@ def topk_from_scores(scores: np.ndarray, k: int) -> np.ndarray:
         top = _ordered(np.take_along_axis(scores, part, axis=1), part)
         # argpartition picks an *arbitrary* subset of entries tied at the
         # k-th score; the deterministic order wants the lowest indices of
-        # the boundary tie group.  Re-rank only the affected rows.
+        # the boundary tie group.  Re-rank only the affected rows, in one
+        # batched lexsort rather than a per-row Python loop.
         kth = np.take_along_axis(
             scores, top[:, -1:], axis=1)              # (N, 1) boundary score
         outside = (scores == kth).sum(axis=1) > (
             np.take_along_axis(scores, top, axis=1) == kth).sum(axis=1)
-        for row in np.nonzero(outside)[0]:
-            order = np.lexsort((np.arange(vocab), -scores[row]))
-            top[row] = order[:k]
+        bad = np.nonzero(outside)[0]
+        if bad.size:
+            sub = scores[bad]
+            idx = np.broadcast_to(np.arange(vocab), sub.shape)
+            order = np.lexsort((idx, -sub), axis=1)
+            top[bad] = order[:, :k]
     return top[0] if squeeze else top
 
 
@@ -78,6 +82,9 @@ def merge_topk(item_lists, score_lists, k: int):
     disjoint across shards) the result is identical to running
     ``topk_from_scores`` over the unpartitioned score row — including
     tie groups that straddle shard boundaries, where the lowest ids win.
+    Shards may also submit *fewer* than ``k`` candidates (short ANN
+    probe lists); the merge is then bitwise-identical to the exact
+    oracle restricted to the union of submitted candidates.
 
     Parameters
     ----------

@@ -43,7 +43,8 @@ import numpy as np
 
 from ..data.batching import pad_sequences
 from ..resilience.faults import fault_point
-from .plan import FrozenPlan, freeze
+from .ann import DEFAULT_NPROBE
+from .plan import FrozenPlan, attach_ann_index, freeze
 from .retrieval import topk_from_scores
 
 
@@ -109,11 +110,24 @@ class RecommendService:
         :mod:`repro.analysis.dataflow`).  A drifted or corrupted plan
         raises ``PlanVerificationError`` here instead of failing mid
         request.
+    retrieval:
+        ``"exact"`` (default) scores the full item table and selects
+        with ``topk_from_scores``; ``"ann"`` probes the plan's
+        clustered MIPS index (:mod:`repro.serve.ann`) and scores only
+        the probed clusters — sub-linear in the catalog, at a measured
+        recall cost (see ``BENCH_retrieval.json``).  An index is built
+        on the spot if the plan does not carry one.
+    nprobe:
+        Clusters probed per request in ``"ann"`` mode; ``nprobe >=
+        num_clusters`` reproduces the exact results bitwise.  A request
+        whose probed clusters hold fewer than ``k`` items returns a
+        short (still best-first) recommendation list.
     """
 
     def __init__(self, model_or_plan, k: int = 10, max_batch: int = 64,
                  cache_size: int = 1024, padding: str = "model",
-                 verify: bool = True):
+                 verify: bool = True, retrieval: str = "exact",
+                 nprobe: int = DEFAULT_NPROBE):
         if isinstance(model_or_plan, FrozenPlan):
             plan = model_or_plan
             if verify:
@@ -128,6 +142,18 @@ class RecommendService:
                 "tight padding would change its scores — use padding='model'")
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if retrieval not in ("exact", "ann"):
+            raise ValueError(
+                f"retrieval must be 'exact' or 'ann', got {retrieval!r}")
+        if retrieval == "ann":
+            if not plan.supports_encode:
+                raise ValueError(
+                    f"{plan.model_name} has no compiled encode/score "
+                    "split; ANN retrieval needs one — use retrieval='exact'")
+            if plan.ann_index is None:
+                attach_ann_index(plan, verify=verify)
+        self.retrieval = retrieval
+        self.nprobe = max(1, int(nprobe))
         self.plan = plan
         self.k = k
         self.max_batch = max(1, int(max_batch))
@@ -230,17 +256,15 @@ class RecommendService:
                 self._cache_put((pending[i][0], pending[i][1]),
                                 rows[j], state)
 
-        score_rows = self._score_reprs(reprs, errors)
+        ranked = self._topk_reprs(reprs, errors)
         results: List[Optional[Recommendation]] = [None] * count
-        scored = sorted(score_rows)
-        if scored:
-            matrix = np.stack([score_rows[i] for i in scored])
-            top = topk_from_scores(matrix, self.k)
-            values = np.take_along_axis(matrix, top, axis=1)
-            for j, i in enumerate(scored):
-                results[i] = Recommendation(
-                    user=pending[i][0], items=top[j], scores=values[j],
-                    from_cache=flags[i][0], incremental=flags[i][1])
+        for i, (top, values) in ranked.items():
+            if self.retrieval == "ann":
+                keep = top >= 0          # strip short-probe-list padding
+                top, values = top[keep], values[keep]
+            results[i] = Recommendation(
+                user=pending[i][0], items=top, scores=values,
+                from_cache=flags[i][0], incremental=flags[i][1])
         for i in range(count):
             if results[i] is None:
                 results[i] = self._error_result(
@@ -264,27 +288,41 @@ class RecommendService:
                 layer[0:1].copy() for layer in states]
             self._cache_put((pending[i][0], pending[i][1]), rows[0], state)
 
-    def _score_reprs(self, reprs, errors) -> Dict[int, np.ndarray]:
-        """Score all encoded rows, isolating a scoring failure per row."""
+    def _topk_reprs(self, reprs, errors
+                    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Rank all encoded rows, isolating a scoring failure per row."""
         ok = [i for i, rep in enumerate(reprs)
               if rep is not None and errors[i] is None]
-        score_rows: Dict[int, np.ndarray] = {}
+        ranked: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         if not ok:
-            return score_rows
+            return ranked
         try:
-            scores = self._score(np.stack([reprs[i] for i in ok]))
+            tops, values = self._rank(np.stack([reprs[i] for i in ok]))
         except Exception:
             self.stats.chunk_retries += 1
             for i in ok:
                 try:
-                    score_rows[i] = self._score(reprs[i][None])[0]
+                    top, value = self._rank(reprs[i][None])
                 except Exception as exc:
                     errors[i] = f"{type(exc).__name__}: {exc}"
                     self.stats.errors += 1
-            return score_rows
+                    continue
+                ranked[i] = (top[0], value[0])
+            return ranked
         for j, i in enumerate(ok):
-            score_rows[i] = scores[j]
-        return score_rows
+            ranked[i] = (tops[j], values[j])
+        return ranked
+
+    def _rank(self, reprs: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(B, d) -> ((B, k) items, (B, k) scores)`` on the configured
+        retrieval path (both behind the ``serve.score`` fault site)."""
+        if self.retrieval == "ann":
+            fault_point("serve.score")
+            return self.plan.ann_topk(reprs, self.k, self.nprobe)
+        scores = self._score(reprs)
+        top = topk_from_scores(scores, self.k)
+        return top, np.take_along_axis(scores, top, axis=1)
 
     @staticmethod
     def _error_result(user, error: str) -> Recommendation:

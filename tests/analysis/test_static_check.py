@@ -41,7 +41,8 @@ class TestLiveTree:
                               "serve-graph-free", "worker-boundary",
                               "experiments-via-registry",
                               "atomic-persistence", "dtype-discipline",
-                              "buffer-aliasing", "plan-signature"}
+                              "buffer-aliasing", "plan-signature",
+                              "exact-oracle"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -483,6 +484,55 @@ class TestPlanSignatureRule:
     def test_tree_without_serving_layer_is_clean(self, tmp_path):
         root = write_tree(tmp_path / "repro", {"models/net.py": "x = 1\n"})
         assert run_lint(root, rules=["plan-signature"]) == []
+
+
+class TestExactOracleRule:
+    ANN_USER = """
+        from .ann import build_ann_index
+
+        def serve(plan, reprs, k):
+            return plan.ann_topk(reprs, k)
+    """
+
+    def test_flags_ann_use_without_oracle_anchored_test(self, tmp_path):
+        root = write_tree(tmp_path / "repro",
+                          {"serve/service.py": self.ANN_USER})
+        tests = write_tree(tmp_path / "tests", {"serve/test_service.py": """
+            def test_ann_runs():
+                pass
+        """})
+        violations = run_lint(root, tests_root=tests,
+                              rules=["exact-oracle"])
+        assert len(violations) == 1
+        assert violations[0].rule == "exact-oracle"
+        assert "topk_from_scores" in violations[0].message
+
+    def test_clean_when_a_test_pins_ann_to_the_exact_oracle(self, tmp_path):
+        root = write_tree(tmp_path / "repro",
+                          {"serve/service.py": self.ANN_USER})
+        tests = write_tree(tmp_path / "tests", {"serve/test_ann.py": """
+            from repro.serve import build_ann_index, topk_from_scores
+
+            def test_full_probe_matches_exact():
+                pass
+        """})
+        assert run_lint(root, tests_root=tests,
+                        rules=["exact-oracle"]) == []
+
+    def test_tree_without_ann_is_clean(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"serve/service.py": """
+            def serve(plan, reprs, k):
+                return plan.score(reprs)
+        """})
+        tests = write_tree(tmp_path / "tests",
+                           {"serve/test_service.py": "x = 1\n"})
+        assert run_lint(root, tests_root=tests,
+                        rules=["exact-oracle"]) == []
+
+    def test_source_only_tree_skips_the_rule(self, tmp_path):
+        root = write_tree(tmp_path / "repro",
+                          {"serve/service.py": self.ANN_USER})
+        assert run_lint(root, rules=["exact-oracle"]) == []
 
 
 class TestProjectRobustness:

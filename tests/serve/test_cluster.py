@@ -113,6 +113,40 @@ class TestClusterParity:
             np.testing.assert_array_equal(got.items, want.items)
             np.testing.assert_allclose(got.scores, want.scores, atol=1e-9)
 
+    def test_ann_cluster_matches_single_ann_service(self, sasrec_plan):
+        """ANN retrieval rides the spool: the index is built once before
+        spooling, so every worker probes identical clusters and the
+        sharded stream reproduces the single-process ANN service."""
+        from repro.serve import attach_ann_index
+
+        attach_ann_index(sasrec_plan)
+        nprobe = sasrec_plan.ann_index.num_clusters
+        rng = np.random.default_rng(11)
+        requests = random_requests(rng, 16)
+        with ClusterService(sasrec_plan, num_workers=2, k=5,
+                            cache_size=0, retrieval="ann",
+                            nprobe=nprobe) as cluster:
+            actual = cluster.recommend_many(requests)
+        single = RecommendService(sasrec_plan, k=5, cache_size=0,
+                                  retrieval="ann", nprobe=nprobe)
+        for req, got in zip(requests, actual):
+            want = single.recommend(*req)
+            np.testing.assert_array_equal(got.items, want.items)
+            np.testing.assert_allclose(got.scores, want.scores, atol=1e-9)
+
+    def test_quantized_spool_round_trips_through_workers(self,
+                                                         sasrec_plan):
+        """``quantize_spool="fp16"`` ships a compact plan; workers
+        dequantize + re-verify on load and still answer every request
+        (fp16 noise is far below the top-5 separation at this scale)."""
+        requests = random_requests(np.random.default_rng(12), 8)
+        with ClusterService(sasrec_plan, num_workers=2, k=5,
+                            cache_size=0,
+                            quantize_spool="fp16") as cluster:
+            results = cluster.recommend_many(requests)
+        assert [r.user for r in results] == [u for u, _ in requests]
+        assert all(len(r.items) == 5 for r in results)
+
     def test_single_worker_cluster_degenerates_cleanly(self, sasrec_plan):
         requests = random_requests(np.random.default_rng(5), 8)
         with ClusterService(sasrec_plan, num_workers=1, k=5,

@@ -126,6 +126,47 @@ class TestTopK:
         np.testing.assert_array_equal(items, expected)
         assert merged.tobytes() == scores[expected].tobytes()
 
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 6), st.integers(0, 10**6),
+           st.integers(1, 4))
+    def test_short_shard_merge_matches_oracle_on_candidate_union(
+            self, vocab, shards, seed, levels):
+        """Shards returning *fewer* than k candidates (short ANN probe
+        lists) must merge bitwise-identically to the exact oracle
+        restricted to the union of submitted candidates — the merge may
+        never invent, drop, or reorder entries relative to a
+        ``topk_from_scores`` pass over just those candidates."""
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, levels, size=vocab).astype(float)
+        k = int(rng.integers(1, vocab + 1))
+        item_lists, score_lists = [], []
+        union = []
+        for _ in range(shards):
+            # Each shard submits an arbitrary-size (possibly empty,
+            # possibly < k) candidate subset, disjoint from the others.
+            take = int(rng.integers(0, k + 1))
+            pool = np.setdiff1d(np.arange(vocab), np.concatenate(
+                [np.asarray(u, dtype=np.int64) for u in union])
+                if union else np.empty(0, dtype=np.int64))
+            ids = rng.choice(pool, size=min(take, pool.size),
+                             replace=False)
+            local = topk_from_scores(scores[ids], min(k, ids.size)) \
+                if ids.size else np.empty(0, dtype=np.int64)
+            item_lists.append(ids[local] if ids.size else ids)
+            score_lists.append(scores[ids][local] if ids.size
+                               else np.empty(0))
+            union.append(ids)
+        candidates = np.sort(np.concatenate(union).astype(np.int64))
+        items, merged = merge_topk(item_lists, score_lists, k)
+        if not candidates.size:
+            assert items.size == 0 and merged.size == 0
+            return
+        oracle_local = topk_from_scores(scores[candidates],
+                                        min(k, candidates.size))
+        expected = candidates[oracle_local]
+        np.testing.assert_array_equal(items, expected)
+        assert merged.tobytes() == scores[expected].tobytes()
+
     def test_membership_matches_tie_semantics(self):
         """An item is in the top-k iff fewer than k items precede it under
         the (-score, ascending index) total order — the same order under
