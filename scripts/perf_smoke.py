@@ -23,6 +23,18 @@ is a pure cache hit with bitwise-identical metrics.  The cold vs
 cached timings and hit/miss counts land in the report under
 ``runstore``.  ``--no-runstore`` skips it.
 
+The data section (``--no-data`` skips it) exercises the out-of-core
+substrate end-to-end at full scale in a child process: generate a
+>= 1M-user synthetic profile chunk-wise straight to an mmap store,
+out-of-core 5-core filter, streaming leave-one-out split, one training
+epoch (GRU4Rec + sampled cross-entropy through the streaming loader),
+and chunked streaming evaluation.  The child self-reports its peak RSS
+(``resource.getrusage``); the gate fails if it exceeds
+``DATA_RSS_GATE_MB`` — a small multiple of the pipeline's bounded
+working set (generation chunk + scoring block), far below what
+materializing the dataset in RAM would need.  Results, including the
+recorded (never silent) eval cap, land in ``BENCH_data.json``.
+
 Finally, the retrieval section exercises the clustered ANN index
 (``repro.serve.ann``) on a >= 100k-item synthetic catalog with mixture
 structure, sweeping ``nprobe`` and recording recall@10 (vs the exact
@@ -77,6 +89,27 @@ RETRIEVAL_NPROBES = (1, 2, 4, 8, 16, 32)
 # tolerance on the gate profile.
 QUANT_METRIC_TOL = 0.05
 QUANT_MODES = ("int8", "fp16")
+
+# --- out-of-core data substrate gate ---------------------------------
+# Peak child-process RSS allowed for the full-scale pipeline.  The
+# pipeline's working set is bounded: a generation chunk (~100k users of
+# event matrices), one store window (~chunk_events * 17 B), and one
+# scoring block (score_chunk x vocab float64, ~230 MB at scale-1m) —
+# the gate is a small multiple of that, and several times below the
+# multi-GB footprint of materializing the same dataset as Python lists
+# plus whole-split representation matrices.
+DATA_RSS_GATE_MB = 1536
+DATA_PROFILE = "scale-1m"
+DATA_MIN_USERS = 1_000_000        # the profile must actually be full-scale
+DATA_K_CORE = 5
+DATA_MAX_LEN = 30
+DATA_BATCH = 1024
+DATA_DIM = 8
+DATA_NEGATIVES = 128
+# Full-vocab streaming eval is capped (and the cap recorded — never
+# silent) so the gate stays minutes, not hours, on one CPU.
+DATA_EVAL_CAP = 20_000
+DATA_SCORE_CHUNK = 256            # 256 x 120k float64 ~= 235 MB / block
 
 
 def best_time(fn, rounds: int) -> float:
@@ -531,6 +564,124 @@ def retrieval_section(rounds: int) -> tuple:
     return report, failures
 
 
+def data_worker(profile: str, root: Path) -> int:
+    """Child-process body of the data gate: run the full out-of-core
+    pipeline and print a single JSON line (timings, counts, metrics,
+    peak RSS) as the last stdout line."""
+    import resource
+
+    from repro.data import (generate_to_store, stream_k_core_filter,
+                            streaming_leave_one_out)
+    from repro.eval import StreamingEvaluator
+    from repro.models import GRU4Rec
+    from repro.train import TrainConfig, Trainer
+
+    timings = {}
+    start = time.perf_counter()
+    raw = generate_to_store(profile, root / "raw", seed=0)
+    timings["generate_seconds"] = round(time.perf_counter() - start, 2)
+
+    start = time.perf_counter()
+    core = stream_k_core_filter(raw, root / f"core{DATA_K_CORE}",
+                                min_seq_len=DATA_K_CORE,
+                                min_item_freq=DATA_K_CORE)
+    timings["k_core_seconds"] = round(time.perf_counter() - start, 2)
+
+    split = streaming_leave_one_out(core, max_len=DATA_MAX_LEN)
+    model = GRU4Rec(split.num_items, dim=DATA_DIM, max_len=DATA_MAX_LEN,
+                    rng=np.random.default_rng(0))
+    evaluator = StreamingEvaluator(split.valid.take(DATA_EVAL_CAP),
+                                   batch_size=DATA_BATCH,
+                                   max_len=DATA_MAX_LEN,
+                                   score_chunk=DATA_SCORE_CHUNK)
+    config = TrainConfig(epochs=1, batch_size=DATA_BATCH, seed=0,
+                         patience=1)
+    trainer = Trainer(
+        model, split, config,
+        loss_fn=lambda b: model.sampled_loss(b, DATA_NEGATIVES),
+        evaluator=evaluator)
+    start = time.perf_counter()
+    result = trainer.fit()
+    timings["epoch_plus_eval_seconds"] = round(
+        time.perf_counter() - start, 2)
+    timings["train_seconds_per_epoch"] = round(
+        result.train_seconds_per_epoch, 2)
+
+    payload = {
+        "profile": profile,
+        "raw": {"users": raw.num_users, "items": raw.num_items,
+                "events": int(raw.indptr[-1]),
+                "store_bytes": raw.nbytes()},
+        "core": {"users": core.num_users, "items": core.num_items,
+                 "events": int(core.indptr[-1]),
+                 "store_bytes": core.nbytes()},
+        "train_examples": len(split.train),
+        "eval_cap": DATA_EVAL_CAP,
+        "eval_examples": len(split.valid.take(DATA_EVAL_CAP)),
+        "score_chunk": DATA_SCORE_CHUNK,
+        "loss": "sampled_cross_entropy",
+        "num_negatives": DATA_NEGATIVES,
+        "timings": timings,
+        "valid_metrics": result.history[0] if result.history else {},
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+    }
+    print(json.dumps(payload))
+    return 0
+
+
+def data_section(profile: str) -> tuple:
+    """Full-scale out-of-core pipeline gate, isolated in a subprocess.
+
+    Returns ``(report_dict, failures)``.  The child runs the whole
+    pipeline and self-reports ``ru_maxrss``, so the parent's own memory
+    (other benchmark sections) cannot contaminate the measurement.
+    """
+    import shutil
+    import subprocess
+
+    root = REPO_ROOT / ".benchmarks" / "data-gate"
+    shutil.rmtree(root, ignore_errors=True)
+    root.mkdir(parents=True)
+    failures = []
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()),
+             "--data-worker", "--data-profile", profile,
+             "--data-root", str(root)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            return ({"profile": profile, "error": "worker failed"},
+                    [f"data:worker-exit-{proc.returncode}"])
+        report = json.loads(proc.stdout.strip().splitlines()[-1])
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    report["rss_gate_mb"] = DATA_RSS_GATE_MB
+    peak = report["peak_rss_mb"]
+    print(f"  {profile}: {report['raw']['users']:,} users, "
+          f"{report['raw']['items']:,} items, "
+          f"{report['raw']['events']:,} events "
+          f"({report['raw']['store_bytes'] / 2**20:.0f} MB on disk)")
+    print(f"  generate {report['timings']['generate_seconds']}s, "
+          f"{DATA_K_CORE}-core {report['timings']['k_core_seconds']}s "
+          f"-> {report['core']['users']:,} users / "
+          f"{report['core']['events']:,} events")
+    print(f"  epoch+eval {report['timings']['epoch_plus_eval_seconds']}s "
+          f"({report['train_examples']:,} train examples, eval capped at "
+          f"{report['eval_cap']:,})")
+    print(f"  peak RSS {peak:.0f} MB (gate {DATA_RSS_GATE_MB} MB)")
+    if report["raw"]["users"] < DATA_MIN_USERS:
+        failures.append(f"data:profile-not-full-scale-"
+                        f"{report['raw']['users']}-users")
+    if peak > DATA_RSS_GATE_MB:
+        failures.append(f"data:peak-rss-{peak:.0f}MB"
+                        f">{DATA_RSS_GATE_MB}MB")
+    return report, failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=15,
@@ -554,7 +705,20 @@ def main() -> int:
     parser.add_argument("--baseline-epoch-json", type=Path, default=None,
                         help="epoch timings from the pre-fusion tree (same "
                              "harness and scale); embedded for comparison")
+    parser.add_argument("--no-data", action="store_true",
+                        help="skip the full-scale out-of-core data gate")
+    parser.add_argument("--data-json", type=Path,
+                        default=REPO_ROOT / "BENCH_data.json")
+    parser.add_argument("--data-profile", default=DATA_PROFILE,
+                        help="full-scale profile for the data gate")
+    parser.add_argument("--data-worker", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--data-root", type=Path, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args()
+
+    if args.data_worker:
+        return data_worker(args.data_profile, args.data_root)
 
     baseline = None
     if args.baseline_epoch_json is not None:
@@ -619,6 +783,13 @@ def main() -> int:
         retrieval_report, retrieval_failures = retrieval_section(rounds=3)
         write_json_report(args.retrieval_json, retrieval_report)
         failures.extend(retrieval_failures)
+
+    if not args.no_data:
+        print(f"\nout-of-core data gate ({args.data_profile}, "
+              f"subprocess peak-RSS measurement)...")
+        data_report, data_failures = data_section(args.data_profile)
+        write_json_report(args.data_json, data_report)
+        failures.extend(data_failures)
 
     met = sum(1 for r in report["micro"].values() if r["meets_target"])
     return finish(

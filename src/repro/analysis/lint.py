@@ -91,6 +91,15 @@ rules:
     (:mod:`repro.analysis.dataflow`) cannot check the plan at freeze
     time and shape drift survives to a serving worker.
 
+``bounded-memory``
+    The out-of-core streaming modules (``data/store.py``,
+    ``data/stream.py``) must keep every pass windowed: no ``.tolist()``
+    anywhere, no ``list(...)`` over a store column, and no whole-column
+    ``np.asarray``/``np.array``/``copy`` of a bare column attribute
+    (``indptr``/``items``/``timestamps``/``noise_flags``).  Any of
+    these silently materializes O(events) memory and defeats the mmap
+    substrate; windowed slices (``store.items[lo:hi]``) stay allowed.
+
 ``exact-oracle``
     Any module touching the approximate retrieval path (``ANNIndex`` /
     ``build_ann_index`` / ``attach_ann_index`` / ``ann_topk``) obliges
@@ -199,6 +208,19 @@ SIGNATURES_MODULE = "analysis/signatures.py"
 
 #: Executor-alias name used by plan.py (``from . import executors as X``).
 _EXECUTOR_ALIAS = "X"
+
+#: Out-of-core streaming modules: every pass must stay windowed, so
+#: whole-column materialisation patterns are banned outright.
+STREAMING_MODULES = ("data/store.py", "data/stream.py")
+
+#: Store column attributes whose bare (unsliced) materialisation would
+#: fault the entire mmap into RAM.
+STORE_COLUMN_ATTRS = frozenset({"indptr", "items", "timestamps",
+                                "noise_flags"})
+
+#: NumPy spellings that copy their argument wholesale.
+_WHOLE_COPY_CALLS = frozenset({"asarray", "array", "ascontiguousarray",
+                               "copy"})
 
 #: Names that mark a module as using the approximate (ANN) retrieval
 #: path; any such module obliges exact-oracle test coverage.
@@ -898,6 +920,60 @@ def check_plan_signature(project: Project) -> List[Violation]:
                 message=(f"FrozenPlan subclass {name!r} defines neither "
                          f"program() nor encode_program(); the verifier "
                          f"cannot abstract-interpret its forward pass")))
+    return violations
+
+
+def _bare_column_attr(node: ast.AST) -> Optional[str]:
+    """Column name if ``node`` is a bare store-column attribute access
+    (``store.items``, ``self.timestamps``) — not a windowed slice."""
+    if isinstance(node, ast.Attribute) and node.attr in STORE_COLUMN_ATTRS:
+        return node.attr
+    return None
+
+
+@rule("bounded-memory",
+      "streaming data modules must keep every pass windowed: no "
+      ".tolist(), no list(<column>), no whole-column np.asarray/"
+      "np.array/copy of a bare store column")
+def check_bounded_memory(project: Project) -> List[Violation]:
+    violations: List[Violation] = []
+    for rel in STREAMING_MODULES:
+        tree = project.modules.get(rel)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = None
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "tolist":
+                message = (".tolist() materializes a Python list of the "
+                           "whole array; streaming modules must stay "
+                           "windowed (iterate ndarray slices instead)")
+            elif isinstance(node.func, ast.Name) and \
+                    node.func.id == "list" and node.args:
+                column = _bare_column_attr(node.args[0])
+                if column is not None:
+                    message = (f"list(...{column}) walks the entire "
+                               f"{column!r} column element-by-element; "
+                               f"slice a bounded window instead")
+            else:
+                name = _call_name(node)
+                if (name is not None
+                        and name.startswith(("np.", "numpy."))
+                        and name.split(".")[-1] in _WHOLE_COPY_CALLS
+                        and node.args):
+                    column = _bare_column_attr(node.args[0])
+                    if column is not None:
+                        message = (f"{name}() copies the whole "
+                                   f"{column!r} column out of the mmap; "
+                                   f"operate on bounded windows "
+                                   f"({column}[lo:hi])")
+            if message is not None:
+                violations.append(Violation(
+                    rule="bounded-memory",
+                    path=project.display_path(rel), line=node.lineno,
+                    message=message))
     return violations
 
 

@@ -12,6 +12,14 @@ Commands
     (disable with ``--no-cache``).
 ``experiment``
     Run a named paper experiment (table2..table6, fig1, fig4, fig5).
+``generate``
+    Generate a synthetic profile chunk-wise straight into an mmap
+    interaction store (full-scale profiles like ``scale-1m`` never
+    exist in RAM); optionally follow with the out-of-core k-core.
+``ingest``
+    Stream a raw interaction file (ML-100K ``u.data``, Amazon ratings
+    CSV, Yelp ``review.json``) into an mmap store with the out-of-core
+    two-pass group-by.
 ``explain``
     Train SSDRec briefly and print per-user three-stage traces.
 ``serve-bench``
@@ -36,6 +44,11 @@ Examples
 
     python -m repro.cli datasets
     python -m repro.cli train --model SSDRec --dataset beauty --epochs 10
+    python -m repro.cli train --model GRU4Rec --dataset scale-1m \
+        --backend stream --epochs 1
+    python -m repro.cli generate --profile scale-1m --out stores/1m --k-core 5
+    python -m repro.cli ingest data/ml-100k/u.data --format ml-100k \
+        --out stores/ml100k
     python -m repro.cli train --model SASRec --dataset ml-100k --save out.npz
     python -m repro.cli experiment table5 --scale smoke
     python -m repro.cli explain --dataset ml-100k --users 3
@@ -88,7 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(available_models()))
     train.add_argument("--dataset", default="beauty",
                        choices=["ml-100k", "ml-1m", "beauty", "sports",
-                                "yelp"])
+                                "yelp", "scale-1m", "scale-2m", "scale-4m"])
+    train.add_argument("--backend", default="memory",
+                       choices=["memory", "stream"],
+                       help="data substrate: in-memory lists or the mmap "
+                            "store + streaming pipeline (required for the "
+                            "full-scale scale-* profiles)")
     train.add_argument("--dim", type=int, default=32)
     train.add_argument("--max-len", type=int, default=20)
     train.add_argument("--epochs", type=int, default=10)
@@ -120,6 +138,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="quick",
                             choices=sorted(SCALES))
     experiment.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate",
+                         help="generate a synthetic profile straight to an "
+                              "mmap interaction store")
+    gen.add_argument("--profile", default="scale-1m",
+                     help="any named profile (beauty, ..., scale-1m/2m/4m)")
+    gen.add_argument("--out", required=True, help="store directory to write")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--scale", type=float, default=1.0,
+                     help="multiplier on the profile's user count")
+    gen.add_argument("--noise-rate", type=float, default=None)
+    gen.add_argument("--chunk-users", type=int, default=100_000,
+                     help="users generated per chunk (bounds peak memory)")
+    gen.add_argument("--k-core", type=int, default=None, metavar="K",
+                     help="also write the out-of-core K-core filtered "
+                          "store to <out>-core<K>")
+    gen.add_argument("--verify", action="store_true",
+                     help="re-hash all columns against the manifest after "
+                          "writing")
+
+    ingest = sub.add_parser("ingest",
+                            help="stream a raw interaction file into an "
+                                 "mmap interaction store")
+    ingest.add_argument("source", help="raw file (u.data / ratings CSV / "
+                                       "review.json)")
+    ingest.add_argument("--format", required=True, dest="fmt",
+                        choices=["ml-100k", "amazon", "yelp"])
+    ingest.add_argument("--out", required=True,
+                        help="store directory to write")
+    ingest.add_argument("--k-core", type=int, default=None, metavar="K",
+                        help="also write the out-of-core K-core filtered "
+                             "store to <out>-core<K>")
+    ingest.add_argument("--verify", action="store_true")
 
     explain = sub.add_parser("explain", help="three-stage traces (Fig. 4)")
     explain.add_argument("--dataset", default="ml-100k")
@@ -207,11 +258,16 @@ def cmd_datasets(_args) -> int:
 
 def cmd_train(args) -> int:
     store = default_store()
+    if args.dataset.startswith("scale-") and args.backend != "stream":
+        print(f"{args.dataset} is a full-scale profile; pass "
+              f"--backend stream", file=sys.stderr)
+        return 2
     spec = run_spec(
         args.dataset, "quick", model_spec(args.model, dim=args.dim),
         train={"epochs": args.epochs, "batch_size": args.batch_size,
                "learning_rate": args.lr},
-        seed=args.seed, dataset_scale=args.scale, max_len=args.max_len)
+        seed=args.seed, dataset_scale=args.scale, max_len=args.max_len,
+        backend=args.backend)
     # Profiling/sanitizing only produce output on a fresh training run.
     force = args.no_cache or args.profile or args.sanitize
     print(f"training {args.model} on {args.dataset} "
@@ -238,6 +294,52 @@ def cmd_train(args) -> int:
     if args.save:
         shutil.copyfile(outcome.checkpoint, args.save)
         print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _print_store_stats(store) -> None:
+    stats = store.statistics()
+    print(f"{store.name}: {stats['users']} users, {stats['items']} items, "
+          f"{stats['actions']} actions, avg_len={stats['avg_len']}, "
+          f"sparsity={stats['sparsity']}")
+
+
+def _maybe_k_core(store, out: str, k: Optional[int], verify: bool):
+    if k is None:
+        return store
+    from .data import stream_k_core_filter
+    filtered = stream_k_core_filter(store, f"{out}-core{k}",
+                                    min_seq_len=k, min_item_freq=k,
+                                    verify=verify)
+    print(f"{k}-core store written to {out}-core{k}")
+    return filtered
+
+
+def cmd_generate(args) -> int:
+    from .data import generate_to_store, profile_by_name
+    profile = profile_by_name(args.profile)
+    store = generate_to_store(profile, args.out, seed=args.seed,
+                              noise_rate=args.noise_rate, scale=args.scale,
+                              chunk_users=args.chunk_users,
+                              verify=args.verify)
+    print(f"store written to {args.out}")
+    _print_store_stats(store)
+    if args.k_core is not None:
+        _print_store_stats(_maybe_k_core(store, args.out, args.k_core,
+                                         args.verify))
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from .data import ingest_amazon_csv, ingest_ml100k, ingest_yelp_json
+    ingester = {"ml-100k": ingest_ml100k, "amazon": ingest_amazon_csv,
+                "yelp": ingest_yelp_json}[args.fmt]
+    store = ingester(args.source, args.out, verify=args.verify)
+    print(f"store written to {args.out}")
+    _print_store_stats(store)
+    if args.k_core is not None:
+        _print_store_stats(_maybe_k_core(store, args.out, args.k_core,
+                                         args.verify))
     return 0
 
 
@@ -349,6 +451,8 @@ COMMANDS = {
     "datasets": cmd_datasets,
     "train": cmd_train,
     "experiment": cmd_experiment,
+    "generate": cmd_generate,
+    "ingest": cmd_ingest,
     "explain": cmd_explain,
     "serve-bench": cmd_serve_bench,
     "load-bench": cmd_load_bench,

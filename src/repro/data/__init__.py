@@ -1,25 +1,46 @@
-"""``repro.data`` — interaction datasets, splits, batching, and noise tooling."""
+"""``repro.data`` — interaction datasets, splits, batching, and noise tooling.
+
+Two interchangeable backends satisfy the :class:`SequenceView` protocol:
+the in-memory :class:`InteractionDataset` and the memory-mapped
+:class:`InteractionStore` (:mod:`repro.data.store`), with the streaming
+pipeline (:mod:`repro.data.stream`) mirroring k-core filtering,
+leave-one-out splitting, and batch loading in bounded memory.
+"""
 
 from .batching import (Batch, BucketedDataLoader, DataLoader,
                        NegativeSampler, pad_sequences)
 from .dataset import (PAD_ID, InteractionDataset, SequenceExample,
-                      SequenceSplit, leave_one_out_split)
+                      SequenceSplit, SequenceView, leave_one_out_split)
 from .io import load_dataset, save_dataset
-from .loaders import load_amazon_csv, load_yelp_json
-from .movielens import find_local_ml100k, load_ml100k
+from .loaders import (ingest_amazon_csv, ingest_events_to_store,
+                      ingest_yelp_json, load_amazon_csv, load_yelp_json)
+from .movielens import find_local_ml100k, ingest_ml100k, load_ml100k
 from .noise import NoisyDataset, OUPResult, inject_noise, score_denoising
 from .preprocessing import k_core_filter, popularity_split, remap_ids
-from .synthetic import PROFILES, SyntheticProfile, all_datasets, generate
+from .store import (InteractionStore, StoreIntegrityError, StoreWriter,
+                    open_store, write_store_from_dataset)
+from .stream import (ExampleStream, StreamSplit, StreamingDataLoader,
+                     build_loader, stream_k_core_filter,
+                     streaming_leave_one_out)
+from .synthetic import (FULL_PROFILES, PROFILES, SyntheticProfile,
+                        all_datasets, generate, generate_to_store,
+                        profile_by_name)
 
 __all__ = [
     "PAD_ID", "InteractionDataset", "SequenceExample", "SequenceSplit",
-    "leave_one_out_split",
+    "SequenceView", "leave_one_out_split",
     "Batch", "DataLoader", "BucketedDataLoader", "NegativeSampler",
     "pad_sequences",
     "k_core_filter", "popularity_split", "remap_ids",
-    "PROFILES", "SyntheticProfile", "generate", "all_datasets",
+    "PROFILES", "FULL_PROFILES", "SyntheticProfile", "generate",
+    "generate_to_store", "profile_by_name", "all_datasets",
     "NoisyDataset", "OUPResult", "inject_noise", "score_denoising",
-    "load_ml100k", "find_local_ml100k",
-    "load_amazon_csv", "load_yelp_json",
+    "load_ml100k", "find_local_ml100k", "ingest_ml100k",
+    "load_amazon_csv", "load_yelp_json", "ingest_amazon_csv",
+    "ingest_yelp_json", "ingest_events_to_store",
     "save_dataset", "load_dataset",
+    "InteractionStore", "StoreIntegrityError", "StoreWriter", "open_store",
+    "write_store_from_dataset",
+    "ExampleStream", "StreamSplit", "StreamingDataLoader", "build_loader",
+    "stream_k_core_filter", "streaming_leave_one_out",
 ]

@@ -8,6 +8,11 @@ Two central classes:
 * :class:`SequenceSplit` — the leave-one-out train/valid/test view used by
   every experiment (Sec. IV-A1).
 
+:class:`SequenceView` is the structural protocol both this in-memory
+container and the memory-mapped :class:`repro.data.store.InteractionStore`
+satisfy, so the streaming pipeline (:mod:`repro.data.stream`), the model
+registry, and the experiment runners can treat them interchangeably.
+
 Item and user ids are contiguous integers starting at 1; id 0 is reserved
 for padding everywhere in the repository.
 """
@@ -15,12 +20,39 @@ for padding everywhere in the repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 from scipy import sparse
 
 PAD_ID = 0
+
+
+@runtime_checkable
+class SequenceView(Protocol):
+    """Minimal read surface shared by in-memory and mmap datasets.
+
+    ``sequence(user)`` returns the user's temporally ordered item ids as
+    a 1-D int64 array (a zero-copy view for the mmap store) and
+    ``seq_lengths()`` returns per-user lengths indexed by user id (entry
+    0, the padding user, is always 0).  Everything downstream of the
+    data plane — splitting, loading, model construction — should only
+    assume this surface, never ``sequences`` the Python list.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    metadata: Dict[str, object]
+
+    @property
+    def num_interactions(self) -> int: ...
+
+    def sequence(self, user: int) -> np.ndarray: ...
+
+    def seq_lengths(self) -> np.ndarray: ...
+
+    def statistics(self) -> Dict[str, float]: ...
 
 
 @dataclass
@@ -50,12 +82,35 @@ class InteractionDataset:
             raise ValueError(
                 f"sequences must have num_users+1 entries "
                 f"({self.num_users + 1}), got {len(self.sequences)}")
-        for u, seq in enumerate(self.sequences[1:], start=1):
-            for item in seq:
-                if not 1 <= item <= self.num_items:
-                    raise ValueError(
-                        f"user {u} has out-of-range item {item} "
-                        f"(num_items={self.num_items})")
+        # Vectorized range check: one C-speed pass over the flattened
+        # events instead of a per-interaction interpreter loop (which
+        # dominated construction at scale).
+        lengths = np.fromiter((len(s) for s in self.sequences),
+                              dtype=np.int64, count=len(self.sequences))
+        total = int(lengths.sum())
+        if total == 0:
+            return
+        flat = np.fromiter((item for seq in self.sequences for item in seq),
+                           dtype=np.int64, count=total)
+        bad = (flat < 1) | (flat > self.num_items)
+        if bad.any():
+            offender = int(np.flatnonzero(bad)[0])
+            user = int(np.searchsorted(np.cumsum(lengths), offender,
+                                       side="right"))
+            raise ValueError(
+                f"user {user} has out-of-range item {int(flat[offender])} "
+                f"(num_items={self.num_items})")
+
+    # ------------------------------------------------------------------
+    # SequenceView protocol surface
+    def sequence(self, user: int) -> np.ndarray:
+        """User ``user``'s item ids as a 1-D int64 array."""
+        return np.asarray(self.sequences[user], dtype=np.int64)
+
+    def seq_lengths(self) -> np.ndarray:
+        """Per-user sequence length, indexed by user id (entry 0 is 0)."""
+        return np.fromiter((len(s) for s in self.sequences),
+                           dtype=np.int64, count=len(self.sequences))
 
     # ------------------------------------------------------------------
     @property

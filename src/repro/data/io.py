@@ -4,23 +4,35 @@ Synthetic generation and k-core filtering are deterministic but not free;
 persisting prepared datasets lets experiment pipelines and notebooks skip
 re-generation.  The format stores sequences as one flat id array plus
 offsets (ragged-array encoding) and JSON metadata — no pickling.
+
+Saves go through :func:`repro.resilience.atomic.atomic_save_npz` (fault
+site ``dataset.save``): a kill mid-save leaves either the complete old
+file or the complete new file, never a torn archive.  Loads translate
+every way a damaged archive can fail into a single ``ValueError`` naming
+the file, so callers distinguish "corrupt" from programming errors.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import List
 
 import numpy as np
 
+from ..resilience.atomic import atomic_save_npz, normalize_suffix
 from .dataset import InteractionDataset
 
 _FORMAT_VERSION = 1
 
+#: Fault-injection site threaded through :func:`save_dataset`.
+DATASET_SAVE_SITE = "dataset.save"
+
 
 def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
-    """Write a dataset to ``path`` (.npz)."""
+    """Atomically write a dataset to ``path`` (.npz); returns the real
+    path (suffix normalized the way ``np.savez`` would append it)."""
     path = Path(path)
     flat: List[int] = []
     offsets = [0]
@@ -34,26 +46,37 @@ def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
         "num_items": dataset.num_items,
         "metadata": _jsonable(dataset.metadata),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(
+    return atomic_save_npz(
         path,
-        items=np.asarray(flat, dtype=np.int64),
-        offsets=np.asarray(offsets, dtype=np.int64),
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-    )
-    return path
+        {"items": np.asarray(flat, dtype=np.int64),
+         "offsets": np.asarray(offsets, dtype=np.int64),
+         "meta": np.frombuffer(json.dumps(meta).encode("utf-8"),
+                               dtype=np.uint8)},
+        site=DATASET_SAVE_SITE)
 
 
 def load_dataset(path: str | Path) -> InteractionDataset:
-    """Load a dataset written by :func:`save_dataset`."""
-    path = Path(path)
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta["format_version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported dataset format {meta['format_version']}")
-        flat = archive["items"]
-        offsets = archive["offsets"]
+    """Load a dataset written by :func:`save_dataset`.
+
+    Raises ``ValueError`` on any torn/corrupt payload (truncated zip,
+    missing arrays, mangled JSON metadata).
+    """
+    path = normalize_suffix(Path(path), ".npz")
+    try:
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            if meta["format_version"] != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported dataset format {meta['format_version']}")
+            flat = archive["items"]
+            offsets = archive["offsets"]
+    except (zipfile.BadZipFile, KeyError, EOFError, OSError,
+            json.JSONDecodeError, UnicodeDecodeError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise ValueError(
+            f"corrupt dataset file {path}: {type(exc).__name__}: {exc}"
+        ) from exc
     sequences = [flat[lo:hi].tolist()
                  for lo, hi in zip(offsets, offsets[1:])]
     return InteractionDataset(

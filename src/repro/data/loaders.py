@@ -9,27 +9,38 @@
 Both loaders produce an :class:`~repro.data.dataset.InteractionDataset`
 with ids densely remapped from 1, ready for
 :func:`~repro.data.preprocessing.k_core_filter`.
+
+For files too large to group in RAM, :func:`ingest_events_to_store` (and
+the per-format wrappers :func:`ingest_amazon_csv` /
+:func:`ingest_yelp_json` / ``movielens.ingest_ml100k``) stream the same
+events straight into an mmap :class:`~repro.data.store.InteractionStore`
+with an out-of-core two-pass group-by: pass 1 spills dense-id event
+triples to a temporary on-disk log, pass 2 scatters them into CSR
+position and time-sorts each user inside bounded windows.  Working
+memory is O(num_users + num_items + window), never O(events).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from datetime import datetime
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from ..resilience.atomic import AtomicNpyColumnWriter
 from .dataset import InteractionDataset
 from .preprocessing import k_core_filter, remap_ids
+from .store import (DEFAULT_CHUNK_EVENTS, InteractionStore, StoreWriter,
+                    iter_csr_windows)
 
 
-def load_amazon_csv(path: str | Path, min_rating: float = 0.0,
-                    apply_k_core: bool = True,
-                    name: str = "amazon") -> InteractionDataset:
-    """Parse an Amazon ratings CSV (``user,item,rating,timestamp``)."""
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"Amazon ratings file not found: {path}")
-    events: List[Tuple[str, str, float, int]] = []
+def _iter_amazon_events(path: Path, min_rating: float
+                        ) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(user, item, timestamp)`` from a ratings CSV."""
     with open(path) as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -42,26 +53,13 @@ def load_amazon_csv(path: str | Path, min_rating: float = 0.0,
                     f"got {len(parts)}")
             user, item, rating, ts = parts
             if float(rating) >= min_rating:
-                events.append((user, item, float(rating), int(float(ts))))
-    return _events_to_dataset(events, name, apply_k_core)
+                yield user, item, int(float(ts))
 
 
-def load_yelp_json(path: str | Path, since: str = "2019-01-01",
-                   min_stars: float = 0.0, apply_k_core: bool = True
-                   ) -> InteractionDataset:
-    """Parse a Yelp ``review.json`` file (one JSON object per line).
-
-    Parameters
-    ----------
-    since:
-        ISO date; earlier reviews are dropped (the paper uses 2019-01-01
-        "due to its large size").
-    """
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"Yelp review file not found: {path}")
+def _iter_yelp_events(path: Path, since: str, min_stars: float
+                      ) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(user, business, timestamp)`` from a review.json file."""
     cutoff = datetime.fromisoformat(since)
-    events: List[Tuple[str, str, float, int]] = []
     with open(path) as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -79,19 +77,47 @@ def load_yelp_json(path: str | Path, since: str = "2019-01-01",
             when = datetime.fromisoformat(record["date"])
             if when < cutoff or float(record["stars"]) < min_stars:
                 continue
-            events.append((record["user_id"], record["business_id"],
-                           float(record["stars"]),
-                           int(when.timestamp())))
-    return _events_to_dataset(events, "yelp", apply_k_core)
+            yield (record["user_id"], record["business_id"],
+                   int(when.timestamp()))
 
 
-def _events_to_dataset(events: List[Tuple[str, str, float, int]],
+def load_amazon_csv(path: str | Path, min_rating: float = 0.0,
+                    apply_k_core: bool = True,
+                    name: str = "amazon") -> InteractionDataset:
+    """Parse an Amazon ratings CSV (``user,item,rating,timestamp``)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"Amazon ratings file not found: {path}")
+    return _events_to_dataset(list(_iter_amazon_events(path, min_rating)),
+                              name, apply_k_core)
+
+
+def load_yelp_json(path: str | Path, since: str = "2019-01-01",
+                   min_stars: float = 0.0, apply_k_core: bool = True
+                   ) -> InteractionDataset:
+    """Parse a Yelp ``review.json`` file (one JSON object per line).
+
+    Parameters
+    ----------
+    since:
+        ISO date; earlier reviews are dropped (the paper uses 2019-01-01
+        "due to its large size").
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"Yelp review file not found: {path}")
+    return _events_to_dataset(
+        list(_iter_yelp_events(path, since, min_stars)), "yelp",
+        apply_k_core)
+
+
+def _events_to_dataset(events: List[Tuple[str, str, int]],
                        name: str, apply_k_core: bool) -> InteractionDataset:
     """Sort per-user by timestamp and remap string ids to dense ints."""
     user_ids: Dict[str, int] = {}
     item_ids: Dict[str, int] = {}
     per_user: Dict[int, List[Tuple[int, int]]] = {}
-    for user, item, _rating, ts in events:
+    for user, item, ts in events:
         uid = user_ids.setdefault(user, len(user_ids) + 1)
         iid = item_ids.setdefault(item, len(item_ids) + 1)
         per_user.setdefault(uid, []).append((ts, iid))
@@ -103,3 +129,152 @@ def _events_to_dataset(events: List[Tuple[str, str, float, int]],
     if apply_k_core:
         dataset = k_core_filter(dataset)
     return dataset
+
+
+# ----------------------------------------------------------------------
+# streaming ingestion into the mmap store
+def ingest_events_to_store(events: Iterable[Tuple[object, object, int]],
+                           path: str | Path, name: str,
+                           sort_keys: bool = False,
+                           chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                           metadata: Optional[Dict[str, object]] = None,
+                           verify: bool = False) -> InteractionStore:
+    """Out-of-core group-by: raw ``(user, item, ts)`` events -> store.
+
+    Pass 1 assigns dense ids in first-appearance order and spills
+    ``(uid, iid, ts)`` triples to a temporary on-disk log; pass 2
+    scatters each event into its user's CSR slot via per-user cursors,
+    then time-sorts every user inside bounded whole-user windows (ties
+    broken by item id, matching the in-memory loaders' ``sorted(pairs)``)
+    and streams the result through :class:`StoreWriter`.  Only the two
+    id maps (O(entities)) and one window are ever resident.
+
+    ``sort_keys=True`` relabels users/items by ascending original key
+    instead of first appearance — the convention of ``load_ml100k``,
+    whose ids are integers.  String-keyed formats keep first-appearance
+    order, where the in-memory remap is the identity.
+    """
+    path = Path(path)
+    logdir = path / "_ingest"
+    if logdir.exists():
+        shutil.rmtree(logdir)
+    log_writers = {
+        column: AtomicNpyColumnWriter(logdir / f"{column}.npy", np.int64)
+        for column in ("uid", "iid", "ts")}
+    uid_of: Dict[object, int] = {}
+    iid_of: Dict[object, int] = {}
+    buffers: Dict[str, List[int]] = {"uid": [], "iid": [], "ts": []}
+
+    def flush() -> None:
+        for column, writer in log_writers.items():
+            writer.write(np.asarray(buffers[column], dtype=np.int64))
+            buffers[column] = []
+
+    try:
+        for user, item, ts in events:
+            buffers["uid"].append(uid_of.setdefault(user, len(uid_of) + 1))
+            buffers["iid"].append(iid_of.setdefault(item, len(iid_of) + 1))
+            buffers["ts"].append(int(ts))
+            if len(buffers["uid"]) >= chunk_events:
+                flush()
+        flush()
+        for writer in log_writers.values():
+            writer.finalize()
+        num_users, num_items = len(uid_of), len(iid_of)
+        num_events = log_writers["uid"].count
+
+        user_rank = np.arange(num_users + 1, dtype=np.int64)
+        item_rank = np.arange(num_items + 1, dtype=np.int64)
+        if sort_keys:
+            for rank, key in enumerate(sorted(uid_of), start=1):
+                user_rank[uid_of[key]] = rank
+            for rank, key in enumerate(sorted(iid_of), start=1):
+                item_rank[iid_of[key]] = rank
+
+        logs = {column: np.lib.format.open_memmap(
+            logdir / f"{column}.npy", mode="r")
+            for column in ("uid", "iid", "ts")}
+        counts = np.zeros(num_users + 1, dtype=np.int64)
+        for lo in range(0, num_events, chunk_events):
+            hi = min(lo + chunk_events, num_events)
+            counts += np.bincount(user_rank[logs["uid"][lo:hi]],
+                                  minlength=num_users + 1)
+        # indptr[u] is the start of user u: cumulative events of users
+        # before u (counts[0] is 0, so indptr[1] is 0).
+        indptr = np.zeros(num_users + 2, dtype=np.int64)
+        indptr[1:] = np.cumsum(counts)
+
+        scatter_paths = {
+            column: path / f".ingest-{column}.npy.tmp-{os.getpid()}"
+            for column in ("items", "ts")}
+        scatter = {column: np.lib.format.open_memmap(
+            spath, mode="w+", dtype=np.int64, shape=(num_events,))
+            for column, spath in scatter_paths.items()}
+        cursors = indptr[:-1].copy()
+        for lo in range(0, num_events, chunk_events):
+            hi = min(lo + chunk_events, num_events)
+            users = user_rank[logs["uid"][lo:hi]]
+            order = np.argsort(users, kind="stable")
+            users_sorted = users[order]
+            run_starts = np.flatnonzero(
+                np.r_[True, users_sorted[1:] != users_sorted[:-1]])
+            run_lengths = np.diff(np.r_[run_starts, users_sorted.size])
+            offsets = (np.arange(users_sorted.size)
+                       - np.repeat(run_starts, run_lengths))
+            targets = cursors[users_sorted] + offsets
+            scatter["items"][targets] = item_rank[logs["iid"][lo:hi]][order]
+            scatter["ts"][targets] = logs["ts"][lo:hi][order]
+            cursors[users_sorted[run_starts]] += run_lengths
+        for column in scatter.values():
+            column.flush()
+
+        meta = dict(metadata or {},
+                    source_users=num_users, source_items=num_items)
+        with StoreWriter(path, name, num_items,
+                         chunk_events=chunk_events) as writer:
+            for u0, u1, lo, hi in iter_csr_windows(indptr, num_users,
+                                                   chunk_events):
+                user_rep = np.repeat(np.arange(u0, u1, dtype=np.int64),
+                                     counts[u0:u1])
+                items_w = scatter["items"][lo:hi]
+                ts_w = scatter["ts"][lo:hi]
+                order = np.lexsort((items_w, ts_w, user_rep))
+                writer.append_chunk(counts[u0:u1], items_w[order],
+                                    ts_w[order])
+            store = writer.finalize(meta, verify=verify)
+    finally:
+        for writer in log_writers.values():
+            writer.abort()
+        shutil.rmtree(logdir, ignore_errors=True)
+        for spath in (path / f".ingest-items.npy.tmp-{os.getpid()}",
+                      path / f".ingest-ts.npy.tmp-{os.getpid()}"):
+            spath.unlink(missing_ok=True)
+    return store
+
+
+def ingest_amazon_csv(path: str | Path, store_path: str | Path,
+                      min_rating: float = 0.0, name: str = "amazon",
+                      chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                      verify: bool = False) -> InteractionStore:
+    """Stream an Amazon ratings CSV into an mmap store (no k-core)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"Amazon ratings file not found: {path}")
+    return ingest_events_to_store(
+        _iter_amazon_events(path, min_rating), store_path, name,
+        chunk_events=chunk_events, metadata={"source": str(path)},
+        verify=verify)
+
+
+def ingest_yelp_json(path: str | Path, store_path: str | Path,
+                     since: str = "2019-01-01", min_stars: float = 0.0,
+                     chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                     verify: bool = False) -> InteractionStore:
+    """Stream a Yelp ``review.json`` into an mmap store (no k-core)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"Yelp review file not found: {path}")
+    return ingest_events_to_store(
+        _iter_yelp_events(path, since, min_stars), store_path, "yelp",
+        chunk_events=chunk_events, metadata={"source": str(path)},
+        verify=verify)

@@ -10,10 +10,49 @@ File format: tab-separated ``user_id  item_id  rating  timestamp``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .dataset import InteractionDataset
+from .loaders import ingest_events_to_store
 from .preprocessing import k_core_filter, remap_ids
+from .store import DEFAULT_CHUNK_EVENTS, InteractionStore
+
+
+def _iter_ml100k_events(path: Path, min_rating: int
+                        ) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(user, item, timestamp)`` from a ``u.data`` file."""
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 4 tab-separated fields, "
+                    f"got {len(parts)}")
+            user, item, rating, ts = (int(p) for p in parts)
+            if rating >= min_rating:
+                yield user, item, ts
+
+
+def ingest_ml100k(path: str | Path, store_path: str | Path,
+                  min_rating: int = 0,
+                  chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                  verify: bool = False) -> InteractionStore:
+    """Stream a ``u.data`` file into an mmap store (no k-core).
+
+    Users and items are relabeled by ascending original integer id —
+    the same dense remap :func:`load_ml100k` produces — so a store
+    ingested this way matches the in-memory loader user-for-user.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"MovieLens file not found: {path}")
+    return ingest_events_to_store(
+        _iter_ml100k_events(path, min_rating), store_path, "ml-100k",
+        sort_keys=True, chunk_events=chunk_events,
+        metadata={"source": str(path)}, verify=verify)
 
 
 def load_ml100k(path: str | Path, min_rating: int = 0,
@@ -31,22 +70,8 @@ def load_ml100k(path: str | Path, min_rating: int = 0,
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"MovieLens file not found: {path}")
-    events: List[Tuple[int, int, int, int]] = []
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            parts = line.split("\t")
-            if len(parts) != 4:
-                raise ValueError(
-                    f"{path}:{line_no}: expected 4 tab-separated fields, "
-                    f"got {len(parts)}")
-            user, item, rating, ts = (int(p) for p in parts)
-            if rating >= min_rating:
-                events.append((user, item, rating, ts))
     sequences: Dict[int, List[Tuple[int, int]]] = {}
-    for user, item, _rating, ts in events:
+    for user, item, ts in _iter_ml100k_events(path, min_rating):
         sequences.setdefault(user, []).append((ts, item))
     ordered = {user: [item for _, item in sorted(pairs)]
                for user, pairs in sequences.items()}

@@ -23,11 +23,13 @@ denoisers against the truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from .dataset import InteractionDataset
+from .store import DEFAULT_CHUNK_EVENTS, InteractionStore, StoreWriter
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,33 @@ PROFILES: Dict[str, SyntheticProfile] = {
         name="yelp", num_users=360, num_items=320, mean_length=10.4,
         min_length=5, num_clusters=12, clusters_per_user=2, noise_rate=0.18),
 }
+
+#: Full-scale profiles (millions of users, 10^5..10^6 items).  These are
+#: only reachable through :func:`generate_to_store` — the event volume
+#: (tens of millions) must never materialize as Python lists.
+FULL_PROFILES: Dict[str, SyntheticProfile] = {
+    "scale-1m": SyntheticProfile(
+        name="scale-1m", num_users=1_000_000, num_items=120_000,
+        mean_length=12.0, min_length=3, num_clusters=64,
+        clusters_per_user=2, noise_rate=0.10),
+    "scale-2m": SyntheticProfile(
+        name="scale-2m", num_users=2_000_000, num_items=300_000,
+        mean_length=9.0, min_length=3, num_clusters=96,
+        clusters_per_user=2, noise_rate=0.12),
+    "scale-4m": SyntheticProfile(
+        name="scale-4m", num_users=4_000_000, num_items=1_000_000,
+        mean_length=7.0, min_length=3, num_clusters=128,
+        clusters_per_user=1, noise_rate=0.12),
+}
+
+
+def profile_by_name(name: str) -> SyntheticProfile:
+    """Look up a profile in :data:`PROFILES` or :data:`FULL_PROFILES`."""
+    profile = PROFILES.get(name) or FULL_PROFILES.get(name)
+    if profile is None:
+        raise KeyError(f"unknown profile {name!r}; options: "
+                       f"{sorted(PROFILES) + sorted(FULL_PROFILES)}")
+    return profile
 
 
 def generate(profile: SyntheticProfile | str, seed: int = 0,
@@ -203,3 +232,129 @@ def _generate_sequence(length: int, user_clusters: np.ndarray,
 def all_datasets(seed: int = 0, scale: float = 1.0) -> Dict[str, InteractionDataset]:
     """Generate all five paper datasets (Table II) at the given scale."""
     return {name: generate(name, seed=seed, scale=scale) for name in PROFILES}
+
+
+# ----------------------------------------------------------------------
+# chunk-wise generation straight to disk (full-scale profiles)
+def _build_successor_array(clusters: np.ndarray,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Vectorized form of :func:`_build_chains`: ``successor[item]`` is
+    the item's ring successor within its cluster (identity for the
+    padding id)."""
+    successor = np.arange(clusters.shape[0], dtype=np.int64)
+    for c in range(int(clusters.max()) + 1):
+        members = np.flatnonzero(clusters == c)
+        order = rng.permutation(members)
+        successor[order] = np.roll(order, -1)
+    return successor
+
+
+def _cluster_tables(clusters: np.ndarray, popularity: np.ndarray):
+    """Per-cluster ``(member_ids, popularity_cdf)`` for inverse-CDF
+    sampling (the vectorized equivalent of ``sample_in_cluster``)."""
+    tables = []
+    for c in range(int(clusters.max()) + 1):
+        members = np.flatnonzero(clusters == c)
+        weights = popularity[members - 1]
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        tables.append((members, cdf))
+    return tables
+
+
+def generate_to_store(profile: SyntheticProfile | str, path: Path,
+                      seed: int = 0, noise_rate: Optional[float] = None,
+                      scale: float = 1.0, chunk_users: int = 100_000,
+                      chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                      verify: bool = False) -> InteractionStore:
+    """Generate a profile chunk-wise straight into an mmap store.
+
+    Same generative process as :func:`generate` — latent interest
+    clusters, within-cluster Markov chains, popularity skew, uniform
+    accidental noise — but vectorized across a ``chunk_users``-wide
+    block of users per pass and written through
+    :class:`repro.data.store.StoreWriter`, so peak resident memory is
+    O(chunk), never O(dataset).  This is the only path to the
+    :data:`FULL_PROFILES` scales (a million-user profile as Python
+    lists would be gigabytes of object overhead).
+
+    The per-user RNG stream differs from :func:`generate` (draws are
+    batched across users), so the two paths produce *distributionally*
+    equivalent, not bitwise-equal, datasets.
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    rng = np.random.default_rng(seed)
+    num_users = max(10, int(round(profile.num_users * scale)))
+    num_items = max(20, int(round(profile.num_items * scale)))
+    rate = profile.noise_rate if noise_rate is None else noise_rate
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"noise_rate must be in [0, 1), got {rate}")
+
+    clusters = _assign_clusters(num_items, profile.num_clusters, rng)
+    successor = _build_successor_array(clusters, rng)
+    popularity = _zipf_weights(num_items, profile.zipf_exponent)
+    tables = _cluster_tables(clusters, popularity)
+    cpu = min(profile.clusters_per_user, profile.num_clusters)
+
+    def sample_in_cluster(user_clusters: np.ndarray,
+                          rows: np.ndarray) -> np.ndarray:
+        """Popularity-weighted draw from a uniformly chosen preferred
+        cluster, for each row index in ``rows``."""
+        chosen = user_clusters[
+            rows, rng.integers(0, cpu, size=rows.shape[0])]
+        uniforms = rng.random(rows.shape[0])
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        for c in np.unique(chosen):
+            sel = chosen == c
+            members, cdf = tables[int(c)]
+            out[sel] = members[np.searchsorted(cdf, uniforms[sel],
+                                               side="right")]
+        return out
+
+    metadata = {
+        "profile": profile.name,
+        "seed": seed,
+        "noise_rate": rate,
+        "num_clusters": profile.num_clusters,
+        "generator": "chunked-v1",
+    }
+    with StoreWriter(path, f"{profile.name}-synth", num_items,
+                     chunk_events=chunk_events) as writer:
+        for start in range(0, num_users, chunk_users):
+            block = min(chunk_users, num_users - start)
+            lengths = np.maximum(
+                profile.min_length,
+                rng.poisson(profile.mean_length, size=block)).astype(np.int64)
+            # Preferred clusters without replacement per user.
+            user_clusters = np.argpartition(
+                rng.random((block, profile.num_clusters)), cpu - 1,
+                axis=1)[:, :cpu]
+            width = int(lengths.max())
+            items_mat = np.zeros((block, width), dtype=np.int64)
+            flags_mat = np.zeros((block, width), dtype=np.uint8)
+            all_rows = np.arange(block)
+            current = sample_in_cluster(user_clusters, all_rows)
+            items_mat[:, 0] = current
+            for t in range(1, width):
+                active = t < lengths
+                noise = active & (rng.random(block) < rate)
+                follow = rng.random(block) < profile.chain_strength
+                signal = active & ~noise
+                chain_rows = signal & follow
+                fresh_rows = np.flatnonzero(signal & ~follow)
+                current[chain_rows] = successor[current[chain_rows]]
+                if fresh_rows.size:
+                    current[fresh_rows] = sample_in_cluster(user_clusters,
+                                                            fresh_rows)
+                column = items_mat[:, t]
+                column[signal] = current[signal]
+                noise_rows = np.flatnonzero(noise)
+                if noise_rows.size:
+                    column[noise_rows] = rng.integers(
+                        1, num_items + 1, size=noise_rows.size)
+                flags_mat[noise_rows, t] = 1
+            ragged = np.arange(width)[None, :] < lengths[:, None]
+            writer.append_chunk(lengths, items_mat[ragged],
+                                noise_flags=flags_mat[ragged])
+        return writer.finalize(metadata, verify=verify)

@@ -156,3 +156,153 @@ class Evaluator:
     def evaluate(self, model, fast: Optional[bool] = None) -> Dict[str, float]:
         """Full metric block (HR/N@K + MRR) on the held-out examples."""
         return metric_report(self.ranks(model, fast=fast), self.ks)
+
+
+class StreamingEvaluator:
+    """Bounded-memory twin of :class:`Evaluator` for example streams.
+
+    Consumes any re-iterable sized example source (an
+    :class:`~repro.data.stream.ExampleStream`) through a ``shuffle=False``
+    :class:`~repro.data.stream.StreamingDataLoader`; batches are the same
+    consecutive slices the in-memory ``DataLoader`` would produce.  On
+    the vectorized path, sequence representations accumulate only until
+    ``score_chunk`` rows are buffered, and blocks are cut at the same
+    absolute offsets as :meth:`Evaluator._chunks` over the concatenated
+    matrix — metrics are **bitwise identical** to an in-memory
+    ``Evaluator`` over ``list(examples)`` (pinned by parity tests).
+    Peak memory is one scoring block, O(score_chunk * vocab), instead of
+    all representations at once.
+    """
+
+    def __init__(self, examples, batch_size: int = 256,
+                 max_len: Optional[int] = None,
+                 ks: Sequence[int] = (5, 10, 20), fast: bool = False,
+                 score_chunk: Optional[int] = DEFAULT_SCORE_CHUNK):
+        if len(examples) == 0:
+            raise ValueError("evaluator needs at least one example")
+        if score_chunk is not None and score_chunk < 1:
+            raise ValueError("score_chunk must be >= 1 or None")
+        from ..data.stream import StreamingDataLoader
+        self.loader = StreamingDataLoader(
+            examples, batch_size=batch_size, max_len=max_len,
+            shuffle=False, buffer_size=max(batch_size, 1))
+        self.num_examples = len(examples)
+        self.ks = tuple(ks)
+        self.fast = fast
+        self.score_chunk = score_chunk
+
+    def ranks(self, model, fast: Optional[bool] = None) -> np.ndarray:
+        """Target ranks for every example, in stream order."""
+        was_training = getattr(model, "training", False)
+        model.eval()
+        try:
+            if self.fast if fast is None else fast:
+                from ..serve import freeze  # lazy: avoids an import cycle
+                all_ranks = self._ranks_plan(freeze(model))
+            else:
+                with no_grad():
+                    batch_forward = getattr(model, "forward_batch", None)
+                    encode = getattr(model, "encode", None)
+                    score = getattr(model, "score", None)
+                    if (batch_forward is None and encode is not None
+                            and score is not None):
+                        all_ranks = self._ranks_vectorized(encode, score)
+                    else:
+                        all_ranks = self._ranks_per_batch(model,
+                                                          batch_forward)
+        finally:
+            if was_training:
+                model.train()
+        return all_ranks
+
+    def ranks_frozen(self, plan) -> np.ndarray:
+        """Rank through a pre-compiled frozen plan (no model, no re-freeze)."""
+        return self._ranks_plan(plan)
+
+    def _ranks_blocked(self, pairs, score_block) -> np.ndarray:
+        """Drive ``score_block`` over exact ``score_chunk``-row blocks.
+
+        ``pairs`` yields per-batch ``(reprs, targets)``; blocks are
+        assembled so their absolute offsets equal the chunk boundaries
+        ``Evaluator._chunks`` would use over the full concatenation.
+        """
+        total = self.num_examples
+        step = self.score_chunk or total
+        ranks = np.empty(total, dtype=np.int64)
+        pending_r: List[np.ndarray] = []
+        pending_t: List[np.ndarray] = []
+        buffered = written = 0
+
+        def drain(final: bool) -> None:
+            nonlocal pending_r, pending_t, buffered, written
+            while buffered >= step or (final and buffered):
+                reprs = (pending_r[0] if len(pending_r) == 1
+                         else np.concatenate(pending_r, axis=0))
+                targets = (pending_t[0] if len(pending_t) == 1
+                           else np.concatenate(pending_t))
+                take = min(step, buffered)
+                ranks[written:written + take] = score_block(
+                    reprs[:take], targets[:take])
+                pending_r, pending_t = [reprs[take:]], [targets[take:]]
+                buffered -= take
+                written += take
+
+        for reprs, targets in pairs:
+            pending_r.append(reprs)
+            pending_t.append(np.asarray(targets))
+            buffered += reprs.shape[0]
+            drain(final=False)
+        drain(final=True)
+        return ranks
+
+    def _ranks_vectorized(self, encode, score) -> np.ndarray:
+        pairs = ((encode(batch.items, batch.mask).data, batch.targets)
+                 for batch in self.loader)
+        return self._ranks_blocked(
+            pairs, lambda reprs, targets: ranks_from_scores(
+                score(Tensor(reprs)).data, targets))
+
+    def _ranks_plan(self, plan) -> np.ndarray:
+        if not plan.supports_encode:
+            return self._ranks_per_batch(None, plan.forward_batch,
+                                         plan=True)
+        buf: List[Optional[np.ndarray]] = [None]
+
+        def score_block(reprs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+            if buf[0] is None or buf[0].shape[0] != reprs.shape[0]:
+                buf[0] = np.empty((reprs.shape[0], plan.vocab_size))
+            return ranks_from_scores(plan.score(reprs, out=buf[0]), targets)
+
+        pairs = ((plan.encode_batch(batch), batch.targets)
+                 for batch in self.loader)
+        return self._ranks_blocked(pairs, score_block)
+
+    def _ranks_per_batch(self, model, batch_forward,
+                         plan: bool = False) -> np.ndarray:
+        all_ranks: List[np.ndarray] = []
+        for batch in self.loader:
+            if batch_forward is not None:
+                logits = batch_forward(batch)
+            else:
+                logits = model.forward(batch.items, batch.mask)
+            scores = logits if plan else logits.data[:, :]
+            all_ranks.append(ranks_from_scores(scores, batch.targets))
+        return np.concatenate(all_ranks)
+
+    def evaluate(self, model, fast: Optional[bool] = None) -> Dict[str, float]:
+        """Full metric block (HR/N@K + MRR) on the held-out examples."""
+        return metric_report(self.ranks(model, fast=fast), self.ks)
+
+
+def make_evaluator(examples, batch_size: int = 256,
+                   max_len: Optional[int] = None,
+                   ks: Sequence[int] = (5, 10, 20), fast: bool = False,
+                   score_chunk: Optional[int] = DEFAULT_SCORE_CHUNK):
+    """Evaluator for either an example list or an example stream.
+
+    The single dispatch point trainers and runners use, mirroring
+    :func:`repro.data.stream.build_loader`.
+    """
+    cls = Evaluator if isinstance(examples, list) else StreamingEvaluator
+    return cls(examples, batch_size=batch_size, max_len=max_len, ks=ks,
+               fast=fast, score_chunk=score_chunk)

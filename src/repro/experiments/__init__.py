@@ -20,11 +20,11 @@ from . import (ext_noise_sweep, fig1_oup, fig4_case_study, fig5_tau,
                significance_runs, table2_datasets, table3_backbones,
                table4_denoisers, table5_ablation, table6_efficiency)
 from .config import SCALES, Scale, default_scale, max_len_for
-from .common import prepare, train_and_evaluate
+from .common import prepare, prepare_streaming, train_and_evaluate
 
 __all__ = [
     "Scale", "SCALES", "default_scale", "max_len_for",
-    "prepare", "train_and_evaluate",
+    "prepare", "prepare_streaming", "train_and_evaluate",
     "table2_datasets", "table3_backbones", "table4_denoisers",
     "table5_ablation", "table6_efficiency",
     "fig1_oup", "fig4_case_study", "fig5_tau",

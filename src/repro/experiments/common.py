@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..core import SSDRecConfig
-from ..data import (InteractionDataset, SequenceSplit, generate,
-                    leave_one_out_split)
-from ..eval import Evaluator
+from ..data import (InteractionDataset, SequenceSplit, SequenceView,
+                    StreamSplit, generate, generate_to_store,
+                    leave_one_out_split, open_store, profile_by_name,
+                    stream_k_core_filter, streaming_leave_one_out)
+from ..eval import Evaluator, make_evaluator
 from ..registry import ssdrec_default_config
 from ..train import TrainConfig, Trainer, TrainResult
 from .config import Scale, max_len_for
@@ -16,32 +19,40 @@ from .config import Scale, max_len_for
 
 @dataclass
 class PreparedDataset:
-    """A synthetic dataset plus its leave-one-out split, ready to train on."""
+    """A dataset plus its leave-one-out split, ready to train on.
+
+    Backend-agnostic: ``dataset`` is any :class:`SequenceView` — the
+    in-memory :class:`InteractionDataset` from :func:`prepare` or the
+    mmap :class:`~repro.data.store.InteractionStore` from
+    :func:`prepare_streaming` — and ``split`` is the matching
+    :class:`SequenceSplit` or :class:`StreamSplit`.
+    """
 
     profile: str
-    dataset: InteractionDataset
-    split: SequenceSplit
+    dataset: Union[InteractionDataset, SequenceView]
+    split: Union[SequenceSplit, StreamSplit]
     max_len: int
-    _evaluators: Dict[Tuple[str, int], Evaluator] = field(
+    _evaluators: Dict[Tuple[str, int], object] = field(
         default_factory=dict, repr=False, compare=False)
 
     def evaluator(self, subset: str = "test",
-                  batch_size: int = 256) -> Evaluator:
-        """A cached :class:`Evaluator` over one split subset.
+                  batch_size: int = 256):
+        """A cached evaluator over one split subset.
 
-        Evaluators cache their padded batches (``DataLoader`` with
-        ``shuffle=False``); sharing one instance per ``(subset,
+        In-memory evaluators cache their padded batches (``DataLoader``
+        with ``shuffle=False``); sharing one instance per ``(subset,
         batch_size)`` across a run avoids re-padding the same examples
-        for every model trained on this dataset.  Callers wanting the
-        frozen-plan path pass ``fast=True`` to :meth:`Evaluator.ranks` /
-        :meth:`Evaluator.evaluate` per call — the shared instance is
-        never mutated.
+        for every model trained on this dataset.  Streaming subsets get
+        a :class:`~repro.eval.evaluator.StreamingEvaluator` instead
+        (re-padded per pass, bounded memory).  Callers wanting the
+        frozen-plan path pass ``fast=True`` to ``ranks``/``evaluate``
+        per call — the shared instance is never mutated.
         """
         key = (subset, batch_size)
         ev = self._evaluators.get(key)
         if ev is None:
-            ev = Evaluator(getattr(self.split, subset),
-                           batch_size=batch_size, max_len=self.max_len)
+            ev = make_evaluator(getattr(self.split, subset),
+                                batch_size=batch_size, max_len=self.max_len)
             self._evaluators[key] = ev
         return ev
 
@@ -55,6 +66,43 @@ def prepare(profile: str, scale: Scale, seed: int = 0,
     split = leave_one_out_split(dataset, max_len=max_len,
                                 augment_prefixes=scale.augment_prefixes)
     return PreparedDataset(profile, dataset, split, max_len)
+
+
+def prepare_streaming(profile: str, scale: Scale, store_root: str | Path,
+                      seed: int = 0, noise_rate: Optional[float] = None,
+                      k_core: Optional[int] = None, reuse: bool = True,
+                      max_len: Optional[int] = None) -> PreparedDataset:
+    """Out-of-core counterpart of :func:`prepare`.
+
+    Generates the profile chunk-wise straight to an mmap store under
+    ``store_root`` (full-scale profiles like ``scale-1m`` never exist in
+    RAM), optionally applies the out-of-core ``k_core``-core filter, and
+    splits with :func:`streaming_leave_one_out`.  With ``reuse=True`` an
+    existing store directory for the same profile/seed/scale is opened
+    instead of regenerated — generation is seeded, so contents match.
+    """
+    store_root = Path(store_root)
+    tag = f"{profile}-s{seed}-x{scale.dataset_scale:g}"
+    raw_path = store_root / tag / "raw"
+    if reuse and (raw_path / "manifest.json").exists():
+        store = open_store(raw_path)
+    else:
+        store = generate_to_store(profile_by_name(profile), raw_path,
+                                  seed=seed, noise_rate=noise_rate,
+                                  scale=scale.dataset_scale)
+    if k_core is not None:
+        core_path = store_root / tag / f"core{k_core}"
+        if reuse and (core_path / "manifest.json").exists():
+            store = open_store(core_path)
+        else:
+            store = stream_k_core_filter(store, core_path,
+                                         min_seq_len=k_core,
+                                         min_item_freq=k_core)
+    if max_len is None:
+        max_len = max_len_for(profile, scale)
+    split = streaming_leave_one_out(
+        store, max_len=max_len, augment_prefixes=scale.augment_prefixes)
+    return PreparedDataset(profile, store, split, max_len)
 
 
 def ssdrec_config(scale: Scale, max_len: int, **overrides) -> SSDRecConfig:

@@ -99,6 +99,34 @@ class SequentialRecommender(Module):
         logits = self.forward(batch.items, batch.mask)
         return F.cross_entropy(logits, batch.targets)
 
+    def sampled_loss(self, batch: Batch, num_negatives: int = 128) -> Tensor:
+        """Sampled cross-entropy: in-batch positives + shared uniform
+        negatives.
+
+        :meth:`loss` scores the full item universe — O(V) work and
+        memory per example, prohibitive for 10^5..10^6-item catalogs.
+        Here each sequence is scored only against the batch's own
+        targets (column ``i`` is row ``i``'s positive; the other rows'
+        targets act as popularity-weighted in-batch negatives) plus
+        ``num_negatives`` uniform negatives shared across the batch.
+        Duplicate occurrences of a row's target among the other columns
+        are masked to -inf so the correct class is never penalized
+        against itself.  Negative draws come from the model's seeded
+        ``rng``, so runs stay reproducible and crash-resumable.
+        """
+        reprs = self.encode(batch.items, batch.mask)
+        targets = np.asarray(batch.targets, dtype=np.int64)
+        rows = targets.shape[0]
+        negatives = self.rng.integers(1, self.num_items + 1,
+                                      size=num_negatives)
+        candidates = np.concatenate([targets, negatives])
+        table = self.item_embedding(candidates)
+        logits = reprs @ table.transpose()
+        duplicate = candidates[None, :] == targets[:, None]
+        duplicate[np.arange(rows), np.arange(rows)] = False
+        return F.cross_entropy(logits.masked_fill(duplicate, _NEG_INF),
+                               np.arange(rows))
+
     # ------------------------------------------------------------------
     @staticmethod
     def last_state(states: Tensor, mask: np.ndarray) -> Tensor:

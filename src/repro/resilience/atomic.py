@@ -32,6 +32,7 @@ Stale temp files (from kills between write and replace) all match
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
 from pathlib import Path
@@ -151,6 +152,137 @@ def atomic_save_npy(path: Path, array: np.ndarray,
     return atomic_write_bytes(path, npy_bytes(array), site=site)
 
 
+def _npy_header_bytes(dtype: np.dtype, count: int) -> bytes:
+    """The ``.npy`` v1 header for a 1-D C-order array of ``count`` items."""
+    buffer = io.BytesIO()
+    np.lib.format.write_array_header_1_0(
+        buffer, {"descr": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+                 "fortran_order": False, "shape": (count,)})
+    return buffer.getvalue()
+
+
+class AtomicNpyColumnWriter:
+    """Chunk-at-a-time ``.npy`` writer with atomic publish semantics.
+
+    :func:`atomic_save_npy` buffers the whole payload in memory, which
+    defeats out-of-core writing.  This writer streams 1-D chunks to a
+    hidden ``.tmp-<pid>`` sibling (so :func:`clean_stale_tmp` sweeps it
+    after a crash), then on :meth:`finalize` rewrites the header with
+    the final element count, ``fsync``\\ s, and ``os.replace``\\ s into
+    place — readers only ever see a complete column.
+
+    The header is written twice (a zero-length placeholder up front,
+    the real shape at finalize).  Both renderings of a 1-D header pad
+    to the same 128-byte block, so the data offset never moves; this
+    is asserted at finalize.
+
+    A sha256 digest of the *intended element bytes* (before any
+    injected ``filter_payload`` damage, excluding the header) is
+    accumulated as chunks arrive and returned by :meth:`finalize` —
+    store manifests record it so readers can detect torn or bit-rotted
+    columns that the checksum-less ``.npy`` format would otherwise
+    accept.
+
+    Fault sites mirror :func:`atomic_write_bytes`:
+    ``{site}.before`` fires on open, ``filter_payload(site, chunk)``
+    filters every chunk, and ``{site}.replace`` fires after the temp
+    file is durable but before the rename.
+    """
+
+    def __init__(self, path: Path, dtype, site: Optional[str] = None):
+        self.path = normalize_suffix(Path(path), ".npy")
+        self.dtype = np.dtype(dtype)
+        self.site = site
+        self.count = 0
+        self._sha = hashlib.sha256()
+        self._closed = False
+        if site is not None:
+            fault_point(f"{site}.before")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(
+            f".{self.path.name}{_TMP_MARKER}{os.getpid()}")
+        self._handle = open(self._tmp, "wb")
+        self._header_size = self._handle.write(
+            _npy_header_bytes(self.dtype, 0))
+
+    def write(self, chunk: np.ndarray) -> None:
+        """Append a 1-D chunk (cast to the column dtype, zero-copy when
+        already contiguous)."""
+        if self._closed:
+            raise ValueError(f"column writer for {self.path} already closed")
+        chunk = np.ascontiguousarray(chunk, dtype=self.dtype)
+        if chunk.ndim != 1:
+            raise ValueError(f"expected 1-D chunk, got shape {chunk.shape}")
+        data = chunk.tobytes()
+        self._sha.update(data)
+        self.count += chunk.size
+        if self.site is not None:
+            data = filter_payload(self.site, data)
+        self._handle.write(data)
+
+    def abort(self) -> None:
+        """Discard the in-flight temp file (nothing was published)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.close()
+        finally:
+            self._tmp.unlink(missing_ok=True)
+
+    def finalize(self) -> str:
+        """Publish the column; returns the hex sha256 of its elements."""
+        if self._closed:
+            raise ValueError(f"column writer for {self.path} already closed")
+        try:
+            header = _npy_header_bytes(self.dtype, self.count)
+            if len(header) != self._header_size:
+                raise AssertionError(
+                    f"npy header grew from {self._header_size} to "
+                    f"{len(header)} bytes; data offset would move")
+            self._handle.flush()
+            self._handle.seek(0)
+            self._handle.write(header)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            if self.site is not None:
+                fault_point(f"{self.site}.replace")
+            os.replace(self._tmp, self.path)
+        except BaseException:
+            self._closed = True
+            self._handle.close()
+            self._tmp.unlink(missing_ok=True)
+            raise
+        self._closed = True
+        _fsync_directory(self.path.parent)
+        return self._sha.hexdigest()
+
+    def __enter__(self) -> "AtomicNpyColumnWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.finalize()
+
+
+def memmap_sha256(array: np.ndarray, chunk_items: int = 1 << 22) -> str:
+    """sha256 of an array's element bytes, read in bounded windows.
+
+    Matches the digest :class:`AtomicNpyColumnWriter` records, without
+    ever materializing the column: only ``chunk_items`` elements are
+    resident at a time.
+    """
+    sha = hashlib.sha256()
+    flat = array.reshape(-1)
+    for start in range(0, flat.shape[0], chunk_items):
+        sha.update(np.ascontiguousarray(flat[start:start + chunk_items]).tobytes())
+    return sha.hexdigest()
+
+
 __all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_save_npz",
            "atomic_save_npy", "npy_bytes", "normalize_suffix",
-           "clean_stale_tmp", "is_tmp_artifact"]
+           "clean_stale_tmp", "is_tmp_artifact", "AtomicNpyColumnWriter",
+           "memmap_sha256"]

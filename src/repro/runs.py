@@ -89,6 +89,12 @@ class RunSpec:
     ``noise_rate`` overrides the generator's intrinsic noise;
     ``noise_inject`` post-corrupts the clean dataset with
     :func:`repro.data.inject_noise` (the Fig. 1 protocol).
+
+    ``backend`` selects the data substrate: ``None`` (in-memory, the
+    default) or ``"stream"`` (mmap store + streaming split via
+    :func:`~repro.experiments.common.prepare_streaming`).  ``None`` is
+    omitted from the canonical form, so every pre-existing cache entry
+    keeps its hash.
     """
 
     profile: str
@@ -101,13 +107,14 @@ class RunSpec:
     noise_inject: Optional[float] = None
     dataset_scale: Optional[float] = None
     max_len: Optional[int] = None
+    backend: Optional[str] = None
 
     # ------------------------------------------------------------------
     def resolved_data_seed(self) -> int:
         return self.seed if self.data_seed is None else self.data_seed
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "version": RUN_FORMAT_VERSION,
             "profile": self.profile,
             "scale": self.scale,
@@ -120,6 +127,9 @@ class RunSpec:
             "dataset_scale": self.dataset_scale,
             "max_len": self.max_len,
         }
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        return payload
 
     def content_hash(self) -> str:
         """Stable cross-process digest of the canonical JSON form."""
@@ -128,6 +138,8 @@ class RunSpec:
 
     def describe(self) -> str:
         extras = []
+        if self.backend is not None:
+            extras.append(f"backend={self.backend}")
         if self.noise_inject is not None:
             extras.append(f"+noise {self.noise_inject:g}")
         if self.data_seed is not None and self.data_seed != self.seed:
@@ -167,7 +179,8 @@ def run_spec(profile: str, scale: Union[str, object], model: ModelSpec,
              noise_rate: Optional[float] = None,
              noise_inject: Optional[float] = None,
              dataset_scale: Optional[float] = None,
-             max_len: Optional[int] = None) -> RunSpec:
+             max_len: Optional[int] = None,
+             backend: Optional[str] = None) -> RunSpec:
     """Canonical :class:`RunSpec` factory (validates + sorts overrides)."""
     if not isinstance(scale, str):
         scale = scale.name
@@ -178,11 +191,18 @@ def run_spec(profile: str, scale: Union[str, object], model: ModelSpec,
                        f"valid: {TRAIN_FIELDS}")
     if data_seed is not None and data_seed == seed:
         data_seed = None  # canonical form: only keep a *diverging* data seed
+    if backend == "memory":
+        backend = None  # canonical form: the default backend is implicit
+    if backend not in (None, "stream"):
+        raise ValueError(f"unknown data backend {backend!r}; "
+                         f"valid: 'memory' (default), 'stream'")
+    if backend == "stream" and noise_inject is not None:
+        raise ValueError("noise_inject requires the in-memory backend")
     return RunSpec(profile=profile, scale=scale, model=model,
                    train=tuple(sorted(train.items())), seed=seed,
                    data_seed=data_seed, noise_rate=noise_rate,
                    noise_inject=noise_inject, dataset_scale=dataset_scale,
-                   max_len=max_len)
+                   max_len=max_len, backend=backend)
 
 
 @dataclass
@@ -233,7 +253,7 @@ class RunStore:
     def _dataset_key(self, spec: RunSpec) -> tuple:
         return (spec.profile, spec.scale, spec.resolved_data_seed(),
                 spec.noise_rate, spec.noise_inject, spec.dataset_scale,
-                spec.max_len)
+                spec.max_len, spec.backend)
 
     def prepared(self, spec: RunSpec):
         """The :class:`PreparedDataset` this spec trains/evaluates on."""
@@ -265,6 +285,17 @@ class RunStore:
         max_len = (max_len_for(spec.profile, scale) if spec.max_len is None
                    else spec.max_len)
         data_seed = spec.resolved_data_seed()
+        if spec.backend == "stream":
+            if spec.noise_inject is not None:
+                raise ValueError("noise_inject requires the in-memory "
+                                 "backend")
+            from .experiments.common import prepare_streaming
+            if spec.dataset_scale is not None:
+                scale = replace(scale, dataset_scale=spec.dataset_scale)
+            return prepare_streaming(
+                spec.profile, scale, self.root / "_datasets",
+                seed=data_seed, noise_rate=spec.noise_rate,
+                max_len=spec.max_len)
         if spec.noise_inject is None:
             if (spec.dataset_scale is None and spec.max_len is None
                     and spec.noise_rate is None):

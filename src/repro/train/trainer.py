@@ -35,7 +35,8 @@ import numpy as np
 
 from ..data.batching import DataLoader
 from ..data.dataset import SequenceSplit
-from ..eval.evaluator import Evaluator
+from ..data.stream import StreamSplit, build_loader
+from ..eval.evaluator import Evaluator, make_evaluator
 from ..nn import Adam, clip_grad_norm
 from ..nn.layers import Embedding
 from ..nn.rng import generator_state, restore_generator_state
@@ -97,9 +98,17 @@ class TrainResult:
 
 
 class Trainer:
-    """Fit a model on a :class:`SequenceSplit` with early stopping."""
+    """Fit a model on a :class:`SequenceSplit` with early stopping.
 
-    def __init__(self, model, split: SequenceSplit,
+    Also accepts a :class:`~repro.data.stream.StreamSplit`: the train
+    subset then feeds a seeded :class:`StreamingDataLoader` (bounded
+    shuffle buffer) and validation runs through a
+    :class:`~repro.eval.evaluator.StreamingEvaluator`, so training never
+    materializes the example lists.  Crash resume works identically —
+    both loaders expose the same ``rng_state`` surface.
+    """
+
+    def __init__(self, model, split: SequenceSplit | StreamSplit,
                  config: Optional[TrainConfig] = None,
                  loss_fn: Optional[Callable] = None,
                  scheduler_factory: Optional[Callable] = None,
@@ -119,7 +128,7 @@ class Trainer:
                           if scheduler_factory else None)
         # Callers running many models over the same split can pass a
         # shared validation evaluator to reuse its padded batches.
-        self.evaluator = evaluator or Evaluator(
+        self.evaluator = evaluator or make_evaluator(
             split.valid, batch_size=self.config.batch_size,
             max_len=split.max_len)
 
@@ -147,8 +156,9 @@ class Trainer:
 
     def _fit(self) -> TrainResult:
         config = self.config
-        loader = DataLoader(self.split.train, batch_size=config.batch_size,
-                            max_len=self.split.max_len, seed=config.seed)
+        loader = build_loader(self.split.train,
+                              batch_size=config.batch_size,
+                              max_len=self.split.max_len, seed=config.seed)
         best_metric = -np.inf
         best_epoch = -1
         best_state = None

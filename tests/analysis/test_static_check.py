@@ -42,7 +42,7 @@ class TestLiveTree:
                               "experiments-via-registry",
                               "atomic-persistence", "dtype-discipline",
                               "buffer-aliasing", "plan-signature",
-                              "exact-oracle"}
+                              "exact-oracle", "bounded-memory"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -630,6 +630,40 @@ class TestStaticCheckScript:
         assert v.as_dict() == {"rule": "unseeded-rng", "path": "x.py",
                                "line": 3, "message": "m"}
         assert str(v) == "x.py:3: [unseeded-rng] m"
+
+
+class TestBoundedMemoryRule:
+    def test_flags_whole_column_materializations(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"data/store.py": """
+            import numpy as np
+
+            def bad(store):
+                a = store.items.tolist()
+                b = list(store.indptr)
+                c = np.asarray(store.timestamps)
+                return a, b, c
+        """})
+        violations = run_lint(root, rules=["bounded-memory"])
+        assert [v.line for v in violations] == [5, 6, 7]
+        assert all(v.rule == "bounded-memory" for v in violations)
+
+    def test_windowed_slices_are_clean(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"data/stream.py": """
+            import numpy as np
+
+            def good(store, lo, hi):
+                window = store.items[lo:hi]
+                counts = np.asarray(store.items[lo:hi], dtype=np.int64)
+                return window, counts
+        """})
+        assert run_lint(root, rules=["bounded-memory"]) == []
+
+    def test_other_modules_untouched(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"models/free.py": """
+            def fine(dataset):
+                return dataset.items.tolist()
+        """})
+        assert run_lint(root, rules=["bounded-memory"]) == []
 
 
 class TestCliLintSubcommand:
