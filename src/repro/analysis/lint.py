@@ -186,6 +186,11 @@ MODEL_REGISTRY_DICTS = frozenset({"BACKBONES", "EXTENSION_BACKBONES",
 #: must go through repro.resilience.atomic (write-then-``os.replace``).
 PERSISTENCE_MODULES = ("runs.py", "train/checkpoint.py")
 
+#: Modules that persist the append-only event log and the online
+#: fine-tune entries: same atomicity contract, separate rule so the
+#: online-learning surface is auditable on its own.
+EVENTLOG_MODULES = ("data/eventlog.py", "train/online.py")
+
 #: Call spellings that write a file in place (non-atomically).
 _NONATOMIC_WRITE_ATTRS = {"write_text", "write_bytes"}
 _NONATOMIC_NUMPY_WRITERS = {"save", "savez", "savez_compressed"}
@@ -666,13 +671,12 @@ def _is_write_open(node: ast.Call) -> bool:
     return any(flag in mode.value for flag in ("w", "a", "+", "x"))
 
 
-@rule("atomic-persistence",
-      "run-store and checkpoint modules must persist through "
-      "repro.resilience.atomic (write-then-os.replace), never via direct "
-      "write_text/write_bytes/np.save*/open(..., 'w')")
-def check_atomic_persistence(project: Project) -> List[Violation]:
+def _nonatomic_writes(project: Project, modules, rule_name: str
+                      ) -> List[Violation]:
+    """Flag in-place file writes in ``modules`` (shared by the
+    atomic-persistence and event-log-atomic rules)."""
     violations: List[Violation] = []
-    for rel in PERSISTENCE_MODULES:
+    for rel in modules:
         tree = project.modules.get(rel)
         if tree is None:
             continue
@@ -700,10 +704,28 @@ def check_atomic_persistence(project: Project) -> List[Violation]:
                            "use repro.resilience.atomic")
             if message is not None:
                 violations.append(Violation(
-                    rule="atomic-persistence",
+                    rule=rule_name,
                     path=project.display_path(rel), line=node.lineno,
                     message=message))
     return violations
+
+
+@rule("atomic-persistence",
+      "run-store and checkpoint modules must persist through "
+      "repro.resilience.atomic (write-then-os.replace), never via direct "
+      "write_text/write_bytes/np.save*/open(..., 'w')")
+def check_atomic_persistence(project: Project) -> List[Violation]:
+    return _nonatomic_writes(project, PERSISTENCE_MODULES,
+                             "atomic-persistence")
+
+
+@rule("event-log-atomic",
+      "the event log and online fine-tune store must persist through "
+      "repro.resilience.atomic — segments and the manifest commit marker "
+      "may never be written in place")
+def check_eventlog_atomic(project: Project) -> List[Violation]:
+    return _nonatomic_writes(project, EVENTLOG_MODULES,
+                             "event-log-atomic")
 
 
 def _float64_pins(tree: ast.Module) -> List[ast.AST]:

@@ -286,6 +286,60 @@ def sig_transformer_encoder(ins, params):
     return [x]
 
 
+@signature("transformer_layer_kv")
+def sig_transformer_layer_kv(ins, params):
+    x, attn_mask = ins
+    _require(x.ndim == 3 and _is_float(x),
+             f"transformer_layer_kv input must be float (B, L, d), "
+             f"got {x}")
+    num_heads = int(params["num_heads"])
+    _check_transformer_layer(x, params["params"], num_heads, 0)
+    head_dim = x.shape[2] // num_heads
+    kv_shape = (x.shape[0], num_heads, x.shape[1], head_dim)
+    return [x, AbstractValue(kv_shape, _promote(x.dtype, "float64")),
+            AbstractValue(kv_shape, _promote(x.dtype, "float64"))]
+
+
+@signature("transformer_encoder_kv")
+def sig_transformer_encoder_kv(ins, params):
+    x, attn_mask = ins
+    (hidden,) = sig_transformer_encoder(ins, params)
+    num_heads = int(params["num_heads"])
+    head_dim = x.shape[2] // num_heads
+    cache = AbstractValue((x.shape[0], len(params["layers"]), 2,
+                           num_heads, x.shape[1], head_dim),
+                          _promote(x.dtype, "float64"))
+    return [hidden, cache]
+
+
+@signature("transformer_step_kv")
+def sig_transformer_step_kv(ins, params):
+    x, cache = ins
+    _require(x.ndim == 3 and _is_float(x),
+             f"transformer_step_kv token must be float (B, 1, d), got {x}")
+    _require(_dims_match(x.shape[1], 1),
+             f"transformer_step_kv advances one token, got length "
+             f"{x.shape[1]}")
+    _require(cache.ndim == 6,
+             f"KV cache must be 6-D (B, n, 2, H, t, hd), got {cache}")
+    num_heads = int(params["num_heads"])
+    d = x.shape[2]
+    for index, layer in enumerate(params["layers"]):
+        _check_transformer_layer(x, layer, num_heads, index)
+    _require(_dims_match(cache.shape[1], len(params["layers"]))
+             and _dims_match(cache.shape[3], num_heads)
+             and _dims_match(cache.shape[5], d // num_heads),
+             f"KV cache {cache} does not match {len(params['layers'])} "
+             f"layers of {num_heads} heads over model dim {d}")
+    for name in ("final_g", "final_b"):
+        w = aval(params[name])
+        _require(w.shape == (d,),
+                 f"final LayerNorm {name} has shape {w.shape}, "
+                 f"expected ({d},)")
+    return [AbstractValue((x.shape[0], d), _promote(x.dtype, "float64")),
+            AbstractValue(cache.shape, _promote(cache.dtype, "float64"))]
+
+
 @signature("gru_forward")
 def sig_gru_forward(ins, params):
     x = ins[0]
@@ -440,6 +494,68 @@ def sig_extend_mask_token(ins, params):
     return [AbstractValue((batch, length + 1, dim),
                           _promote(states.dtype, row.dtype)),
             AbstractValue((batch, length + 1), "bool")]
+
+
+@signature("kv_cache_prefix")
+def sig_kv_cache_prefix(ins, params):
+    """Per-user incremental state: the KV prefix a tight encode caches.
+
+    Describes the at-capacity layout — each layer's ``(B, H, L, hd)``
+    key/value tensors stacked as ``(B, n_layers, 2, H, L, hd)``; valid
+    positions occupy each row's trailing columns (left padding).
+    """
+    x, attn = ins
+    _require(x.ndim == 3 and _is_float(x),
+             f"kv_cache_prefix needs float (B, L, d) states, got {x}")
+    _require(attn.dtype == "bool" and attn.ndim == 4,
+             f"kv_cache_prefix needs the bool 4-D attention mask, "
+             f"got {attn}")
+    num_layers = int(params["num_layers"])
+    num_heads = int(params["num_heads"])
+    head_dim = int(params["head_dim"])
+    d = x.shape[2]
+    _require(_dims_match(d, num_heads * head_dim),
+             f"model dim {d} != num_heads {num_heads} * head_dim "
+             f"{head_dim}")
+    _require(num_layers >= 1, "KV cache needs at least one layer")
+    return [AbstractValue((x.shape[0], num_layers, 2, num_heads,
+                           x.shape[1], head_dim), "float64")]
+
+
+@signature("kv_step_token")
+def sig_kv_step_token(ins, params):
+    """Advance the KV prefix by one item: embed + position, then the
+    single-token attention step through every layer.  Capacity is
+    unchanged — the serving layer re-encodes at window rollover instead
+    of sliding positions."""
+    items, cache = ins
+    _require(items.dtype in _INTS,
+             f"kv_step_token item ids must be integer, got {items}")
+    _require(cache.ndim == 6 and cache.dtype == "float64",
+             f"KV cache must be float64 (B, n, 2, H, t, hd), got {cache}")
+    table, positions = aval(params["table"]), aval(params["positions"])
+    num_heads = int(params["num_heads"])
+    layers = params["layers"]
+    d = table.shape[1]
+    _require(positions.ndim == 2 and _dims_match(positions.shape[1], d),
+             f"position table {positions} does not match model dim {d}")
+    _require(positions.shape[0] >= 1,
+             f"position table holds no rows; cannot place a new token")
+    _require(_dims_match(cache.shape[1], len(layers))
+             and _dims_match(cache.shape[3], num_heads)
+             and _dims_match(cache.shape[5], d // num_heads),
+             f"KV cache {cache} does not match {len(layers)} layers of "
+             f"{num_heads} heads over model dim {d}")
+    token = AbstractValue((cache.shape[0], 1, d), "float64")
+    for index, layer in enumerate(layers):
+        _check_transformer_layer(token, layer, num_heads, index)
+    for name in ("final_g", "final_b"):
+        w = aval(params[name])
+        _require(w.shape == (d,),
+                 f"final LayerNorm {name} has shape {w.shape}, "
+                 f"expected ({d},)")
+    return [AbstractValue((cache.shape[0], d), "float64"),
+            AbstractValue(cache.shape, "float64")]
 
 
 @signature("take_last")

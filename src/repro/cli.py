@@ -172,6 +172,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "store to <out>-core<K>")
     ingest.add_argument("--verify", action="store_true")
 
+    evlog = sub.add_parser("eventlog",
+                           help="append-only event log: append events, "
+                                "verify the digest chain, replay into an "
+                                "mmap store")
+    evlog.add_argument("log", help="event-log directory")
+    evlog.add_argument("action", choices=["append", "verify", "replay"])
+    evlog.add_argument("--events", default=None, metavar="CSV",
+                       help="CSV of user,item[,timestamp] rows to append "
+                            "as one segment (append)")
+    evlog.add_argument("--out", default=None,
+                       help="store directory to write (replay)")
+    evlog.add_argument("--name", default=None,
+                       help="store name (replay; default: the log name)")
+
     explain = sub.add_parser("explain", help="three-stage traces (Fig. 4)")
     explain.add_argument("--dataset", default="ml-100k")
     explain.add_argument("--users", type=int, default=3)
@@ -343,6 +357,33 @@ def cmd_ingest(args) -> int:
     return 0
 
 
+def cmd_eventlog(args) -> int:
+    import numpy as np
+    from .data import open_event_log, replay_to_store
+    log = open_event_log(args.log)
+    if args.action == "append":
+        if args.events is None:
+            raise SystemExit("eventlog append requires --events CSV")
+        rows = np.loadtxt(args.events, delimiter=",", dtype=np.int64,
+                          ndmin=2)
+        stamps = rows[:, 2] if rows.shape[1] >= 3 else None
+        record = log.append(rows[:, 0], rows[:, 1], timestamps=stamps)
+        print(f"appended {record['count']} events as {record['name']}; "
+              f"chain head {log.chain_head[:16]}…")
+        return 0
+    if args.action == "verify":
+        total = log.verify()
+        print(f"{log.num_segments} segment(s), {total} events verified; "
+              f"chain head {log.chain_head[:16]}…")
+        return 0
+    if args.out is None:
+        raise SystemExit("eventlog replay requires --out STORE_DIR")
+    store = replay_to_store(log, args.out, args.name or log.name)
+    print(f"store written to {args.out}")
+    _print_store_stats(store)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     module = EXPERIMENTS[args.name]
     scale = SCALES[args.scale]
@@ -453,6 +494,7 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "generate": cmd_generate,
     "ingest": cmd_ingest,
+    "eventlog": cmd_eventlog,
     "explain": cmd_explain,
     "serve-bench": cmd_serve_bench,
     "load-bench": cmd_load_bench,

@@ -11,6 +11,8 @@ from .batching import (Batch, BucketedDataLoader, DataLoader,
                        NegativeSampler, pad_sequences)
 from .dataset import (PAD_ID, InteractionDataset, SequenceExample,
                       SequenceSplit, SequenceView, leave_one_out_split)
+from .eventlog import (EventLog, EventLogIntegrityError, open_event_log,
+                       replay_to_store)
 from .io import load_dataset, save_dataset
 from .loaders import (ingest_amazon_csv, ingest_events_to_store,
                       ingest_yelp_json, load_amazon_csv, load_yelp_json)
@@ -38,6 +40,8 @@ __all__ = [
     "load_ml100k", "find_local_ml100k", "ingest_ml100k",
     "load_amazon_csv", "load_yelp_json", "ingest_amazon_csv",
     "ingest_yelp_json", "ingest_events_to_store",
+    "EventLog", "EventLogIntegrityError", "open_event_log",
+    "replay_to_store",
     "save_dataset", "load_dataset",
     "InteractionStore", "StoreIntegrityError", "StoreWriter", "open_store",
     "write_store_from_dataset",

@@ -31,11 +31,47 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..resilience.atomic import AtomicNpyColumnWriter
+from ..resilience.atomic import AtomicNpyColumnWriter, clean_stale_tmp
+from ..resilience.faults import fault_point
 from .dataset import InteractionDataset
 from .preprocessing import k_core_filter, remap_ids
 from .store import (DEFAULT_CHUNK_EVENTS, InteractionStore, StoreWriter,
                     iter_csr_windows)
+
+#: Fault site threaded through the pass-1 spill writers: ``corrupt``/
+#: ``truncate`` faults damage the on-disk ``_ingest`` log the same way a
+#: torn write would; the retry contract (scratch cleared on open) must
+#: survive it.
+INGEST_SPILL_SITE = "ingest.spill"
+
+#: Control-flow site between pass 1 (spill finalized) and pass 2
+#: (scatter).  A hard ``kill`` here leaves a complete-looking ``_ingest``
+#: log on disk — the exact state a retry must *not* mistake for its own
+#: spill data.
+INGEST_BARRIER_SITE = "ingest.pass-barrier"
+
+#: Control-flow site at the head of scratch cleanup.  A ``raise`` here
+#: models cleanup itself failing (e.g. EIO on unlink); the next ingest
+#: must still start from a clean slate.
+INGEST_CLEANUP_SITE = "ingest.cleanup"
+
+
+def _cleanup_ingest_scratch(path: Path, logdir: Path,
+                            log_writers: Dict[str, AtomicNpyColumnWriter]
+                            ) -> None:
+    """Remove every ingest scratch artifact (spill log, scatter temps).
+
+    Runs both on success and on exception; declared as a fault site so
+    the chaos tests can interrupt it and assert that a *retry* still
+    finds a clean slate (the start-of-run sweep is the backstop).
+    """
+    fault_point(INGEST_CLEANUP_SITE)
+    for writer in log_writers.values():
+        writer.abort()
+    shutil.rmtree(logdir, ignore_errors=True)
+    for column in ("items", "ts"):
+        spath = path / f".ingest-{column}.npy.tmp-{os.getpid()}"
+        spath.unlink(missing_ok=True)
 
 
 def _iter_amazon_events(path: Path, min_rating: float
@@ -156,10 +192,17 @@ def ingest_events_to_store(events: Iterable[Tuple[object, object, int]],
     """
     path = Path(path)
     logdir = path / "_ingest"
+    # Start from a clean slate: a crashed prior run (hard kill skips the
+    # cleanup in ``finally``) may have left a complete-looking spill log
+    # and stale scatter temps behind; both must never be mistaken for
+    # this run's data.
     if logdir.exists():
         shutil.rmtree(logdir)
+    path.mkdir(parents=True, exist_ok=True)
+    clean_stale_tmp(path)
     log_writers = {
-        column: AtomicNpyColumnWriter(logdir / f"{column}.npy", np.int64)
+        column: AtomicNpyColumnWriter(logdir / f"{column}.npy", np.int64,
+                                      site=INGEST_SPILL_SITE)
         for column in ("uid", "iid", "ts")}
     uid_of: Dict[object, int] = {}
     iid_of: Dict[object, int] = {}
@@ -180,6 +223,7 @@ def ingest_events_to_store(events: Iterable[Tuple[object, object, int]],
         flush()
         for writer in log_writers.values():
             writer.finalize()
+        fault_point(INGEST_BARRIER_SITE)
         num_users, num_items = len(uid_of), len(iid_of)
         num_events = log_writers["uid"].count
 
@@ -243,12 +287,7 @@ def ingest_events_to_store(events: Iterable[Tuple[object, object, int]],
                                     ts_w[order])
             store = writer.finalize(meta, verify=verify)
     finally:
-        for writer in log_writers.values():
-            writer.abort()
-        shutil.rmtree(logdir, ignore_errors=True)
-        for spath in (path / f".ingest-items.npy.tmp-{os.getpid()}",
-                      path / f".ingest-ts.npy.tmp-{os.getpid()}"):
-            spath.unlink(missing_ok=True)
+        _cleanup_ingest_scratch(path, logdir, log_writers)
     return store
 
 

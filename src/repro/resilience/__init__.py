@@ -25,15 +25,17 @@ uninterrupted.  See ``docs/robustness.md``.
 from .atomic import (atomic_save_npy, atomic_save_npz, atomic_write_bytes,
                      atomic_write_text, clean_stale_tmp, is_tmp_artifact,
                      normalize_suffix, npy_bytes)
-from .faults import (FAULT_PLAN_ENV, SERVE_WORKER_SITE, Fault,
-                     FaultInjected, FaultPlan, SimulatedCrash, active_plan,
-                     arm_json, fault_point, filter_payload,
-                     install_env_plan)
+from .faults import (FAULT_PLAN_ENV, SERVE_WORKER_SITE,
+                     SWAP_COMMIT_SITE, SWAP_PREPARE_SITE,
+                     SWAP_SPOOL_SITE, Fault, FaultInjected, FaultPlan,
+                     SimulatedCrash, active_plan, arm_json, fault_point,
+                     filter_payload, install_env_plan)
 
 __all__ = [
     "Fault", "FaultPlan", "FaultInjected", "SimulatedCrash",
     "fault_point", "filter_payload", "active_plan", "arm_json",
     "install_env_plan", "FAULT_PLAN_ENV", "SERVE_WORKER_SITE",
+    "SWAP_SPOOL_SITE", "SWAP_PREPARE_SITE", "SWAP_COMMIT_SITE",
     "atomic_write_bytes", "atomic_write_text", "atomic_save_npz",
     "atomic_save_npy", "npy_bytes", "normalize_suffix", "clean_stale_tmp",
     "is_tmp_artifact",

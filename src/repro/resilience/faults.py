@@ -277,8 +277,26 @@ def install_env_plan() -> Optional[FaultPlan]:
 #: ``raise`` makes it answer the batch with an error reply.
 SERVE_WORKER_SITE = "serve.worker.batch"
 
+#: Payload fault site on the versioned plan spool written during a hot
+#: swap (``ClusterService.swap_plan``) — ``corrupt``/``truncate`` faults
+#: here damage the spooled plan bytes, which every worker must then
+#: reject at prepare time, keeping the old plan in service.
+SWAP_SPOOL_SITE = "serve.swap.spool"
+
+#: Fault site inside each worker's swap *prepare* step (load + verify of
+#: the incoming plan).  ``kill``/``hard`` takes the worker down before
+#: it acknowledges; the front-end revives it and retries the prepare.
+SWAP_PREPARE_SITE = "serve.swap.prepare"
+
+#: Fault site inside each worker's swap *commit* step (adopting the
+#: prepared plan).  A kill here dies after the swap's point of no
+#: return — the revived worker loads the new plan from the repointed
+#: spool, so the cluster still converges on the new version.
+SWAP_COMMIT_SITE = "serve.swap.commit"
+
 
 __all__ = ["Fault", "FaultPlan", "FaultInjected", "SimulatedCrash",
            "FiredFault", "fault_point", "filter_payload", "active_plan",
            "arm_json", "install_env_plan", "FAULT_PLAN_ENV",
-           "KILL_EXIT_CODE", "SERVE_WORKER_SITE"]
+           "KILL_EXIT_CODE", "SERVE_WORKER_SITE", "SWAP_SPOOL_SITE",
+           "SWAP_PREPARE_SITE", "SWAP_COMMIT_SITE"]

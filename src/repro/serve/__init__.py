@@ -12,7 +12,7 @@ for the design and ``repro.cli serve-bench`` / ``load-bench`` plus
 """
 
 from .ann import ANNIndex, DEFAULT_NPROBE, build_ann_index
-from .cluster import ClusterService, ClusterStats
+from .cluster import ClusterService, ClusterStats, PlanSwapError
 from .plan import (FallbackPlan, FrozenPlan, attach_ann_index, freeze)
 from .quant import (QuantizedArray, QuantizedPlan, dequantize_array,
                     max_abs_error, quantize_array, quantize_plan)
@@ -27,6 +27,7 @@ __all__ = [
     "attach_ann_index",
     "ClusterService",
     "ClusterStats",
+    "PlanSwapError",
     "FallbackPlan",
     "FrozenPlan",
     "freeze",

@@ -27,6 +27,16 @@ process once; requests that still cannot be served come back as
 that *survives* a batch failure replies with a ``failed`` message and
 the batch is answered as error results immediately.
 
+Online learning re-freezes the plan periodically; ``swap_plan`` installs
+the new plan into the running cluster with a two-phase protocol over the
+same spool (versioned ``plan-v{n}.pkl`` files, written atomically):
+every worker *prepares* (loads + verifies into a pending slot), then the
+respawn path is repointed and every worker *commits*.  Verification
+failure on any shard aborts the swap with the old plan intact
+everywhere; worker deaths at either phase are absorbed by the revival
+path (chaos sites ``serve.swap.spool`` / ``serve.swap.prepare`` /
+``serve.swap.commit`` pin this in ``tests/serve/test_cluster.py``).
+
 Only plain primitives and NumPy arrays may cross the worker boundary —
 batches are ``(user, item-tuple)`` pairs, replies are ``(user, items,
 scores, flags, error)`` tuples, and workers receive the plan as a file
@@ -45,8 +55,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..resilience.atomic import atomic_write_bytes
 from ..resilience.faults import (KILL_EXIT_CODE, SERVE_WORKER_SITE,
-                                 active_plan, arm_json, fault_point)
+                                 SWAP_COMMIT_SITE, SWAP_PREPARE_SITE,
+                                 SWAP_SPOOL_SITE, active_plan, arm_json,
+                                 fault_point)
 from .ann import DEFAULT_NPROBE
 from .plan import FrozenPlan, attach_ann_index, freeze
 from .quant import QuantizedPlan, quantize_plan
@@ -56,6 +69,17 @@ from .service import Recommendation, RecommendService
 #: Wire tags of the worker protocol (tuple messages over a duplex pipe).
 _BATCH, _RESULT, _FAILED, _STATS, _READY, _STOP = (
     "batch", "result", "failed", "stats", "ready", "stop")
+
+#: Wire tags of the two-phase plan hot-swap (see
+#: :meth:`ClusterService.swap_plan`).  ``prepare`` ships a versioned
+#: spool *path*; ``ok``/``err`` acks echo the swap version so stale
+#: batch replies are never mistaken for swap acks.
+_SWAP_PREPARE, _SWAP_COMMIT, _SWAP_ABORT, _SWAP_OK, _SWAP_ERR = (
+    "swap-prepare", "swap-commit", "swap-abort", "swap-ok", "swap-err")
+
+
+class PlanSwapError(RuntimeError):
+    """A hot swap aborted; every worker still serves the previous plan."""
 
 
 def _wire(rec: Recommendation) -> tuple:
@@ -97,12 +121,18 @@ def _load_service(plan_path: str, config: dict) -> RecommendService:
                             nprobe=config.get("nprobe", DEFAULT_NPROBE))
 
 
-def _worker_main(shard: int, service: RecommendService, conn) -> None:
+def _worker_main(shard: int, service: RecommendService, conn,
+                 config: dict) -> None:
     """Worker serve loop: answer batches until stop.
 
     A ``SimulatedCrash`` from the chaos site exits the process with the
     kill code — exactly what the front-end's revival path must absorb.
+    Swap messages load the incoming spool into a *pending* slot
+    (prepare), adopt it (commit), or drop it (abort); a prepare whose
+    load or verification fails answers ``_SWAP_ERR`` and keeps the
+    current service untouched.
     """
+    prepared: Dict[int, RecommendService] = {}
     while True:
         try:
             message = conn.recv()
@@ -113,6 +143,47 @@ def _worker_main(shard: int, service: RecommendService, conn) -> None:
             return
         if tag == _STATS:
             conn.send((_STATS, shard, service.stats.as_dict()))
+            continue
+        if tag == _SWAP_PREPARE:
+            _, swap_id, spool_path = message
+            try:
+                fault_point(SWAP_PREPARE_SITE)
+                candidate = _load_service(spool_path, config)
+            except SystemExit:
+                raise
+            except BaseException as exc:  # noqa: BLE001
+                if not isinstance(exc, Exception):
+                    os._exit(KILL_EXIT_CODE)   # SimulatedCrash et al.
+                conn.send((_SWAP_ERR, swap_id,
+                           f"{type(exc).__name__}: {exc}"))
+                continue
+            prepared[swap_id] = candidate
+            conn.send((_SWAP_OK, swap_id, None))
+            continue
+        if tag == _SWAP_COMMIT:
+            _, swap_id, _ = message
+            try:
+                fault_point(SWAP_COMMIT_SITE)
+            except SystemExit:
+                raise
+            except BaseException as exc:  # noqa: BLE001
+                if not isinstance(exc, Exception):
+                    os._exit(KILL_EXIT_CODE)
+                conn.send((_SWAP_ERR, swap_id,
+                           f"{type(exc).__name__}: {exc}"))
+                continue
+            candidate = prepared.pop(swap_id, None)
+            if candidate is None:
+                conn.send((_SWAP_ERR, swap_id,
+                           f"no prepared plan for swap {swap_id}"))
+                continue
+            service = candidate
+            conn.send((_SWAP_OK, swap_id, None))
+            continue
+        if tag == _SWAP_ABORT:
+            _, swap_id, _ = message
+            prepared.pop(swap_id, None)
+            conn.send((_SWAP_OK, swap_id, None))
             continue
         _, batch_id, requests = message
         try:
@@ -155,7 +226,7 @@ def _worker_entry(shard: int, plan_path: str, config: dict, conn,
             pass
         return
     _worker_ready(shard, conn)
-    _worker_main(shard, service, conn)
+    _worker_main(shard, service, conn, config)
 
 
 @dataclass
@@ -173,6 +244,8 @@ class ClusterStats:
     worker_restarts: int = 0
     #: requests re-routed to a respawned worker after its predecessor died.
     rerouted_requests: int = 0
+    #: committed plan hot-swaps (see :meth:`ClusterService.swap_plan`).
+    plan_swaps: int = 0
     #: requests routed per shard (shard id -> count).
     shard_requests: Dict[int, int] = field(default_factory=dict)
 
@@ -255,7 +328,8 @@ class ClusterService:
         if padding not in ("model", "tight"):
             raise ValueError(f"padding must be 'model' or 'tight', "
                              f"got {padding!r}")
-        if padding == "tight" and not plan.padding_invariant:
+        if padding == "tight" and not (plan.padding_invariant
+                                       or plan.supports_tight):
             raise ValueError(
                 f"{plan.model_name} is padding-width sensitive; "
                 "tight padding would change its scores — use "
@@ -288,6 +362,7 @@ class ClusterService:
         self.stats = ClusterStats()
         self._pending: List[Tuple[Optional[int], tuple]] = []
         self._batch_counter = 0
+        self._swap_counter = 0
         self._closed = False
 
         # Spool the plan once; every worker (and every respawn) loads it
@@ -296,8 +371,9 @@ class ClusterService:
         self._plan_path = os.path.join(self._spool_dir, "plan.pkl")
         payload = plan if quantize_spool is None \
             else quantize_plan(plan, quantize_spool)
-        with open(self._plan_path, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(self._plan_path,
+                           pickle.dumps(payload,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
 
         fault_plans = dict(worker_fault_plans or {})
         self._workers: List[_Worker] = [
@@ -350,6 +426,133 @@ class ClusterService:
         """
         self._workers[shard].process.kill()
         self._workers[shard].process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # plan hot-swap
+    def swap_plan(self, model_or_plan,
+                  quantize_spool: Optional[str] = None) -> int:
+        """Two-phase crash-safe hot swap; returns the new plan version.
+
+        Phase 1 (*prepare*): the incoming plan is verified in the
+        front-end, spooled atomically to a **versioned** path
+        (``plan-v{n}.pkl``, never overwriting the serving spool), and
+        every worker loads + re-verifies it into a pending slot.  Any
+        rejection — a corrupted spool, a verification failure, a worker
+        that dies twice — aborts the whole swap with
+        :class:`PlanSwapError` and the old plan still serving on every
+        shard.
+
+        Phase 2 (*commit*): once every worker has acknowledged, the
+        respawn path is repointed at the new spool (the point of no
+        return) and each worker adopts its prepared service.  A worker
+        that dies between prepare and commit is revived from the
+        repointed spool, so the cluster converges on the new version
+        either way.  Workers swap between batches, never mid-batch, and
+        the front-end queue survives — no request is dropped and none is
+        answered by a retired plan after the swap returns.
+        """
+        if self._closed:
+            raise RuntimeError("ClusterService is closed")
+        verify = self._config.get("verify", True)
+        if isinstance(model_or_plan, FrozenPlan):
+            incoming = model_or_plan
+            if verify:
+                incoming.verify()
+        else:
+            incoming = freeze(model_or_plan, verify=verify)
+        if not incoming.supports_encode:
+            raise ValueError(
+                f"{incoming.model_name} plan wraps a live model "
+                "(fallback path) and cannot cross a process boundary")
+        if self._config["padding"] == "tight" and not (
+                incoming.padding_invariant or incoming.supports_tight):
+            raise ValueError(
+                f"{incoming.model_name} is padding-width sensitive; "
+                "this cluster runs padding='tight'")
+        if (self._config.get("retrieval") == "ann"
+                and incoming.ann_index is None):
+            attach_ann_index(incoming, verify=verify)
+        self._swap_counter += 1
+        version = self._swap_counter
+        spool_path = os.path.join(self._spool_dir, f"plan-v{version}.pkl")
+        payload = incoming if quantize_spool is None \
+            else quantize_plan(incoming, quantize_spool)
+        atomic_write_bytes(spool_path,
+                           pickle.dumps(payload,
+                                        protocol=pickle.HIGHEST_PROTOCOL),
+                           site=SWAP_SPOOL_SITE)
+
+        prepared: List[int] = []
+        failure = None
+        for shard in range(self.num_workers):
+            ok, detail = self._swap_request(shard, _SWAP_PREPARE, version,
+                                            spool_path, revive_retry=True)
+            if not ok:
+                failure = f"shard {shard}: {detail}"
+                break
+            prepared.append(shard)
+        if failure is not None:
+            for shard in prepared:
+                self._swap_request(shard, _SWAP_ABORT, version, None,
+                                   revive_retry=False)
+            raise PlanSwapError(
+                f"swap v{version} aborted; every worker still serves "
+                f"the previous plan ({failure})")
+
+        # Point of no return: revivals from here on load the new spool.
+        self._plan_path = spool_path
+        self.max_len = incoming.max_len
+        for shard in range(self.num_workers):
+            ok, _ = self._swap_request(shard, _SWAP_COMMIT, version, None,
+                                       revive_retry=False)
+            if not ok:
+                # Died (or faulted) at commit: the respawn loads the
+                # repointed spool, which IS the committed state.
+                self._revive(shard)
+        self.stats.plan_swaps += 1
+        return version
+
+    def _swap_request(self, shard: int, tag: str, swap_id: int,
+                      spool_path: Optional[str], revive_retry: bool
+                      ) -> Tuple[bool, str]:
+        """Send one swap message and await its ack.
+
+        With ``revive_retry`` (the prepare phase) a *dead* worker is
+        revived — from the still-old serving spool — and the message
+        retried once.  An explicit ``_SWAP_ERR`` reply is never retried:
+        it is a verification verdict, not a crash.
+        """
+        worker = self._workers[shard]
+        message = (tag, swap_id, spool_path)
+        reply = None
+        if self._send(worker, message):
+            reply = self._swap_reply(worker, swap_id)
+        if reply is None:
+            if not revive_retry:
+                return False, "worker died"
+            worker = self._revive(shard)
+            if not self._send(worker, message):
+                return False, "worker died after revival"
+            reply = self._swap_reply(worker, swap_id)
+            if reply is None:
+                return False, "worker died after revival"
+        return reply
+
+    def _swap_reply(self, worker: _Worker, swap_id: int
+                    ) -> Optional[Tuple[bool, str]]:
+        """Await this swap's ack, skipping stale replies; None = dead."""
+        while True:
+            try:
+                if not worker.conn.poll(self.dispatch_timeout):
+                    return None
+                tag, reply_id, detail = worker.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if tag == _SWAP_OK and reply_id == swap_id:
+                return True, ""
+            if tag == _SWAP_ERR and reply_id == swap_id:
+                return False, str(detail)
+            # Stale batch/stats reply from before the swap: skip it.
 
     def close(self) -> None:
         """Stop all workers and remove the plan spool (idempotent)."""

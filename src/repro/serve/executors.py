@@ -155,6 +155,95 @@ def transformer_encoder(x: np.ndarray, attn_mask4: np.ndarray,
     return layer_norm(x, final_gamma, final_beta, eps)
 
 
+def transformer_layer_kv(x: np.ndarray, params: dict,
+                         attn_mask4: np.ndarray, num_heads: int):
+    """:func:`transformer_layer` that also returns the layer's K/V.
+
+    Identical arithmetic (the attention consumes the same strided
+    ``qkv`` views, so the block output is bitwise-equal); the per-head
+    key/value tensors ``(B, H, L, hd)`` come back as contiguous copies
+    for the serving layer's per-user KV-prefix cache.
+    """
+    batch, length, dim = x.shape
+    head_dim = dim // num_heads
+    normed = layer_norm(x, params["ln1_g"], params["ln1_b"], params["eps"])
+    qkv = normed @ params["w_qkv"]
+    qkv += params["b_qkv"]
+    qkv = qkv.reshape(batch, length, 3, num_heads, head_dim)
+    qkv = qkv.transpose(2, 0, 3, 1, 4)
+    context = attention(qkv[0], qkv[1], qkv[2], attn_mask4,
+                        1.0 / np.sqrt(head_dim))
+    k = np.ascontiguousarray(qkv[1])
+    v = np.ascontiguousarray(qkv[2])
+    merged = np.ascontiguousarray(context.transpose(0, 2, 1, 3)).reshape(
+        batch, length, dim)
+    x = x + linear(merged, params["w_out"], params["b_out"])
+    normed = layer_norm(x, params["ln2_g"], params["ln2_b"], params["eps"])
+    hidden = linear(normed, params["w_fc1"], params["b_fc1"])
+    hidden = params["activation"](hidden)
+    x += linear(hidden, params["w_fc2"], params["b_fc2"])
+    return x, k, v
+
+
+def transformer_encoder_kv(x: np.ndarray, attn_mask4: np.ndarray,
+                           layers: list, num_heads: int,
+                           final_gamma: np.ndarray, final_beta: np.ndarray,
+                           eps: float = 1e-8):
+    """:func:`transformer_encoder` that also returns per-layer K/V.
+
+    ``(hidden, ks, vs)`` where ``ks[i]``/``vs[i]`` are layer ``i``'s
+    ``(B, H, L, hd)`` key/value tensors.  The hidden states are
+    bitwise-equal to :func:`transformer_encoder`'s.
+    """
+    ks, vs = [], []
+    for params in layers:
+        x, k, v = transformer_layer_kv(x, params, attn_mask4, num_heads)
+        ks.append(k)
+        vs.append(v)
+    return layer_norm(x, final_gamma, final_beta, eps), ks, vs
+
+
+def transformer_step_kv(x: np.ndarray, ks: list, vs: list, layers: list,
+                        num_heads: int, final_gamma: np.ndarray,
+                        final_beta: np.ndarray, eps: float = 1e-8):
+    """Advance a cached K/V prefix by one token.
+
+    ``x`` is the new token's input embedding ``(B, 1, d)`` (item row +
+    position, supplied by the plan); ``ks``/``vs`` hold each layer's
+    prefix keys/values ``(B, H, t, hd)`` over *valid* positions only.
+    Per layer: project the token's q/k/v, append the new key/value
+    column, and attend the single query against the grown prefix — no
+    mask is needed because causal attention over (prefix + self) is
+    every key.  Returns ``(rep, new_ks, new_vs)`` with ``rep`` the
+    final-LayerNormed token representation ``(B, d)``.
+    """
+    batch, length, dim = x.shape
+    head_dim = dim // num_heads
+    new_ks, new_vs = [], []
+    for params, k_prev, v_prev in zip(layers, ks, vs):
+        normed = layer_norm(x, params["ln1_g"], params["ln1_b"],
+                            params["eps"])
+        qkv = normed @ params["w_qkv"]
+        qkv += params["b_qkv"]
+        qkv = qkv.reshape(batch, length, 3, num_heads, head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        k = np.concatenate([k_prev, qkv[1]], axis=2)
+        v = np.concatenate([v_prev, qkv[2]], axis=2)
+        new_ks.append(k)
+        new_vs.append(v)
+        context = attention(qkv[0], k, v, None, 1.0 / np.sqrt(head_dim))
+        merged = np.ascontiguousarray(context.transpose(0, 2, 1, 3)
+                                      ).reshape(batch, length, dim)
+        x = x + linear(merged, params["w_out"], params["b_out"])
+        normed = layer_norm(x, params["ln2_g"], params["ln2_b"],
+                            params["eps"])
+        hidden = linear(normed, params["w_fc1"], params["b_fc1"])
+        hidden = params["activation"](hidden)
+        x += linear(hidden, params["w_fc2"], params["b_fc2"])
+    rep = layer_norm(x, final_gamma, final_beta, eps)[:, -1, :]
+    return rep, new_ks, new_vs
+
+
 # ---------------------------------------------------------------------------
 # Recurrence
 # ---------------------------------------------------------------------------

@@ -146,6 +146,16 @@ class FrozenPlan:
     #: True when the plan can extend a cached recurrent state by one item
     #: (``padding="tight"`` mode only).
     supports_incremental = False
+    #: True when the plan defines a *canonical* ``encode_tight`` whose
+    #: result is independent of queue padding width even though the
+    #: ``padding="model"`` layout is width-sensitive (attention plans
+    #: assign positions ``0..len-1`` per row under tight serving).
+    supports_tight = False
+    #: True when ``append_item`` stays exact after the sequence window
+    #: slides past ``max_len`` — the state summarizes the *full* history
+    #: (recurrent backbones).  Attention KV prefixes are positional, so
+    #: a window slide forces a re-encode and this stays False.
+    incremental_rollover = False
     #: Optional :class:`repro.serve.ann.ANNIndex` over the item table
     #: (set by :func:`attach_ann_index` / ``freeze(model, ann=True)``).
     ann_index = None
@@ -192,7 +202,19 @@ class FrozenPlan:
                            table_t=_aa(self.table_t),
                            masked_columns=list(self.masked_columns)))
         steps += self._ann_program()
+        steps += self._incremental_program()
         return steps
+
+    def _incremental_program(self) -> list:
+        """Pseudo-op steps describing the incremental serving state.
+
+        Empty on plans without a cached-state append path.  Attention
+        plans override this with the KV-prefix ops so ``verify_plan``
+        abstract-interprets the per-user state layout (shapes, dtypes,
+        position-table bounds) at freeze time, exactly like the ANN
+        pseudo-ops.  Non-``traced``: ``forward`` never runs them.
+        """
+        return []
 
     def _ann_program(self) -> list:
         """Index pseudo-op steps, present iff an ANN index is attached.
@@ -302,6 +324,8 @@ class FrozenPlan:
 
 class SASRecPlan(FrozenPlan):
     model_name = "SASRec"
+    supports_tight = True
+    supports_incremental = True
 
     def __init__(self, model):
         super().__init__(_snap(model.item_embedding.weight), model.max_len)
@@ -339,6 +363,128 @@ class SASRecPlan(FrozenPlan):
                   **_transformer_program(self.encoder)),
             _step("last_state", [p + "hidden", mask], [out], traced=True),
         ]
+
+    def _incremental_program(self) -> list:
+        enc = self.encoder
+        head_dim = self.dim // int(enc["num_heads"])
+        return [
+            _step("kv_cache_prefix", ["x", "attn"], ["kv_cache"],
+                  num_layers=len(enc["layers"]),
+                  num_heads=int(enc["num_heads"]), head_dim=head_dim),
+            _step("kv_step_token", ["items", "kv_cache"],
+                  ["step_rep", "kv_cache_next"],
+                  table=_aa(self.item_table),
+                  positions=_aa(self.positions),
+                  **_transformer_program(self.encoder)),
+        ]
+
+    # -- tight (padding-width-independent) encode ----------------------
+    def _tight_layout(self, items, mask):
+        """Canonical tight layout: positions ``0..len-1`` right-aligned.
+
+        Under ``padding="model"`` every row spans the full window so
+        position ``i`` means "slot ``i`` of ``max_len``"; tight serving
+        instead numbers each row's *valid* items from 0, which makes the
+        result independent of the queue's padding width (pad columns are
+        NEG_INF-masked out of attention and their garbage K/V get exact
+        zero weight).  The two layouts agree exactly when a row fills
+        the window — the regime incremental serving cares about.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        mask = (items != PAD_ID if mask is None
+                else np.asarray(mask, dtype=bool))
+        length = items.shape[1]
+        offsets = length - mask.sum(axis=1)
+        pos = np.maximum(np.arange(length)[None, :] - offsets[:, None], 0)
+        x = self.embed(items) + self.positions[pos]
+        attn = (self._causal_mask(length)[None, :, :]
+                & mask[:, None, :])[:, None]
+        return x, attn, mask
+
+    def encode_tight(self, items: np.ndarray,
+                     mask: Optional[np.ndarray] = None,
+                     users: Optional[np.ndarray] = None) -> np.ndarray:
+        x, attn, mask = self._tight_layout(items, mask)
+        enc = self.encoder
+        hidden = X.transformer_encoder(x, attn, enc["layers"],
+                                       enc["num_heads"], enc["final_g"],
+                                       enc["final_b"], enc["eps"])
+        return X.last_state(hidden, mask)
+
+    def encode_tight_with_state(self, items: np.ndarray,
+                                mask: Optional[np.ndarray] = None):
+        """Tight encode that also returns the per-user KV-prefix state.
+
+        State layout (every element sliceable ``[j:j+1]`` on the batch
+        axis, per the service's caching contract):
+        ``[k_0, v_0, …, k_{n-1}, v_{n-1}, rep, lengths]`` where
+        ``k_i``/``v_i`` are layer ``i``'s ``(B, H, L, hd)`` key/value
+        tensors (valid positions occupy the *last* ``lengths[j]``
+        columns of row ``j``), ``rep`` is the ``(B, d)`` representation
+        and ``lengths`` the ``(B,)`` valid-item counts.
+        """
+        x, attn, mask = self._tight_layout(items, mask)
+        enc = self.encoder
+        hidden, ks, vs = X.transformer_encoder_kv(
+            x, attn, enc["layers"], enc["num_heads"], enc["final_g"],
+            enc["final_b"], enc["eps"])
+        rep = X.last_state(hidden, mask)
+        state = []
+        for k, v in zip(ks, vs):
+            state.append(k)
+            state.append(v)
+        state.append(rep)
+        state.append(mask.sum(axis=1).astype(np.int64))
+        return rep, state
+
+    # -- incremental (tight-padding) state API -------------------------
+    def init_state(self) -> list:
+        heads = int(self.encoder["num_heads"])
+        head_dim = self.dim // heads
+        state = []
+        for _ in self.encoder["layers"]:
+            state.append(np.zeros((1, heads, 0, head_dim),
+                                  dtype=np.float64))
+            state.append(np.zeros((1, heads, 0, head_dim),
+                                  dtype=np.float64))
+        state.append(np.zeros((1, self.dim), dtype=np.float64))
+        state.append(np.zeros((1,), dtype=np.int64))
+        return state
+
+    def append_item(self, state: list, item: int) -> list:
+        """Extend the KV prefix by one item (position ``t`` = old length).
+
+        Raises once the prefix would outgrow the position table — the
+        service then falls back to a full tight encode (and, because KV
+        positions cannot slide, ``incremental_rollover`` stays False so
+        the per-user probe re-encodes at window rollover instead).
+        """
+        t = int(state[-1][0])
+        if t >= min(self.max_len, self.positions.shape[0]):
+            raise ValueError(
+                f"KV prefix already spans {t} positions; the window ends "
+                f"at {min(self.max_len, self.positions.shape[0])}")
+        enc = self.encoder
+        x = (self.item_table[int(item)] + self.positions[t])[None, None, :]
+        ks, vs = [], []
+        for index in range(len(enc["layers"])):
+            k, v = state[2 * index], state[2 * index + 1]
+            width = k.shape[2]
+            ks.append(k[:, :, width - t:, :])
+            vs.append(v[:, :, width - t:, :])
+        rep, new_ks, new_vs = X.transformer_step_kv(
+            x, ks, vs, enc["layers"], enc["num_heads"], enc["final_g"],
+            enc["final_b"], enc["eps"])
+        new_state = []
+        for k, v in zip(new_ks, new_vs):
+            new_state.append(k)
+            new_state.append(v)
+        new_state.append(rep)
+        new_state.append(np.array([t + 1], dtype=np.int64))
+        return new_state
+
+    def state_repr(self, state: list) -> np.ndarray:
+        return state[-2][0]
 
 
 class BERT4RecPlan(FrozenPlan):
@@ -387,6 +533,7 @@ class GRU4RecPlan(FrozenPlan):
     model_name = "GRU4Rec"
     padding_invariant = True       # with step-masked ("tight") stepping
     supports_incremental = True
+    incremental_rollover = True    # recurrent state spans the full history
 
     def __init__(self, model):
         super().__init__(_snap(model.item_embedding.weight), model.max_len)

@@ -4,8 +4,11 @@ Single-user requests queue up (``enqueue``) and execute as one padded
 batch (``flush``) against the plan's pinned item-embedding table.  An LRU
 user-state cache keyed by ``(user, sequence)`` makes exact repeats free
 and — for recurrent plans in ``padding="tight"`` mode — lets an
-append-one-item request advance the cached GRU state by a single step
-instead of re-encoding the whole history.
+append-one-item request advance the cached recurrent (GRU) or KV-prefix
+(attention) state by a single step instead of re-encoding the whole
+history.  A per-user rolling state backs the exact-sequence cache so the
+cheap path survives the ``max_len`` window rollover, where truncation
+re-keys the LRU on every request.
 
 Padding modes
 -------------
@@ -15,10 +18,12 @@ Padding modes
     path bit-for-bit (models with positional embeddings or unmasked
     recurrences are sensitive to the padding width).
 ``"tight"``
-    Batches pad only to the longest queued sequence and recurrent plans
-    step through valid positions only.  Padding-width invariant by
-    construction (requires ``plan.padding_invariant``) and the only mode
-    where incremental append is sound.
+    Batches pad only to the longest queued sequence; recurrent plans
+    step through valid positions only and attention plans use their
+    canonical right-aligned position layout.  Padding-width invariant
+    by construction (requires ``plan.padding_invariant`` or
+    ``plan.supports_tight``) and the only mode where incremental append
+    is sound.
 
 Failure isolation
 -----------------
@@ -27,8 +32,9 @@ request has a result; an encode/score/forward error in one micro-batch
 chunk triggers a per-request retry of that chunk alone (other chunks are
 unaffected), and a request that still fails comes back as a
 :class:`Recommendation` with ``error`` set (``failed`` is True) rather
-than an exception.  An incremental-append failure silently falls back to
-a full encode.  The fault sites ``serve.encode`` / ``serve.score`` /
+than an exception.  An incremental-append failure falls back to a full
+encode and is counted (``stats.incremental_failures``, first message
+recorded).  The fault sites ``serve.encode`` / ``serve.score`` /
 ``serve.forward`` let the chaos harness (:mod:`repro.resilience`) drive
 these paths deterministically.
 """
@@ -82,6 +88,15 @@ class ServiceStats:
     chunk_retries: int = 0
     #: requests answered with an error result.
     errors: int = 0
+    #: ``append_item`` failures that degraded to a full encode — a
+    #: nonzero count means the incremental path is broken, not idle.
+    incremental_failures: int = 0
+    #: first ``append_item`` failure message, for diagnosis.
+    first_incremental_failure: Optional[str] = None
+    #: per-user rolling states dropped by the LRU bound.
+    state_evictions: int = 0
+    #: successful in-place plan hot-swaps.
+    plan_swaps: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict snapshot (what workers ship over the pipe)."""
@@ -136,7 +151,8 @@ class RecommendService:
             plan = freeze(model_or_plan, verify=verify)
         if padding not in ("model", "tight"):
             raise ValueError(f"padding must be 'model' or 'tight', got {padding!r}")
-        if padding == "tight" and not plan.padding_invariant:
+        if padding == "tight" and not (plan.padding_invariant
+                                       or plan.supports_tight):
             raise ValueError(
                 f"{plan.model_name} is padding-width sensitive; "
                 "tight padding would change its scores — use padding='model'")
@@ -163,6 +179,13 @@ class RecommendService:
                              and plan.supports_incremental
                              and self.cache_size > 0)
         self._cache: OrderedDict = OrderedDict()
+        #: user -> {"seq", "state"}: the rolling incremental state.
+        #: Keyed per *user* (not per exact sequence) so it survives the
+        #: window rollover that re-keys the LRU cache — once a sequence
+        #: reaches ``max_len``, ``enqueue`` truncation shifts the
+        #: ``(user, seq[:-1])`` cache key every request, and only this
+        #: lineage probe keeps long-session users on the cheap path.
+        self._user_state: OrderedDict = OrderedDict()
         self._pending: List[Tuple[Optional[int], tuple]] = []
         self.stats = ServiceStats()
 
@@ -224,19 +247,15 @@ class RecommendService:
                 self.stats.cache_hits += 1
                 continue
             if self._incremental and len(seq) > 1:
-                prev = self._cache_get((user, seq[:-1]))
-                if prev is not None and prev.get("state") is not None:
-                    try:
-                        state = self.plan.append_item(prev["state"], seq[-1])
-                        rep = self.plan.state_repr(state)
-                    except Exception:
-                        pass  # degrade to a full encode of this request
-                    else:
-                        reprs[i] = rep
-                        flags[i] = (False, True)
-                        self.stats.incremental_hits += 1
-                        self._cache_put(key, rep, state)
-                        continue
+                advanced = self._probe_incremental(user, seq)
+                if advanced is not None:
+                    rep, state = advanced
+                    reprs[i] = rep
+                    flags[i] = (False, True)
+                    self.stats.incremental_hits += 1
+                    self._cache_put(key, rep, state)
+                    self._user_state_put(user, seq, state)
+                    continue
             to_encode.append(i)
 
         for start in range(0, len(to_encode), self.max_batch):
@@ -255,6 +274,7 @@ class RecommendService:
                     layer[j:j + 1].copy() for layer in states]
                 self._cache_put((pending[i][0], pending[i][1]),
                                 rows[j], state)
+                self._user_state_put(pending[i][0], pending[i][1], state)
 
         ranked = self._topk_reprs(reprs, errors)
         results: List[Optional[Recommendation]] = [None] * count
@@ -270,6 +290,52 @@ class RecommendService:
                 results[i] = self._error_result(
                     pending[i][0], errors[i] or "not scored")
         return results
+
+    def _probe_incremental(self, user, seq
+                           ) -> Optional[Tuple[np.ndarray, list]]:
+        """Find a cached state one item behind ``seq`` and advance it.
+
+        Two probes, cheapest first: the exact ``(user, seq[:-1])`` LRU
+        entry, then the per-user rolling state.  The rolling probe
+        accepts a *grow* (previous request was exactly ``seq[:-1]``) or
+        — on plans whose state summarizes the full history
+        (``plan.incremental_rollover``) — a window *slide*: both
+        sequences sit at ``max_len`` and ``seq`` drops the oldest item
+        for one new one.  A slid hit advances the full-history state, so
+        its result tracks the untruncated sequence (exact w.r.t. the
+        model) rather than re-encoding the truncated window.
+
+        An ``append_item`` failure is counted in
+        ``stats.incremental_failures`` (first message recorded) and
+        degrades to a full encode of this request only.
+        """
+        prev = self._cache_get((user, seq[:-1]))
+        state = None if prev is None else prev.get("state")
+        if state is None and user is not None:
+            rolled = self._user_state.get(user)
+            if rolled is not None:
+                prev_seq = rolled["seq"]
+                grow = (len(seq) == len(prev_seq) + 1
+                        and seq[:-1] == prev_seq)
+                slide = (self.plan.incremental_rollover
+                         and self.plan.max_len is not None
+                         and len(seq) == len(prev_seq) == self.plan.max_len
+                         and seq[:-1] == prev_seq[1:])
+                if grow or slide:
+                    self._user_state.move_to_end(user)
+                    state = rolled["state"]
+        if state is None:
+            return None
+        try:
+            new_state = self.plan.append_item(state, seq[-1])
+            rep = self.plan.state_repr(new_state)
+        except Exception as exc:
+            self.stats.incremental_failures += 1
+            if self.stats.first_incremental_failure is None:
+                self.stats.first_incremental_failure = (
+                    f"{type(exc).__name__}: {exc}")
+            return None
+        return rep, new_state
 
     def _retry_encodes(self, pending, chunk, reprs, errors) -> None:
         """Batched encode failed: isolate by encoding request-by-request."""
@@ -287,6 +353,7 @@ class RecommendService:
             state = None if states is None else [
                 layer[0:1].copy() for layer in states]
             self._cache_put((pending[i][0], pending[i][1]), rows[0], state)
+            self._user_state_put(pending[i][0], pending[i][1], state)
 
     def _topk_reprs(self, reprs, errors
                     ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
@@ -434,5 +501,58 @@ class RecommendService:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
 
+    def _user_state_put(self, user, seq: tuple,
+                        state: Optional[list]) -> None:
+        """Roll the per-user state forward (bounded by ``cache_size``)."""
+        if user is None or state is None or self.cache_size <= 0:
+            return
+        self._user_state[user] = {"seq": seq, "state": state}
+        self._user_state.move_to_end(user)
+        while len(self._user_state) > self.cache_size:
+            self._user_state.popitem(last=False)
+            self.stats.state_evictions += 1
+
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._user_state.clear()
+
+    # ------------------------------------------------------------------
+    def swap_plan(self, model_or_plan, verify: bool = True) -> FrozenPlan:
+        """Hot-swap the serving plan in place; returns the old plan.
+
+        The incoming plan is verified (abstract interpretation of its
+        program) and checked against this service's padding/retrieval
+        configuration *before* anything changes — a plan that fails
+        verification leaves the service serving the old plan untouched.
+        Queued-but-unflushed requests survive the swap and are answered
+        by the new plan; both caches are invalidated (representations
+        and recurrent/KV states from the old plan must never leak into
+        the new plan's results).
+        """
+        if isinstance(model_or_plan, FrozenPlan):
+            incoming = model_or_plan
+            if verify:
+                incoming.verify()
+        else:
+            incoming = freeze(model_or_plan, verify=verify)
+        if self.padding == "tight" and not (incoming.padding_invariant
+                                            or incoming.supports_tight):
+            raise ValueError(
+                f"{incoming.model_name} is padding-width sensitive; "
+                "this service runs padding='tight'")
+        if self.retrieval == "ann":
+            if not incoming.supports_encode:
+                raise ValueError(
+                    f"{incoming.model_name} has no compiled encode/score "
+                    "split; this service runs retrieval='ann'")
+            if incoming.ann_index is None:
+                attach_ann_index(incoming, verify=verify)
+        previous = self.plan
+        self.plan = incoming
+        self._incremental = (self.padding == "tight"
+                             and incoming.supports_incremental
+                             and self.cache_size > 0)
+        self._cache.clear()
+        self._user_state.clear()
+        self.stats.plan_swaps += 1
+        return previous

@@ -2,8 +2,12 @@
 
 from .checkpoint import (load_checkpoint, load_training_state,
                          save_checkpoint, save_training_state)
+from .online import (FineTuneOutcome, FineTuneSpec, FineTuneStore,
+                     dataset_from_log, fine_tune_spec)
 from .trainer import TrainConfig, Trainer, TrainResult
 
 __all__ = ["TrainConfig", "Trainer", "TrainResult",
            "save_checkpoint", "load_checkpoint",
-           "save_training_state", "load_training_state"]
+           "save_training_state", "load_training_state",
+           "FineTuneSpec", "FineTuneOutcome", "FineTuneStore",
+           "dataset_from_log", "fine_tune_spec"]

@@ -42,7 +42,8 @@ class TestLiveTree:
                               "experiments-via-registry",
                               "atomic-persistence", "dtype-discipline",
                               "buffer-aliasing", "plan-signature",
-                              "exact-oracle", "bounded-memory"}
+                              "exact-oracle", "bounded-memory",
+                              "event-log-atomic"}
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -353,6 +354,45 @@ class TestAtomicPersistenceRule:
                 path.write_text(text)
         """})
         assert run_lint(root, rules=["atomic-persistence"]) == []
+
+
+class TestEventLogAtomicRule:
+    def test_flags_inplace_writes_in_eventlog_modules(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {"data/eventlog.py": """
+            import json
+
+            def publish(path, manifest, payload):
+                (path / "segment-000000.npy").write_bytes(payload)
+                (path / "manifest.json").write_text(json.dumps(manifest))
+        """})
+        violations = run_lint(root, rules=["event-log-atomic"])
+        assert [v.line for v in violations] == [5, 6]
+        assert all(v.rule == "event-log-atomic" for v in violations)
+
+    def test_clean_with_atomic_helpers(self, tmp_path):
+        root = write_tree(tmp_path / "repro", {
+            "data/eventlog.py": """
+                import json
+
+                from ..resilience.atomic import (atomic_write_bytes,
+                                                 atomic_write_text)
+
+                def publish(path, manifest, payload):
+                    atomic_write_bytes(path / "segment-000000.npy", payload)
+                    atomic_write_text(path / "manifest.json",
+                                      json.dumps(manifest))
+
+                def load(path):
+                    return json.loads((path / "manifest.json").read_text())
+            """,
+            "train/online.py": """
+                from ..resilience.atomic import atomic_write_text
+
+                def commit(entry, text):
+                    return atomic_write_text(entry / "metrics.json", text)
+            """,
+        })
+        assert run_lint(root, rules=["event-log-atomic"]) == []
 
 
 class TestDtypeDisciplineRule:

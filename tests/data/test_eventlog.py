@@ -1,0 +1,201 @@
+"""EventLog: append-only segments, digest-chained manifest, crash
+semantics at the segment/manifest fault sites, and replay into the mmap
+store.  Also covers the ingest scratch-cleanup hardening this log rides
+on (``ingest.cleanup`` / ``ingest.pass-barrier``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (EventLogIntegrityError, open_event_log,
+                        open_store, replay_to_store)
+from repro.data.eventlog import (EVENTLOG_MANIFEST_SITE,
+                                 EVENTLOG_SEGMENT_SITE, GENESIS)
+from repro.data.loaders import (INGEST_BARRIER_SITE, INGEST_CLEANUP_SITE,
+                                ingest_events_to_store)
+from repro.resilience import Fault, FaultInjected, FaultPlan, SimulatedCrash
+
+
+def fill(log, *batches):
+    for users, items in batches:
+        log.append(users, items)
+    return log
+
+
+class TestAppendAndRead:
+    def test_events_replay_in_append_order(self, tmp_path):
+        log = open_event_log(tmp_path / "log")
+        log.append([1, 2], [10, 20], timestamps=[5, 6])
+        log.append([1], [30])
+        assert log.num_segments == 2 and log.num_events == 3
+        assert list(log.events()) == [(1, 10, 5), (2, 20, 6), (1, 30, 2)]
+
+    def test_default_timestamps_continue_event_counter(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"),
+                   ([1, 1], [2, 3]), ([2], [4]))
+        stamps = [ts for _, _, ts in log.events()]
+        assert stamps == [0, 1, 2]
+
+    def test_reopen_sees_identical_stream(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1, 2], [3, 4]))
+        reopened = open_event_log(tmp_path / "log")
+        assert reopened.chain_head == log.chain_head
+        assert list(reopened.events()) == list(log.events())
+        reopened.append([5], [6])
+        assert reopened.num_events == 3
+
+    def test_rejects_malformed_appends(self, tmp_path):
+        log = open_event_log(tmp_path / "log")
+        with pytest.raises(ValueError):
+            log.append([], [])
+        with pytest.raises(ValueError):
+            log.append([1, 2], [3])
+        with pytest.raises(ValueError):
+            log.append([0], [3])                    # ids are 1-based
+        with pytest.raises(ValueError):
+            log.append([1], [2], timestamps=[7, 8])
+        assert log.num_segments == 0
+
+
+class TestDigestChain:
+    def test_head_commits_to_full_history(self, tmp_path):
+        a = fill(open_event_log(tmp_path / "a"),
+                 ([1, 2], [3, 4]), ([5], [6]))
+        b = fill(open_event_log(tmp_path / "b"),
+                 ([1, 2], [3, 4]), ([5], [6]))
+        c = fill(open_event_log(tmp_path / "c"),
+                 ([1, 2], [3, 4]), ([5], [7]))     # one item differs
+        assert a.chain_head == b.chain_head != GENESIS
+        assert c.chain_head != a.chain_head
+        assert open_event_log(tmp_path / "a").verify() == 3
+
+    def test_tampered_segment_detected(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1], [2]))
+        segment = tmp_path / "log" / "segment-000000.npy"
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+        with pytest.raises(EventLogIntegrityError, match="digest mismatch"):
+            log.verify()
+        with pytest.raises(EventLogIntegrityError, match="digest mismatch"):
+            log.read_segment(0)
+
+    def test_tampered_manifest_chain_detected_on_open(self, tmp_path):
+        fill(open_event_log(tmp_path / "log"), ([1], [2]), ([3], [4]))
+        manifest_path = tmp_path / "log" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["segments"][0]["chain"] = "f" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(EventLogIntegrityError, match="chain"):
+            open_event_log(tmp_path / "log")
+
+    def test_missing_segment_detected(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1], [2]))
+        (tmp_path / "log" / "segment-000000.npy").unlink()
+        with pytest.raises(EventLogIntegrityError, match="missing"):
+            log.read_segment(0)
+
+
+class TestTail:
+    def test_cursor_sees_only_new_segments(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1], [2]))
+        cursor, batches = log.tail(0)
+        assert cursor == 1 and len(batches) == 1
+        log.append([3, 4], [5, 6])
+        cursor, batches = log.tail(cursor)
+        assert cursor == 2 and len(batches) == 1
+        np.testing.assert_array_equal(batches[0][0], [3, 4])
+        assert log.tail(cursor) == (2, [])
+
+    def test_tail_picks_up_concurrent_appends(self, tmp_path):
+        reader = open_event_log(tmp_path / "log")
+        writer = open_event_log(tmp_path / "log")
+        writer.append([1], [2])
+        cursor, batches = reader.tail(0)            # refresh() reloads
+        assert cursor == 1 and len(batches) == 1
+
+
+class TestCrashSemantics:
+    def test_kill_before_manifest_leaves_log_at_previous_state(
+            self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1], [2]))
+        head = log.chain_head
+        with FaultPlan([Fault(site=EVENTLOG_MANIFEST_SITE + ".before",
+                              action="kill")]):
+            with pytest.raises(SimulatedCrash):
+                log.append([3], [4])
+        reopened = open_event_log(tmp_path / "log")
+        assert reopened.chain_head == head
+        assert reopened.num_events == 1
+        # The orphan segment the crash left behind is simply overwritten.
+        reopened.append([5], [6])
+        assert reopened.verify() == 2
+        assert list(reopened.events())[-1][:2] == (5, 6)
+
+    def test_corrupted_segment_write_caught_by_verify(self, tmp_path):
+        log = open_event_log(tmp_path / "log")
+        with FaultPlan([Fault(site=EVENTLOG_SEGMENT_SITE,
+                              action="corrupt")]):
+            log.append([1], [2])
+        with pytest.raises(EventLogIntegrityError, match="digest mismatch"):
+            log.verify()
+
+    def test_write_failure_does_not_advance_the_log(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"), ([1], [2]))
+        with FaultPlan([Fault(site=EVENTLOG_SEGMENT_SITE + ".before",
+                              action="raise")]):
+            with pytest.raises(FaultInjected):
+                log.append([3], [4])
+        assert open_event_log(tmp_path / "log").num_events == 1
+
+
+class TestReplay:
+    def test_replay_materializes_sequences_and_chain_head(self, tmp_path):
+        log = fill(open_event_log(tmp_path / "log"),
+                   ([1, 2, 1], [10, 20, 11]), ([2, 3], [21, 30]))
+        store = replay_to_store(log, tmp_path / "store", "replayed")
+        # Ingest assigns dense ids in first-appearance order:
+        # items 10->1, 20->2, 11->3, 21->4, 30->5.
+        np.testing.assert_array_equal(store.sequence(1), [1, 3])
+        np.testing.assert_array_equal(store.sequence(2), [2, 4])
+        assert store.metadata["eventlog_chain_head"] == log.chain_head
+        assert store.metadata["eventlog_segments"] == 2
+        reopened = open_store(tmp_path / "store")
+        assert reopened.num_interactions == 5
+
+
+class TestIngestScratchCleanup:
+    EVENTS = [(1, 10, 0), (1, 11, 1), (2, 20, 2), (2, 21, 3), (3, 30, 4)]
+
+    def test_cleanup_failure_does_not_break_retry(self, tmp_path):
+        """A raise at the cleanup site surfaces, but a retry starts from
+        a clean slate (start-of-run scratch sweep) and succeeds."""
+        with FaultPlan([Fault(site=INGEST_CLEANUP_SITE, action="raise")]):
+            with pytest.raises(FaultInjected):
+                ingest_events_to_store(self.EVENTS, tmp_path / "s",
+                                       "ingested")
+        store = ingest_events_to_store(self.EVENTS, tmp_path / "s",
+                                       "ingested")
+        clean = ingest_events_to_store(self.EVENTS, tmp_path / "clean",
+                                       "ingested")
+        for user in (1, 2, 3):
+            np.testing.assert_array_equal(store.sequence(user),
+                                          clean.sequence(user))
+        assert not (tmp_path / "s" / "_ingest").exists()
+
+    def test_crash_at_pass_barrier_leaves_retryable_state(self, tmp_path):
+        """A hard crash between the two passes leaves scratch behind;
+        the next run sweeps it and produces the same store bytes as an
+        uninterrupted ingest."""
+        with FaultPlan([Fault(site=INGEST_BARRIER_SITE, action="kill")]):
+            with pytest.raises(SimulatedCrash):
+                ingest_events_to_store(self.EVENTS, tmp_path / "s",
+                                       "ingested")
+        store = ingest_events_to_store(self.EVENTS, tmp_path / "s",
+                                       "ingested")
+        clean = ingest_events_to_store(self.EVENTS, tmp_path / "clean",
+                                       "ingested")
+        for user in (1, 2, 3):
+            np.testing.assert_array_equal(store.sequence(user),
+                                          clean.sequence(user))
+        assert not (tmp_path / "s" / "_ingest").exists()

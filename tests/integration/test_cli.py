@@ -52,3 +52,20 @@ class TestCommands:
     def test_experiment_smoke(self, capsys):
         assert main(["experiment", "table2", "--scale", "smoke"]) == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_eventlog_append_verify_replay(self, tmp_path, capsys):
+        events = tmp_path / "events.csv"
+        events.write_text("1,10,5\n2,20,6\n1,30,7\n")
+        log_dir = str(tmp_path / "log")
+        assert main(["eventlog", log_dir, "append",
+                     "--events", str(events)]) == 0
+        assert "appended 3 events" in capsys.readouterr().out
+        assert main(["eventlog", log_dir, "verify"]) == 0
+        assert "3 events verified" in capsys.readouterr().out
+        assert main(["eventlog", log_dir, "replay",
+                     "--out", str(tmp_path / "store")]) == 0
+        assert "store written" in capsys.readouterr().out
+
+    def test_eventlog_append_requires_events(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["eventlog", str(tmp_path / "log"), "append"])

@@ -1,0 +1,37 @@
+"""End-to-end online-learning gate: ``scripts/online_smoke.py`` must pass.
+
+One reduced-trial run of the full loop — event-log ingestion, memoized
+fine-tune vs the full-retrain oracle, incremental serving across the
+window rollover, and a mid-burst hot-swap with a worker hard-killed at
+the swap prepare site — plus a sanity check of the report it writes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "online_smoke.py"
+
+
+class TestOnlineSmoke:
+    def test_gate_passes_and_writes_report(self, tmp_path):
+        report = tmp_path / "BENCH_online.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--trials", "1",
+             "--json", str(report)],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+        payload = json.loads(report.read_text())
+        assert all(w["matches_oracle"] for w in payload["stream"]["waves"])
+        assert payload["stream"]["cache_hits"] == len(
+            payload["stream"]["waves"])
+        assert payload["incremental"]["rolling_hits_at_max_len"] > 0
+        assert payload["incremental"]["kv_prefix_hits"] > 0
+        assert payload["incremental"]["incremental_failures"] == 0
+        assert payload["swap"]["dropped_requests"] == 0
+        assert payload["swap"]["stale_answers"] == 0
+        assert payload["swap"]["worker_restarts_absorbed"] >= 1

@@ -186,8 +186,11 @@ class TestValidation:
             ClusterService(sasrec_plan, k=0)
         with pytest.raises(ValueError):
             ClusterService(sasrec_plan, padding="sideways")
+        from repro.models import Caser
+        caser = Caser(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(9))
         with pytest.raises(ValueError):
-            ClusterService(sasrec_plan, padding="tight")  # width-sensitive
+            ClusterService(caser, padding="tight")  # width-sensitive
 
     def test_rejects_empty_sequence(self, sasrec_plan):
         with ClusterService(sasrec_plan, num_workers=2) as cluster:
@@ -276,3 +279,112 @@ class TestStats:
             served = sum(s["requests"] for s in per_worker.values()
                          if s is not None)
             assert served == 30
+
+
+class TestPlanHotSwap:
+    """Two-phase swap protocol: prepare/commit over the versioned spool,
+    chaos-tested at every swap fault site (satellite of the online
+    learning PR)."""
+
+    @pytest.fixture(scope="class")
+    def new_plan(self):
+        model = SASRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                       rng=np.random.default_rng(11))
+        return freeze(model)
+
+    @staticmethod
+    def _shard_reference(plan, requests, num_workers, k=5):
+        """Cold single-process service fed the same per-shard batches."""
+        groups = Router(num_workers).partition(requests)
+        reference = [None] * len(requests)
+        service = RecommendService(plan, k=k, cache_size=0)
+        for shard in sorted(groups):
+            indices = groups[shard]
+            Router.scatter(reference, indices,
+                           service.recommend_many([requests[i]
+                                                   for i in indices]))
+        return reference
+
+    def test_swap_bitwise_parity_with_cold_service(self, sasrec_plan,
+                                                   new_plan):
+        requests = random_requests(np.random.default_rng(12), 16)
+        with ClusterService(sasrec_plan, num_workers=2, k=5,
+                            cache_size=0) as cluster:
+            cluster.recommend_many(requests)
+            version = cluster.swap_plan(new_plan)
+            assert version == 1
+            assert cluster.stats.plan_swaps == 1
+            got = cluster.recommend_many(requests)
+            want = self._shard_reference(new_plan, requests, 2)
+            for g, w in zip(got, want):
+                assert not g.failed
+                np.testing.assert_array_equal(g.items, w.items)
+                assert g.scores.tobytes() == w.scores.tobytes()
+
+    def test_corrupt_spool_aborts_and_keeps_old_plan(self, sasrec_plan,
+                                                     new_plan):
+        from repro.resilience import active_plan
+        from repro.serve import PlanSwapError
+        requests = random_requests(np.random.default_rng(13), 12)
+        with ClusterService(sasrec_plan, num_workers=2, k=5,
+                            cache_size=0) as cluster:
+            FaultPlan([Fault(site="serve.swap.spool",
+                             action="corrupt")]).arm()
+            try:
+                with pytest.raises(PlanSwapError):
+                    cluster.swap_plan(new_plan)
+            finally:
+                armed = active_plan()
+                if armed is not None:
+                    armed.disarm()
+            assert cluster.stats.plan_swaps == 0
+            got = cluster.recommend_many(requests)
+            want = self._shard_reference(sasrec_plan, requests, 2)
+            for g, w in zip(got, want):
+                assert not g.failed
+                assert g.scores.tobytes() == w.scores.tobytes()
+
+    def test_worker_killed_at_prepare_is_revived_and_swap_lands(
+            self, sasrec_plan, new_plan):
+        from repro.resilience import SWAP_PREPARE_SITE
+        kill = FaultPlan([Fault(site=SWAP_PREPARE_SITE, action="kill",
+                                hard=True)])
+        requests = random_requests(np.random.default_rng(14), 12)
+        with ClusterService(sasrec_plan, num_workers=2, k=5, cache_size=0,
+                            worker_fault_plans={0: kill.to_json()}
+                            ) as cluster:
+            cluster.recommend_many(requests)
+            assert cluster.swap_plan(new_plan) == 1
+            assert cluster.stats.worker_restarts == 1
+            got = cluster.recommend_many(requests)
+            want = self._shard_reference(new_plan, requests, 2)
+            for g, w in zip(got, want):
+                assert not g.failed
+                assert g.scores.tobytes() == w.scores.tobytes()
+
+    def test_worker_killed_at_commit_converges_on_new_plan(
+            self, sasrec_plan, new_plan):
+        from repro.resilience import SWAP_COMMIT_SITE
+        kill = FaultPlan([Fault(site=SWAP_COMMIT_SITE, action="kill",
+                                hard=True)])
+        requests = random_requests(np.random.default_rng(15), 12)
+        with ClusterService(sasrec_plan, num_workers=2, k=5, cache_size=0,
+                            worker_fault_plans={1: kill.to_json()}
+                            ) as cluster:
+            cluster.recommend_many(requests)
+            assert cluster.swap_plan(new_plan) == 1
+            assert cluster.stats.worker_restarts == 1
+            got = cluster.recommend_many(requests)
+            want = self._shard_reference(new_plan, requests, 2)
+            for g, w in zip(got, want):
+                assert not g.failed
+                assert g.scores.tobytes() == w.scores.tobytes()
+
+    def test_swap_rejects_incompatible_plan(self, sasrec_plan):
+        srgnn = SRGNN(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(16))
+        with ClusterService(sasrec_plan, num_workers=1, k=5) as cluster:
+            with pytest.raises(ValueError, match="fallback"):
+                cluster.swap_plan(srgnn)
+            assert cluster.stats.plan_swaps == 0
+            assert not cluster.recommend(1, [2, 3]).failed

@@ -151,22 +151,108 @@ class TestIncrementalAppend:
         assert not rec.incremental
         assert service.stats.incremental_hits == 0
 
-    def test_window_slide_misses_incremental(self, gru_plan):
-        """Appending past max_len shifts the window: the truncated prior
-        sequence is no longer the cached key, so no stale state is used."""
+    def test_window_slide_stays_incremental_across_rollover(self,
+                                                            gru_plan):
+        """Regression (long-session bug): appending past max_len shifts
+        the window, so the ``(user, seq[:-1])`` cache key can never
+        match — the per-user rolling state must keep the cheap path
+        alive.  A slid hit advances the full-history recurrence, so its
+        result matches encoding the *untruncated* sequence."""
         service = RecommendService(gru_plan, k=5, padding="tight")
         seq = list(range(1, MAX_LEN + 1))       # exactly max_len items
         service.recommend(1, seq)
         slid = service.recommend(1, seq + [11])  # window drops seq[0]
-        assert not slid.incremental
-        fresh = RecommendService(gru_plan, k=5, padding="tight",
+        assert slid.incremental
+        assert service.stats.incremental_hits > 0
+        # parity: the rolled state tracks the full (untruncated) history
+        from repro.data.batching import pad_sequences
+        items, mask, _ = pad_sequences([seq + [11]],
+                                       max_len=MAX_LEN + 1)
+        rep = gru_plan.encode_tight(items, mask)
+        expected_scores = gru_plan.score(rep)[0]
+        from repro.serve import topk_from_scores
+        expected_top = topk_from_scores(expected_scores[None], 5)[0]
+        np.testing.assert_array_equal(slid.items, expected_top)
+        np.testing.assert_allclose(
+            slid.scores, expected_scores[expected_top], atol=1e-9)
+
+    def test_rollover_incremental_hits_survive_many_appends(self,
+                                                            gru_plan):
+        """Every append after the first stays incremental, even once the
+        window is saturated and truncation re-keys the cache."""
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        seq = [1, 2]
+        service.recommend(1, seq)
+        for item in range(3, MAX_LEN + 6):      # grows well past max_len
+            seq = seq + [item]
+            assert service.recommend(1, seq).incremental
+        assert service.stats.incremental_hits == MAX_LEN + 3
+        assert service.stats.incremental_failures == 0
+
+    def test_attention_kv_rollover_reencodes_but_recovers(self,
+                                                          sasrec_plan):
+        """KV-prefix state is positional, so a slide at max_len must
+        force a full re-encode (stale positions would be wrong) — and
+        the re-encoded result must match a cold service exactly."""
+        service = RecommendService(sasrec_plan, k=5, padding="tight")
+        seq = list(range(1, MAX_LEN + 1))
+        service.recommend(1, seq)
+        slid = service.recommend(1, seq + [11])
+        assert not slid.incremental        # positions cannot slide
+        fresh = RecommendService(sasrec_plan, k=5, padding="tight",
                                  cache_size=0)
         expected = fresh.recommend(1, seq + [11])
-        np.testing.assert_allclose(slid.scores, expected.scores, atol=1e-9)
+        np.testing.assert_array_equal(slid.items, expected.items)
+        np.testing.assert_allclose(slid.scores, expected.scores,
+                                   atol=1e-9)
 
-    def test_tight_requires_padding_invariant_plan(self, sasrec_plan):
+    def test_attention_incremental_append_is_exact(self, sasrec_plan):
+        """SASRec KV-prefix append reaches max_len incrementally and
+        matches the cold tight encode."""
+        service = RecommendService(sasrec_plan, k=5, padding="tight")
+        seq = [3, 7, 9]
+        service.recommend(1, seq)
+        for item in range(1, MAX_LEN - len(seq) + 1):
+            seq = seq + [item]
+            rec = service.recommend(1, seq)
+            assert rec.incremental
+            fresh = RecommendService(sasrec_plan, k=5, padding="tight",
+                                     cache_size=0)
+            full = fresh.recommend(1, seq)
+            np.testing.assert_array_equal(rec.items, full.items)
+            np.testing.assert_allclose(rec.scores, full.scores,
+                                       atol=1e-9)
+        assert len(seq) == MAX_LEN             # reached the window edge
+        assert service.stats.incremental_hits == MAX_LEN - 3
+        assert service.stats.incremental_failures == 0
+
+    def test_tight_requires_tight_capable_plan(self):
+        from repro.models import Caser
+        model = Caser(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(5))
         with pytest.raises(ValueError):
-            RecommendService(sasrec_plan, padding="tight")
+            RecommendService(model, padding="tight")
+
+    def test_incremental_failure_is_counted_and_recovered(self, gru_plan):
+        """A broken ``append_item`` must degrade to a full encode *and*
+        leave a trace: count + first failure message."""
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        seq = [3, 7, 9]
+        service.recommend(1, seq)
+        def broken(state, item):
+            raise RuntimeError("kv drift")
+
+        service.plan.append_item = broken
+        try:
+            rec = service.recommend(1, seq + [2])
+        finally:
+            del service.plan.append_item       # restore the class method
+        assert not rec.failed and not rec.incremental
+        assert service.stats.incremental_failures == 1
+        assert "kv drift" in service.stats.first_incremental_failure
+        stats = service.stats
+        assert (stats.cache_hits + stats.full_encodes
+                + stats.incremental_hits == stats.requests)
 
     def test_tight_results_independent_of_queue_width(self, gru_plan):
         """Step-masked tight encoding must give a short sequence the same
@@ -332,3 +418,34 @@ class TestFailureIsolation:
         retried = service.flush()                   # plan disarmed
         assert len(retried) == len(requests)
         assert not any(r.failed for r in retried)
+
+
+class TestInProcessSwap:
+    """``RecommendService.swap_plan``: in-process hot swap clears the
+    caches, recomputes incremental support, and returns the old plan."""
+
+    def test_swap_serves_new_plan_and_returns_old(self, sasrec_plan):
+        new = freeze(SASRec(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                            rng=np.random.default_rng(20)))
+        service = RecommendService(sasrec_plan, k=5)
+        before = service.recommend(1, (2, 3, 4))
+        previous = service.swap_plan(new)
+        assert previous is sasrec_plan
+        assert service.stats.plan_swaps == 1
+        after = service.recommend(1, (2, 3, 4))
+        assert not after.from_cache                 # caches were cleared
+        want = RecommendService(new, k=5, cache_size=0).recommend(
+            1, (2, 3, 4))
+        np.testing.assert_array_equal(after.items, want.items)
+        assert after.scores.tobytes() == want.scores.tobytes()
+        assert before.scores.tobytes() != after.scores.tobytes()
+
+    def test_swap_rejects_incompatible_tight_plan(self, gru_plan):
+        from repro.models import Caser
+        service = RecommendService(gru_plan, k=5, padding="tight")
+        caser = Caser(num_items=NUM_ITEMS, dim=DIM, max_len=MAX_LEN,
+                      rng=np.random.default_rng(21))
+        with pytest.raises(ValueError):
+            service.swap_plan(caser)
+        assert service.stats.plan_swaps == 0
+        assert not service.recommend(1, (2, 3)).failed

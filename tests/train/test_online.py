@@ -1,0 +1,102 @@
+"""Online fine-tune jobs: event-log materialization, memoization on the
+chain head, crash resume, and corrupted-entry invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.data import open_event_log
+from repro.registry import model_spec
+from repro.resilience import Fault, FaultPlan, SimulatedCrash
+from repro.train import FineTuneStore, dataset_from_log, fine_tune_spec
+
+NUM_ITEMS = 30
+
+
+@pytest.fixture
+def log(tmp_path):
+    log = open_event_log(tmp_path / "log")
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        log.append(rng.integers(1, 15, 40), rng.integers(1, NUM_ITEMS, 40))
+    return log
+
+
+@pytest.fixture
+def spec():
+    return fine_tune_spec(model_spec("GRU4Rec"), scale="smoke", seed=0,
+                          max_len=10, train={"epochs": 2})
+
+
+def weights(model):
+    return [p.data.copy() for p in model.parameters()]
+
+
+class TestDatasetFromLog:
+    def test_sequences_follow_timestamps(self, tmp_path):
+        log = open_event_log(tmp_path / "log")
+        log.append([1, 2, 1], [5, 6, 7], timestamps=[10, 0, 5])
+        ds = dataset_from_log(log)
+        assert ds.sequences[1] == [7, 5]            # ts 5 before ts 10
+        assert ds.sequences[2] == [6]
+        assert ds.num_items == 7
+        assert ds.metadata["eventlog_chain_head"] == log.chain_head
+
+    def test_declared_universe_must_cover_log(self, tmp_path):
+        log = open_event_log(tmp_path / "log")
+        log.append([1], [9])
+        with pytest.raises(ValueError):
+            dataset_from_log(log, num_items=5)
+        assert dataset_from_log(log, num_items=20).num_items == 20
+
+
+class TestMemoization:
+    def test_hit_restores_bitwise_identical_weights(self, tmp_path, log,
+                                                    spec):
+        store = FineTuneStore(tmp_path / "jobs")
+        first = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        second = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        assert not first.cached and second.cached
+        assert store.stats() == {"hits": 1, "misses": 1}
+        for ours, theirs in zip(weights(first.model),
+                                weights(second.model)):
+            np.testing.assert_array_equal(ours, theirs)
+
+    def test_new_segment_changes_the_key(self, tmp_path, log, spec):
+        store = FineTuneStore(tmp_path / "jobs")
+        before = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        log.append([1, 2], [3, 4])
+        after = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        assert not after.cached
+        assert after.chain_head != before.chain_head
+
+    def test_corrupted_entry_invalidates_and_retrains(self, tmp_path, log,
+                                                      spec):
+        store = FineTuneStore(tmp_path / "jobs")
+        first = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        first.checkpoint.write_bytes(b"garbage")
+        again = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        assert not again.cached
+        for ours, theirs in zip(weights(first.model),
+                                weights(again.model)):
+            np.testing.assert_array_equal(ours, theirs)
+
+
+class TestCrashResume:
+    def test_killed_job_resumes_to_reference_weights(self, tmp_path, log,
+                                                     spec):
+        reference = FineTuneStore(tmp_path / "ref").fine_tune(
+            log, spec, num_items=NUM_ITEMS)
+        store = FineTuneStore(tmp_path / "jobs")
+        with FaultPlan([Fault(site="trainer.state.before", action="kill",
+                              hit=2)]):
+            with pytest.raises(SimulatedCrash):
+                store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        entry = store.entry_dir(spec, log.chain_head)
+        assert (entry / "train_state.npz").exists()  # the resume point
+        resumed = store.fine_tune(log, spec, num_items=NUM_ITEMS)
+        assert not resumed.cached
+        assert resumed.result.history == reference.result.history
+        for ours, theirs in zip(weights(resumed.model),
+                                weights(reference.model)):
+            np.testing.assert_array_equal(ours, theirs)
+        assert not (entry / "train_state.npz").exists()  # spent on commit
